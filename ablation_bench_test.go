@@ -1,0 +1,204 @@
+// Ablation benchmarks for the individual design decisions behind
+// Dirigent's headline results (paper Table 1 and §5.2.1, "Dirigent
+// optimization breakdown"): compact binary state vs. K8s-style bloated
+// objects, persistence-free vs. fsync-per-update state management, RPC
+// transport cost, and the scheduling-policy implementations themselves.
+package dirigent_test
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dirigent/internal/autoscaler"
+	"dirigent/internal/codec"
+	"dirigent/internal/core"
+	"dirigent/internal/loadbalancer"
+	"dirigent/internal/placement"
+	"dirigent/internal/store"
+	"dirigent/internal/trace"
+	"dirigent/internal/transport"
+	"dirigent/internal/wal"
+)
+
+// --- State size & serialization: 16-byte records vs ~17 KB objects ---
+
+func BenchmarkAblationSerializeCompactSandbox(b *testing.B) {
+	sb := core.Sandbox{ID: 12345, Function: "resize-image", Node: 17, IP: [4]byte{10, 0, 3, 7}, Port: 30017}
+	b.ReportAllocs()
+	var sink [core.SandboxRecordSize]byte
+	for i := 0; i < b.N; i++ {
+		sink = core.MarshalSandboxRecord(&sb)
+	}
+	_ = sink
+	b.ReportMetric(float64(core.SandboxRecordSize), "bytes_per_object")
+}
+
+func BenchmarkAblationSerializeBloatedK8sObject(b *testing.B) {
+	b.ReportAllocs()
+	var n int
+	for i := 0; i < b.N; i++ {
+		out := codec.BloatedEncode("Pod", "resize-image-deployment-7f9c", []byte("st"), 17*1024)
+		n = len(out)
+	}
+	b.ReportMetric(float64(n), "bytes_per_object")
+}
+
+// --- Persistence on vs off the critical path ---
+
+func BenchmarkAblationStoreWriteNoFsync(b *testing.B) {
+	s, err := store.Open(filepath.Join(b.TempDir(), "nofsync.aof"), wal.FsyncNever)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	rec := make([]byte, core.SandboxRecordSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.HSet("sandboxes", "sb", rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStoreWriteFsyncAlways(b *testing.B) {
+	s, err := store.Open(filepath.Join(b.TempDir(), "fsync.aof"), wal.FsyncAlways)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	rec := make([]byte, core.SandboxRecordSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.HSet("sandboxes", "sb", rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Transport cost: in-process vs TCP round trip ---
+
+func benchTransportRTT(b *testing.B, tr transport.Transport, addr string) {
+	b.Helper()
+	ln, err := tr.Listen(addr, func(_ string, p []byte) ([]byte, error) { return p, nil })
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ln.Close()
+	payload := make([]byte, 64)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.Call(ctx, ln.Addr(), "bench.Echo", payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTransportInProc(b *testing.B) {
+	benchTransportRTT(b, transport.NewInProc(), "bench")
+}
+
+func BenchmarkAblationTransportTCP(b *testing.B) {
+	tr := transport.NewTCP()
+	defer tr.Close()
+	benchTransportRTT(b, tr, "127.0.0.1:0")
+}
+
+// --- Scheduling policy costs ---
+
+func BenchmarkAblationPlacementPolicies(b *testing.B) {
+	nodes := make([]placement.NodeStatus, 1000)
+	for i := range nodes {
+		nodes[i] = placement.NodeStatus{
+			Node: core.WorkerNode{ID: core.NodeID(i + 1), CPUMilli: 10000, MemoryMB: 65536},
+			Util: core.NodeUtilization{CPUMilliUsed: (i * 37) % 9000, MemoryMBUsed: (i * 997) % 60000},
+		}
+	}
+	req := placement.Requirements{CPUMilli: 100, MemoryMB: 128}
+	for _, p := range []placement.Policy{
+		placement.NewKubeDefault(1), placement.NewRandom(1),
+		placement.NewRoundRobin(), placement.NewHermod(),
+	} {
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Place(nodes, req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationLoadBalancerPolicies(b *testing.B) {
+	eps := make([]loadbalancer.Endpoint, 100)
+	for i := range eps {
+		eps[i] = loadbalancer.Endpoint{
+			SandboxID: core.SandboxID(i + 1),
+			InFlight:  i % 2,
+			Capacity:  2,
+		}
+	}
+	for _, p := range []loadbalancer.Policy{
+		loadbalancer.NewLeastLoaded(1), loadbalancer.NewRoundRobin(),
+		loadbalancer.NewRandom(1), loadbalancer.NewCHRLU(),
+	} {
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if p.Pick("fn", uint64(i), eps) == nil {
+					b.Fatal("nil pick")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAblationAutoscalerDecide(b *testing.B) {
+	m := autoscaler.NewManager()
+	const fns = 500
+	now := time.Unix(10000, 0)
+	current := make(map[string]int, fns)
+	for i := 0; i < fns; i++ {
+		name := fmt.Sprintf("fn-%d", i)
+		m.Add(name, core.DefaultScalingConfig())
+		for s := 0; s < 60; s++ {
+			m.Record(core.ScalingMetric{Function: name, InFlight: i % 7, At: now.Add(time.Duration(s) * time.Second)})
+		}
+		current[name] = i % 5
+	}
+	decideAt := now.Add(61 * time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Decide(decideAt, current)
+	}
+	b.ReportMetric(fns, "functions_per_decision")
+}
+
+// --- Workload generation cost ---
+
+func BenchmarkAblationTraceGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := trace.NewAzureLike(trace.Config{Functions: 500, Duration: 5 * time.Minute, Seed: int64(i)})
+		if tr.TotalInvocations() == 0 {
+			b.Fatal("empty trace")
+		}
+	}
+}
+
+// --- Wire-format cost ---
+
+func BenchmarkAblationFunctionMarshal(b *testing.B) {
+	fn := core.Function{
+		Name: "resize-image", Image: "registry.example.com/resize:v3",
+		Port: 8080, Runtime: "firecracker", Scaling: core.DefaultScalingConfig(),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := core.MarshalFunction(&fn)
+		if _, err := core.UnmarshalFunction(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,390 @@
+// Package dirigent's root benchmark harness: one testing.B benchmark per
+// table and figure in the paper's evaluation (§5). Each benchmark runs a
+// scaled-down version of the corresponding experiment and reports the
+// headline statistics as custom metrics (latency percentiles in ms,
+// throughput, slowdown ratios). Paper-sized runs are available via
+// `go run ./cmd/experiments -scale 1.0 all`.
+package dirigent_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"testing"
+	"time"
+
+	"dirigent/internal/cluster"
+	"dirigent/internal/core"
+	"dirigent/internal/experiments"
+	"dirigent/internal/simulation"
+	"dirigent/internal/trace"
+)
+
+// --- Figure 1: Knative cold-start latency breakdown ---
+
+func BenchmarkFig1KnativeColdStartBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := simulation.NewEngine()
+		m := simulation.NewKnative(eng, simulation.KnativeConfig{Seed: 1})
+		col := simulation.RunColdBurst(eng, m, 100)
+		if i == b.N-1 {
+			h := col.E2E()
+			b.ReportMetric(h.Percentile(50), "p50_ms")
+			b.ReportMetric(h.Percentile(99), "p99_ms")
+		}
+	}
+}
+
+// --- Figure 2: AWS Lambda cold-start burst CDFs ---
+
+func BenchmarkFig2LambdaColdStartCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := simulation.NewEngine()
+		m := simulation.NewLambda(eng, simulation.LambdaConfig{Seed: 2})
+		col := simulation.RunColdBurst(eng, m, 1600)
+		if i == b.N-1 {
+			h := col.E2E()
+			b.ReportMetric(h.Percentile(50), "p50_ms")
+			b.ReportMetric(h.Percentile(99), "p99_ms")
+		}
+	}
+}
+
+// --- Figure 3: sandbox creation rate on the Azure trace ---
+
+func BenchmarkFig3SandboxCreationRate(b *testing.B) {
+	tr := trace.NewAzureLike(trace.Config{Functions: 1500, Duration: 6 * time.Minute, Seed: 11})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := simulation.NewEngine()
+		m := simulation.NewDirigent(eng, simulation.DirigentConfig{Workers: 1000, Runtime: "firecracker", Seed: 1})
+		simulation.ReplayTrace(eng, m, tr, 2*time.Minute)
+		if i == b.N-1 {
+			_, stats := simulation.CreationRateStats(m.CreationTimes(), tr.Duration, 2*time.Minute)
+			b.ReportMetric(stats.Avg, "avg_creations_per_s")
+			b.ReportMetric(stats.P99, "p99_creations_per_s")
+		}
+	}
+}
+
+// --- Figure 5: Knative scheduling latency CDF on Azure-500 ---
+
+func BenchmarkFig5KnativeSchedulingCDF(b *testing.B) {
+	tr := trace.NewAzureLike(trace.Config{Functions: 150, Duration: 5 * time.Minute, Seed: 12})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := simulation.NewEngine()
+		m := simulation.NewKnative(eng, simulation.KnativeConfig{Seed: 1})
+		col := simulation.ReplayTrace(eng, m, tr, time.Minute)
+		if i == b.N-1 {
+			h := col.Scheduling()
+			b.ReportMetric(h.Percentile(50), "p50_ms")
+			b.ReportMetric(h.Percentile(99), "p99_ms")
+		}
+	}
+}
+
+// --- Figure 7: cold-start rate sweep ---
+
+func benchColdRate(b *testing.B, mk func(*simulation.Engine) simulation.Model, rate float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		eng := simulation.NewEngine()
+		m := mk(eng)
+		col := simulation.RunColdRateSweep(eng, m, rate, 5*time.Second)
+		if i == b.N-1 {
+			h := col.E2E()
+			b.ReportMetric(h.Percentile(50), "p50_ms")
+			b.ReportMetric(h.Percentile(99), "p99_ms")
+			b.ReportMetric(rate, "offered_per_s")
+		}
+	}
+}
+
+func BenchmarkFig7ColdStartSweep(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func(*simulation.Engine) simulation.Model
+		rate float64
+	}{
+		{"Knative1", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewKnative(e, simulation.KnativeConfig{Seed: 1})
+		}, 1},
+		{"Knative5", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewKnative(e, simulation.KnativeConfig{Seed: 1})
+		}, 5},
+		{"OpenWhisk1", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewKnative(e, simulation.KnativeConfig{OpenWhisk: true, Seed: 1})
+		}, 1},
+		{"KnativeK3s5", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewKnative(e, simulation.KnativeConfig{Fused: true, Seed: 1})
+		}, 5},
+		{"DirigentContainerd1750", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewDirigent(e, simulation.DirigentConfig{Runtime: "containerd", Seed: 1})
+		}, 1750},
+		{"DirigentFirecracker2500", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewDirigent(e, simulation.DirigentConfig{Runtime: "firecracker", Seed: 1})
+		}, 2500},
+		{"DirigentPersistAll1000", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewDirigent(e, simulation.DirigentConfig{Runtime: "firecracker", PersistSandboxState: true, Seed: 1})
+		}, 1000},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) { benchColdRate(b, tc.mk, tc.rate) })
+	}
+}
+
+// --- Figure 8: warm-start rate sweep ---
+
+func BenchmarkFig8WarmStartSweep(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func(*simulation.Engine) simulation.Model
+		rate float64
+	}{
+		{"Dirigent4000", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewDirigent(e, simulation.DirigentConfig{Runtime: "firecracker", Seed: 1})
+		}, 4000},
+		{"Knative1200", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewKnative(e, simulation.KnativeConfig{Seed: 1})
+		}, 1200},
+		{"OpenWhisk800", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewKnative(e, simulation.KnativeConfig{OpenWhisk: true, Seed: 1})
+		}, 800},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := simulation.NewEngine()
+				m := tc.mk(eng)
+				col := simulation.RunWarmRateSweep(eng, m, tc.rate, 3*time.Second)
+				if i == b.N-1 {
+					h := col.E2E()
+					b.ReportMetric(h.Percentile(50), "p50_ms")
+					b.ReportMetric(h.Percentile(99), "p99_ms")
+				}
+			}
+		})
+	}
+}
+
+// --- Figures 9 & 10 + §5.3 table: Azure-500 end-to-end comparison ---
+
+func benchAzure(b *testing.B, mk func(*simulation.Engine) simulation.Model) {
+	b.Helper()
+	tr := trace.NewAzureLike(trace.Config{Functions: 150, Duration: 5 * time.Minute, Seed: 13})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := simulation.NewEngine()
+		m := mk(eng)
+		col := simulation.ReplayTrace(eng, m, tr, time.Minute)
+		if i == b.N-1 {
+			slow := col.PerFunctionSlowdown()
+			sched := col.Scheduling()
+			b.ReportMetric(slow.Percentile(50), "slowdown_p50")
+			b.ReportMetric(slow.Percentile(99), "slowdown_p99")
+			b.ReportMetric(sched.Percentile(50), "sched_p50_ms")
+			b.ReportMetric(float64(m.SandboxCreations()), "sandboxes")
+		}
+	}
+}
+
+func BenchmarkFig9SlowdownCDF(b *testing.B) {
+	cases := []struct {
+		name string
+		mk   func(*simulation.Engine) simulation.Model
+	}{
+		{"DirigentFirecracker", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewDirigent(e, simulation.DirigentConfig{Runtime: "firecracker", Seed: 1})
+		}},
+		{"DirigentContainerd", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewDirigent(e, simulation.DirigentConfig{Runtime: "containerd", Seed: 1})
+		}},
+		{"Knative", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewKnative(e, simulation.KnativeConfig{Seed: 1})
+		}},
+		{"Lambda", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewLambda(e, simulation.LambdaConfig{Seed: 1})
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) { benchAzure(b, tc.mk) })
+	}
+}
+
+func BenchmarkFig10SchedulingLatencyCDF(b *testing.B) {
+	tr := trace.NewAzureLike(trace.Config{Functions: 150, Duration: 5 * time.Minute, Seed: 13})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng := simulation.NewEngine()
+		m := simulation.NewDirigent(eng, simulation.DirigentConfig{Runtime: "firecracker", Seed: 1})
+		col := simulation.ReplayTrace(eng, m, tr, time.Minute)
+		if i == b.N-1 {
+			perInv := col.Scheduling()
+			perFn := col.PerFunctionScheduling()
+			b.ReportMetric(perInv.Percentile(50), "perinv_p50_ms")
+			b.ReportMetric(perInv.Percentile(99), "perinv_p99_ms")
+			b.ReportMetric(perFn.Percentile(99), "perfn_p99_ms")
+		}
+	}
+}
+
+// --- Figure 11 + §5.4: fault tolerance on the live cluster ---
+
+func BenchmarkFig11ControlPlaneFailover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.New(cluster.Options{
+			ControlPlanes:     3,
+			DataPlanes:        2,
+			Workers:           3,
+			LatencyScale:      0,
+			AutoscaleInterval: 20 * time.Millisecond,
+			MetricInterval:    10 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fn := core.Function{Name: "f", Image: "img", Port: 80, Scaling: core.DefaultScalingConfig()}
+		fn.Scaling.MinScale = 1
+		if err := c.RegisterFunction(fn); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.AwaitScale("f", 1, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		c.KillCPLeader()
+		for c.Leader() == nil {
+			time.Sleep(100 * time.Microsecond)
+		}
+		elected := time.Since(start)
+		// The cluster must still serve invocations.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_, err = c.Invoke(ctx, "f", nil)
+		cancel()
+		if err != nil {
+			b.Fatalf("invoke after failover: %v", err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(elected.Microseconds())/1000, "failover_ms")
+		}
+		c.Shutdown()
+	}
+}
+
+func BenchmarkFaultRecoveryDataPlane(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := cluster.New(cluster.Options{
+			ControlPlanes:     1,
+			DataPlanes:        2,
+			Workers:           2,
+			LatencyScale:      0,
+			AutoscaleInterval: 20 * time.Millisecond,
+			MetricInterval:    10 * time.Millisecond,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fn := core.Function{Name: "f", Image: "img", Port: 80, Scaling: core.DefaultScalingConfig()}
+		fn.Scaling.MinScale = 1
+		if err := c.RegisterFunction(fn); err != nil {
+			b.Fatal(err)
+		}
+		if err := c.AwaitScale("f", 1, 10*time.Second); err != nil {
+			b.Fatal(err)
+		}
+		start := time.Now()
+		c.KillDataPlane(0)
+		if err := c.RestartDataPlane(0); err != nil {
+			b.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_, err = c.Invoke(ctx, "f", nil)
+		cancel()
+		if err != nil {
+			b.Fatalf("invoke after DP restart: %v", err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(time.Since(start).Microseconds())/1000, "recovery_ms")
+		}
+		c.Shutdown()
+	}
+}
+
+// --- §5.2.3 scalability ---
+
+func BenchmarkScalabilityWorkerSweep(b *testing.B) {
+	for _, workers := range []int{93, 1000, 2500, 5000} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := simulation.NewEngine()
+				m := simulation.NewDirigent(eng, simulation.DirigentConfig{
+					Workers: workers, Runtime: "firecracker", Seed: 1,
+				})
+				col := simulation.RunColdRateSweep(eng, m, 2000, 4*time.Second)
+				if i == b.N-1 {
+					h := col.E2E()
+					b.ReportMetric(h.Percentile(50), "p50_ms")
+					b.ReportMetric(h.Percentile(99), "p99_ms")
+				}
+			}
+		})
+	}
+}
+
+// --- §5.2.4 registration ---
+
+func BenchmarkRegistrationDirigent(b *testing.B) {
+	c, err := cluster.New(cluster.Options{
+		ControlPlanes:     1,
+		DataPlanes:        1,
+		Workers:           1,
+		LatencyScale:      0,
+		AutoscaleInterval: time.Hour, // isolate registration
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Shutdown()
+	// Bound the registered-function set: each registration pushes the
+	// full function list to data planes (the real propagation path), so
+	// an unbounded set would make per-op cost grow with b.N and measure
+	// list marshaling instead of registration.
+	const workingSet = 100
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fn := core.Function{
+			Name:    fmt.Sprintf("bench-fn-%d", i%workingSet),
+			Image:   "img",
+			Port:    80,
+			Scaling: core.DefaultScalingConfig(),
+		}
+		if err := c.RegisterFunction(fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegistrationKnativeModeled(b *testing.B) {
+	eng := simulation.NewEngine()
+	kn := simulation.NewKnative(eng, simulation.KnativeConfig{Seed: 1})
+	var total time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		total += kn.RegistrationCost(i)
+	}
+	b.ReportMetric(float64(total.Milliseconds())/float64(b.N), "modeled_ms_per_registration")
+}
+
+// --- experiment harness sanity: every experiment runs at tiny scale ---
+
+func BenchmarkExperimentHarnessSmoke(b *testing.B) {
+	fast := []string{"fig1", "fig2", "registration"}
+	for i := 0; i < b.N; i++ {
+		for _, id := range fast {
+			if err := experiments.Run(io.Discard, id, 0.05); err != nil {
+				b.Fatalf("experiment %s: %v", id, err)
+			}
+		}
+	}
+}

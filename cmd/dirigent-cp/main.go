@@ -1,0 +1,74 @@
+// Command dirigent-cp runs a standalone Dirigent control plane replica
+// over TCP. With -peers listing all replica addresses it participates in
+// Raft leader election; alone it runs in single-node mode. Cluster state
+// that must survive failures (function registrations, worker and data
+// plane records — paper Table 3) is persisted to an append-only store
+// file; sandbox state is kept in memory only and reconstructed from
+// worker reports after a failover.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dirigent/internal/controlplane"
+	"dirigent/internal/store"
+	"dirigent/internal/transport"
+	"dirigent/internal/wal"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7000", "address to listen on")
+	peers := flag.String("peers", "", "comma-separated control plane replica addresses (including this one)")
+	dbPath := flag.String("db", "dirigent-cp.aof", "append-only store file")
+	fsync := flag.Bool("fsync", true, "fsync the store on every write (Redis appendfsync=always)")
+	autoscale := flag.Duration("autoscale-interval", 2*time.Second, "autoscaling loop period")
+	hbTimeout := flag.Duration("heartbeat-timeout", 2*time.Second, "worker heartbeat timeout")
+	persistAll := flag.Bool("persist-sandbox-state", false, "ablation: persist sandbox state on the critical path")
+	flag.Parse()
+
+	policy := wal.FsyncAlways
+	if !*fsync {
+		policy = wal.FsyncNever
+	}
+	db, err := store.Open(*dbPath, policy)
+	if err != nil {
+		log.Fatalf("open store: %v", err)
+	}
+	defer db.Close()
+
+	peerList := []string{*addr}
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+
+	cp := controlplane.New(controlplane.Config{
+		Addr:                *addr,
+		Peers:               peerList,
+		Transport:           transport.NewTCP(),
+		DB:                  db,
+		AutoscaleInterval:   *autoscale,
+		HeartbeatTimeout:    *hbTimeout,
+		PersistSandboxState: *persistAll,
+		// TCP deployments need wider election windows than in-process.
+		RaftHeartbeat:   50 * time.Millisecond,
+		RaftElectionMin: 150 * time.Millisecond,
+		RaftElectionMax: 300 * time.Millisecond,
+	})
+	if err := cp.Start(); err != nil {
+		log.Fatalf("start control plane: %v", err)
+	}
+	fmt.Printf("dirigent-cp listening on %s (peers: %v, db: %s)\n", *addr, peerList, *dbPath)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	cp.Stop()
+}

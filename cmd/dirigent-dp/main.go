@@ -1,0 +1,66 @@
+// Command dirigent-dp runs a standalone Dirigent data plane replica over
+// TCP: the monolithic reverse proxy, per-function request queues,
+// concurrency throttler, and load balancer of the paper's Figure 6. Data
+// planes are all-active; run several behind the front-end load balancer
+// and scale them independently of the control plane.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dirigent/internal/core"
+	"dirigent/internal/dataplane"
+	"dirigent/internal/loadbalancer"
+	"dirigent/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8000", "address to listen on")
+	id := flag.Int("id", 1, "data plane replica ID")
+	cps := flag.String("control-planes", "127.0.0.1:7000", "comma-separated control plane addresses")
+	metricInterval := flag.Duration("metric-interval", 250*time.Millisecond, "scaling metric report period")
+	queueTimeout := flag.Duration("queue-timeout", 60*time.Second, "cold-start queue timeout")
+	policy := flag.String("lb-policy", "least-loaded", "load balancing policy: least-loaded | round-robin | random | ch-rlu")
+	flag.Parse()
+
+	var balancer loadbalancer.Policy
+	switch *policy {
+	case "least-loaded":
+		balancer = loadbalancer.NewLeastLoaded(int64(*id))
+	case "round-robin":
+		balancer = loadbalancer.NewRoundRobin()
+	case "random":
+		balancer = loadbalancer.NewRandom(int64(*id))
+	case "ch-rlu":
+		balancer = loadbalancer.NewCHRLU()
+	default:
+		log.Fatalf("unknown lb policy %q", *policy)
+	}
+
+	dp := dataplane.New(dataplane.Config{
+		ID:             core.DataPlaneID(*id),
+		Addr:           *addr,
+		Transport:      transport.NewTCP(),
+		ControlPlanes:  strings.Split(*cps, ","),
+		Balancer:       balancer,
+		MetricInterval: *metricInterval,
+		QueueTimeout:   *queueTimeout,
+	})
+	if err := dp.Start(); err != nil {
+		log.Fatalf("start data plane: %v", err)
+	}
+	fmt.Printf("dirigent-dp %d listening on %s (policy: %s)\n", *id, *addr, *policy)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	dp.Stop()
+}

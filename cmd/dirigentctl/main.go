@@ -1,0 +1,113 @@
+// Command dirigentctl is the client CLI for a Dirigent cluster: it speaks
+// the end-user API from Table 2 of the paper (register, deregister,
+// invoke) plus a status query, over TCP.
+//
+// Usage:
+//
+//	dirigentctl -cp 127.0.0.1:7000 register -name hello -image img:latest -port 8080
+//	dirigentctl -dp 127.0.0.1:8000 invoke -name hello -payload '...'
+//	dirigentctl -cp 127.0.0.1:7000 status
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dirigent/internal/core"
+	"dirigent/internal/cpclient"
+	"dirigent/internal/proto"
+	"dirigent/internal/transport"
+)
+
+func main() {
+	cpAddrs := flag.String("cp", "127.0.0.1:7000", "comma-separated control plane addresses")
+	dpAddr := flag.String("dp", "127.0.0.1:8000", "data plane address (for invoke)")
+	timeout := flag.Duration("timeout", 60*time.Second, "request timeout")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fail("usage: dirigentctl [flags] <register|deregister|invoke|status> [subflags]")
+	}
+
+	tr := transport.NewTCP()
+	defer tr.Close()
+	cp := cpclient.New(tr, strings.Split(*cpAddrs, ","))
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	switch cmd := flag.Arg(0); cmd {
+	case "register":
+		fs := flag.NewFlagSet("register", flag.ExitOnError)
+		name := fs.String("name", "", "function name")
+		image := fs.String("image", "", "container image URL")
+		port := fs.Int("port", 8080, "port the function listens on")
+		runtime := fs.String("runtime", "containerd", "sandbox runtime")
+		minScale := fs.Int("min-scale", 0, "minimum sandbox count")
+		maxScale := fs.Int("max-scale", 0, "maximum sandbox count (0 = unbounded)")
+		fs.Parse(flag.Args()[1:])
+		fn := core.Function{
+			Name:    *name,
+			Image:   *image,
+			Port:    uint16(*port),
+			Runtime: *runtime,
+			Scaling: core.DefaultScalingConfig(),
+		}
+		fn.Scaling.MinScale = *minScale
+		fn.Scaling.MaxScale = *maxScale
+		if err := fn.Validate(); err != nil {
+			fail(err.Error())
+		}
+		if _, err := cp.Call(ctx, proto.MethodRegisterFunction, core.MarshalFunction(&fn)); err != nil {
+			fail("register: " + err.Error())
+		}
+		fmt.Printf("registered %q\n", *name)
+
+	case "deregister":
+		fs := flag.NewFlagSet("deregister", flag.ExitOnError)
+		name := fs.String("name", "", "function name")
+		fs.Parse(flag.Args()[1:])
+		fn := core.Function{Name: *name, Image: "-", Port: 1}
+		if _, err := cp.Call(ctx, proto.MethodDeregisterFunction, core.MarshalFunction(&fn)); err != nil {
+			fail("deregister: " + err.Error())
+		}
+		fmt.Printf("deregistered %q\n", *name)
+
+	case "invoke":
+		fs := flag.NewFlagSet("invoke", flag.ExitOnError)
+		name := fs.String("name", "", "function name")
+		payload := fs.String("payload", "", "request payload")
+		async := fs.Bool("async", false, "asynchronous invocation (at-least-once)")
+		fs.Parse(flag.Args()[1:])
+		req := proto.InvokeRequest{Function: *name, Async: *async, Payload: []byte(*payload)}
+		start := time.Now()
+		respB, err := tr.Call(ctx, *dpAddr, proto.MethodInvoke, req.Marshal())
+		if err != nil {
+			fail("invoke: " + err.Error())
+		}
+		resp, err := proto.UnmarshalInvokeResponse(respB)
+		if err != nil {
+			fail("invoke: " + err.Error())
+		}
+		fmt.Printf("response (%d bytes, cold=%v, scheduling=%.2fms, e2e=%v):\n%s\n",
+			len(resp.Body), resp.ColdStart, float64(resp.SchedulingLatencyUs)/1000,
+			time.Since(start).Round(time.Millisecond), resp.Body)
+
+	case "status":
+		respB, err := cp.Call(ctx, proto.MethodClusterStatus, nil)
+		if err != nil {
+			fail("status: " + err.Error())
+		}
+		os.Stdout.Write(respB)
+
+	default:
+		fail(fmt.Sprintf("unknown command %q", cmd))
+	}
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, msg)
+	os.Exit(1)
+}

@@ -1,0 +1,59 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments list                 # show available experiment IDs
+//	experiments all [-scale 0.3]     # run everything
+//	experiments fig7 [-scale 1.0]    # run one experiment
+//
+// Scale in (0, 1] shrinks durations and workload sizes; 1.0 reproduces
+// paper-sized runs (several minutes of wall time for the trace replays).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dirigent/internal/experiments"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.3, "experiment scale in (0, 1]; 1.0 = paper-sized")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	switch cmd := flag.Arg(0); cmd {
+	case "list":
+		for _, e := range experiments.All() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+	case "all":
+		for _, e := range experiments.All() {
+			start := time.Now()
+			if err := experiments.Run(os.Stdout, e.ID, *scale); err != nil {
+				fmt.Fprintf(os.Stderr, "experiment %s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(%s finished in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	default:
+		if err := experiments.Run(os.Stdout, cmd, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `Usage: experiments [-scale S] <list | all | EXPERIMENT-ID>
+
+Regenerates the tables and figures of "Dirigent: Lightweight Serverless
+Orchestration" (SOSP 2024). Run 'experiments list' for available IDs.
+`)
+	flag.PrintDefaults()
+}

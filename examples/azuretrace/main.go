@@ -1,0 +1,86 @@
+// Azure trace replay: generate an Azure-production-shaped workload
+// (heavy-tailed rates, timer-driven unison bursts, lognormal execution
+// times), replay it against the simulated Dirigent, Knative, and AWS
+// Lambda cluster managers, and print the per-function slowdown comparison
+// from §5.3 of the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dirigent/internal/simulation"
+	"dirigent/internal/trace"
+)
+
+func main() {
+	functions := flag.Int("functions", 300, "number of trace functions")
+	minutes := flag.Int("minutes", 10, "trace duration in minutes")
+	seed := flag.Int64("seed", 42, "workload seed")
+	csvOut := flag.String("csv", "", "optionally dump the generated trace to this CSV file")
+	flag.Parse()
+
+	tr := trace.NewAzureLike(trace.Config{
+		Functions: *functions,
+		Duration:  time.Duration(*minutes) * time.Minute,
+		Seed:      *seed,
+	})
+	fmt.Printf("Generated Azure-like trace: %d functions, %d invocations over %v\n",
+		len(tr.Functions), tr.TotalInvocations(), tr.Duration)
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := tr.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("Wrote trace to %s (Azure per-minute-count format)\n", *csvOut)
+	}
+
+	warmup := tr.Duration / 3
+	fmt.Printf("Replaying on each system (discarding the first %v as warm-up)...\n\n", warmup)
+
+	type system struct {
+		name string
+		make func(eng *simulation.Engine) simulation.Model
+	}
+	systems := []system{
+		{"dirigent-firecracker", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewDirigent(e, simulation.DirigentConfig{Runtime: "firecracker", Seed: 1})
+		}},
+		{"dirigent-containerd", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewDirigent(e, simulation.DirigentConfig{Runtime: "containerd", Seed: 1})
+		}},
+		{"knative", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewKnative(e, simulation.KnativeConfig{Seed: 1})
+		}},
+		{"aws-lambda", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewLambda(e, simulation.LambdaConfig{Seed: 1})
+		}},
+	}
+
+	fmt.Printf("%-22s %10s %12s %12s %14s %14s %10s\n",
+		"system", "n", "slowdown p50", "slowdown p99", "sched p50 ms", "sched p99 ms", "sandboxes")
+	for _, sys := range systems {
+		eng := simulation.NewEngine()
+		m := sys.make(eng)
+		col := simulation.ReplayTrace(eng, m, tr, warmup)
+		slow := col.PerFunctionSlowdown()
+		sched := col.Scheduling()
+		fmt.Printf("%-22s %10d %12.2f %12.1f %14.2f %14.1f %10d\n",
+			sys.name, len(col.Results),
+			slow.Percentile(50), slow.Percentile(99),
+			sched.Percentile(50), sched.Percentile(99),
+			m.SandboxCreations())
+	}
+	fmt.Println("\nExpected shape (paper §5.3): Dirigent's median and tail slowdowns below AWS")
+	fmt.Println("Lambda's, both far below Knative's; Dirigent creates ~4x fewer sandboxes than")
+	fmt.Println("Knative under identical autoscaling policies.")
+}

@@ -1,0 +1,83 @@
+// Scheduling policies: Dirigent implements Knative's default policies
+// across the three scheduling dimensions — autoscaling (KPA), placement
+// (least-allocated/balanced), and load balancing (least-loaded) — and, as
+// §4 of the paper notes, supports alternatives like Hermod placement and
+// CH-RLU load balancing behind the same interfaces. This example swaps
+// placement and load-balancing policies on live clusters and compares how
+// sandboxes spread across workers.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"dirigent/internal/cluster"
+	"dirigent/internal/core"
+	"dirigent/internal/placement"
+)
+
+func run(name string, placer placement.Policy) {
+	c, err := cluster.New(cluster.Options{
+		ControlPlanes:     1,
+		DataPlanes:        1,
+		Workers:           4,
+		LatencyScale:      0,
+		AutoscaleInterval: 20 * time.Millisecond,
+		MetricInterval:    10 * time.Millisecond,
+		Placer:            placer,
+	})
+	if err != nil {
+		log.Fatalf("boot cluster: %v", err)
+	}
+	defer c.Shutdown()
+
+	// Register a function pinned to 8 sandboxes so placement decisions
+	// are immediately visible.
+	fn := core.Function{
+		Name:    "spread",
+		Image:   "registry.local/spread",
+		Port:    8080,
+		Scaling: core.DefaultScalingConfig(),
+	}
+	fn.Scaling.MinScale = 8
+	if err := c.RegisterFunction(fn); err != nil {
+		log.Fatalf("register: %v", err)
+	}
+	if err := c.AwaitScale("spread", 8, 20*time.Second); err != nil {
+		log.Fatalf("scale: %v", err)
+	}
+
+	fmt.Printf("%-14s sandbox distribution across workers: ", name)
+	for i, w := range c.Workers {
+		if i > 0 {
+			fmt.Print(" / ")
+		}
+		fmt.Printf("w%d=%d", i, w.SandboxCount())
+	}
+	fmt.Println()
+
+	// Drive a few invocations so the load balancer exercises the spread.
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for i := 0; i < 16; i++ {
+		if _, err := c.Invoke(ctx, "spread", nil); err != nil {
+			log.Fatalf("invoke: %v", err)
+		}
+	}
+}
+
+func main() {
+	fmt.Println("Placement policy comparison (8 sandboxes over 4 workers):")
+	run("kube-default", placement.NewKubeDefault(1))
+	run("round-robin", placement.NewRoundRobin())
+	run("random", placement.NewRandom(1))
+	run("hermod", placement.NewHermod())
+	fmt.Println()
+	fmt.Println("kube-default and round-robin spread evenly; random is uneven;")
+	fmt.Println("hermod packs onto moderately loaded nodes (its cold-start/interference tradeoff).")
+	fmt.Println()
+	fmt.Println("Swapping a policy is a constructor argument — the same Go interface the paper")
+	fmt.Println("describes: implement placement.Policy or loadbalancer.Policy and recompile.")
+}

@@ -1,0 +1,134 @@
+// Workflow orchestration: the paper's §6 future direction — data plane
+// components serving as workflow orchestrators — implemented on the live
+// cluster. A diamond-shaped image-processing pipeline (decode → {resize,
+// classify} → combine) runs with fan-out/fan-in over real sandboxes, with
+// each step scheduled, queued, throttled, and load-balanced by Dirigent.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"dirigent/internal/cluster"
+	"dirigent/internal/core"
+	"dirigent/internal/workflow"
+)
+
+// clusterInvoker adapts cluster.Cluster to workflow.Invoker.
+type clusterInvoker struct{ c *cluster.Cluster }
+
+func (ci clusterInvoker) Invoke(ctx context.Context, function string, payload []byte) ([]byte, error) {
+	resp, err := ci.c.Invoke(ctx, function, payload)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
+}
+
+func main() {
+	c, err := cluster.New(cluster.Options{
+		ControlPlanes:     1,
+		DataPlanes:        2,
+		Workers:           3,
+		LatencyScale:      0.05,
+		AutoscaleInterval: 25 * time.Millisecond,
+		MetricInterval:    10 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatalf("boot cluster: %v", err)
+	}
+	defer c.Shutdown()
+
+	// Register the pipeline's functions with their behaviors.
+	type fnDef struct {
+		name string
+		body func([]byte) ([]byte, error)
+	}
+	defs := []fnDef{
+		{"decode", func(p []byte) ([]byte, error) {
+			return []byte("pixels[" + string(p) + "]"), nil
+		}},
+		{"resize", func(p []byte) ([]byte, error) {
+			return []byte("thumb{" + string(p) + "}"), nil
+		}},
+		{"classify", func(p []byte) ([]byte, error) {
+			label := "cat"
+			if strings.Contains(string(p), "dog") {
+				label = "dog"
+			}
+			return []byte("label=" + label), nil
+		}},
+		{"combine", func(p []byte) ([]byte, error) {
+			return []byte("result{" + string(p) + "}"), nil
+		}},
+	}
+	for _, d := range defs {
+		fn := core.Function{
+			Name:    d.name,
+			Image:   "registry.local/" + d.name,
+			Port:    8080,
+			Scaling: core.DefaultScalingConfig(),
+		}
+		fn.Scaling.StableWindow = 10 * time.Second
+		if err := c.RegisterFunction(fn); err != nil {
+			log.Fatalf("register %s: %v", d.name, err)
+		}
+		c.Images.Register(fn.Image, d.body)
+	}
+
+	wf := &workflow.Workflow{
+		Name: "image-pipeline",
+		Steps: []workflow.Step{
+			{Name: "decode", Function: "decode"},
+			{Name: "resize", Function: "resize", After: []string{"decode"}},
+			{Name: "classify", Function: "classify", After: []string{"decode"}},
+			{Name: "combine", Function: "combine", After: []string{"resize", "classify"}},
+		},
+	}
+	if err := wf.Validate(); err != nil {
+		log.Fatalf("validate: %v", err)
+	}
+	fmt.Println("Workflow: decode -> {resize, classify} -> combine")
+
+	orch := workflow.NewOrchestrator(clusterInvoker{c})
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	start := time.Now()
+	res, err := orch.Execute(ctx, wf, []byte("dog.jpg"))
+	if err != nil {
+		log.Fatalf("execute: %v", err)
+	}
+	fmt.Printf("First run (all cold starts) in %v:\n", time.Since(start).Round(time.Millisecond))
+	for _, step := range []string{"decode", "resize", "classify", "combine"} {
+		fmt.Printf("  %-9s -> %s\n", step, res.Outputs[step])
+	}
+
+	start = time.Now()
+	if _, err = orch.Execute(ctx, wf, []byte("cat.jpg")); err != nil {
+		log.Fatalf("execute: %v", err)
+	}
+	fmt.Printf("Second run (warm sandboxes) in %v\n", time.Since(start).Round(time.Millisecond))
+
+	// Fan out a batch of concurrent workflow executions: each step's
+	// invocations queue, throttle, and autoscale like any other traffic.
+	start = time.Now()
+	const batch = 8
+	errCh := make(chan error, batch)
+	for i := 0; i < batch; i++ {
+		go func(i int) {
+			_, err := orch.Execute(ctx, wf, []byte(fmt.Sprintf("img-%d.jpg", i)))
+			errCh <- err
+		}(i)
+	}
+	for i := 0; i < batch; i++ {
+		if err := <-errCh; err != nil {
+			log.Fatalf("batch execute: %v", err)
+		}
+	}
+	fmt.Printf("Batch of %d workflows in %v (autoscaled under concurrency)\n",
+		batch, time.Since(start).Round(time.Millisecond))
+}

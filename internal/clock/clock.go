@@ -1,0 +1,131 @@
+// Package clock abstracts time so that the same scheduling and policy code
+// can run against the wall clock in a live cluster and against a virtual
+// clock in tests and discrete-event simulations.
+package clock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock supplies the current time and timer primitives. Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time according to this clock.
+	Now() time.Time
+	// Since returns the elapsed time since t.
+	Since(t time.Time) time.Duration
+	// Sleep blocks the calling goroutine for d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the clock's time after d.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the system wall clock.
+type Real struct{}
+
+// NewReal returns a Clock backed by the system wall clock.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Virtual is a manually advanced Clock for deterministic tests. Goroutines
+// blocked in Sleep or on After channels are released when Advance moves the
+// clock past their deadlines.
+type Virtual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+	seq     int64
+}
+
+// NewVirtual returns a Virtual clock initialized to start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+type waiter struct {
+	at  time.Time
+	seq int64
+	ch  chan time.Time
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int { return len(h) }
+func (h waiterHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *waiterHeap) Push(x interface{}) { *h = append(*h, x.(*waiter)) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Since implements Clock.
+func (v *Virtual) Since(t time.Time) time.Duration { return v.Now().Sub(t) }
+
+// Sleep implements Clock. It blocks until the clock is advanced past the
+// deadline.
+func (v *Virtual) Sleep(d time.Duration) { <-v.After(d) }
+
+// After implements Clock.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	v.seq++
+	heap.Push(&v.waiters, &waiter{at: v.now.Add(d), seq: v.seq, ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline
+// is reached, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.mu.Lock()
+	target := v.now.Add(d)
+	for len(v.waiters) > 0 && !v.waiters[0].at.After(target) {
+		w := heap.Pop(&v.waiters).(*waiter)
+		v.now = w.at
+		w.ch <- v.now
+	}
+	v.now = target
+	v.mu.Unlock()
+}
+
+// PendingTimers reports how many timers are waiting to fire.
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.waiters)
+}

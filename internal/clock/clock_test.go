@@ -1,0 +1,122 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealClockMonotonic(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Errorf("real clock went backwards")
+	}
+	if c.Since(a) < 0 {
+		t.Errorf("Since returned negative duration")
+	}
+}
+
+func TestVirtualNowAndAdvance(t *testing.T) {
+	start := time.Unix(1000, 0)
+	v := NewVirtual(start)
+	if !v.Now().Equal(start) {
+		t.Errorf("Now = %v, want %v", v.Now(), start)
+	}
+	v.Advance(5 * time.Second)
+	if got := v.Now(); !got.Equal(start.Add(5 * time.Second)) {
+		t.Errorf("Now after Advance = %v", got)
+	}
+	if v.Since(start) != 5*time.Second {
+		t.Errorf("Since = %v", v.Since(start))
+	}
+}
+
+func TestVirtualAfterFiresInOrder(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	ch1 := v.After(time.Second)
+	ch2 := v.After(2 * time.Second)
+	ch3 := v.After(3 * time.Second)
+
+	v.Advance(2500 * time.Millisecond)
+	t1 := <-ch1
+	t2 := <-ch2
+	if !t1.Equal(time.Unix(1, 0)) {
+		t.Errorf("timer 1 fired at %v", t1)
+	}
+	if !t2.Equal(time.Unix(2, 0)) {
+		t.Errorf("timer 2 fired at %v", t2)
+	}
+	select {
+	case <-ch3:
+		t.Errorf("timer 3 fired early")
+	default:
+	}
+	if v.PendingTimers() != 1 {
+		t.Errorf("PendingTimers = %d, want 1", v.PendingTimers())
+	}
+	v.Advance(time.Second)
+	<-ch3
+}
+
+func TestVirtualZeroDelayFiresImmediately(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	select {
+	case <-v.After(0):
+	case <-time.After(time.Second):
+		t.Fatalf("After(0) did not fire immediately")
+	}
+	select {
+	case <-v.After(-time.Second):
+	case <-time.After(time.Second):
+		t.Fatalf("After(negative) did not fire immediately")
+	}
+}
+
+func TestVirtualSleepWakesOnAdvance(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	var wg sync.WaitGroup
+	woke := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v.Sleep(time.Minute)
+		close(woke)
+	}()
+	// Wait until the sleeper has registered its timer.
+	for v.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(time.Minute)
+	select {
+	case <-woke:
+	case <-time.After(2 * time.Second):
+		t.Fatalf("Sleep did not wake on Advance")
+	}
+	wg.Wait()
+}
+
+func TestVirtualManyConcurrentSleepers(t *testing.T) {
+	v := NewVirtual(time.Unix(0, 0))
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 1; i <= n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v.Sleep(time.Duration(i) * time.Millisecond)
+		}(i)
+	}
+	for v.PendingTimers() < n {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(time.Duration(n) * time.Millisecond)
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("not all sleepers woke; %d timers still pending", v.PendingTimers())
+	}
+}

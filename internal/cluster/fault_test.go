@@ -1,0 +1,262 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestControlPlaneFailover reproduces the paper's §5.4 control plane
+// failure scenario: kill the CP leader; a standby replica must take over,
+// reload persisted state, merge sandbox reports from workers, and resume
+// serving new cold starts — all while warm invocations keep working.
+func TestControlPlaneFailover(t *testing.T) {
+	opts := testOptions()
+	c := mustCluster(t, opts)
+	fn := testFunction("survivor")
+	if err := c.RegisterFunction(fn); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := c.Invoke(ctx, "survivor", nil); err != nil {
+		t.Fatalf("pre-failure invoke: %v", err)
+	}
+
+	killed := c.KillCPLeader()
+	if killed < 0 {
+		t.Fatalf("no leader to kill")
+	}
+
+	// A new leader must be elected quickly.
+	deadline := time.Now().Add(5 * time.Second)
+	var elected bool
+	for time.Now().Before(deadline) {
+		if l := c.Leader(); l != nil && l != c.CPs[killed] {
+			elected = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !elected {
+		t.Fatalf("no new leader elected after killing the old one")
+	}
+
+	// Warm invocations must keep flowing (the surviving sandbox serves
+	// them without control plane involvement).
+	if _, err := c.Invoke(ctx, "survivor", nil); err != nil {
+		t.Errorf("warm invoke during failover: %v", err)
+	}
+
+	// The new leader must merge the existing sandbox from worker reports.
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if l := c.Leader(); l != nil {
+			if ready, _ := l.FunctionScale("survivor"); ready >= 1 {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if l := c.Leader(); l != nil {
+		if ready, _ := l.FunctionScale("survivor"); ready < 1 {
+			t.Errorf("new leader did not recover sandbox state from workers")
+		}
+	}
+
+	// New functions must be schedulable after recovery (cold starts work).
+	fn2 := testFunction("newcomer")
+	if err := c.RegisterFunction(fn2); err != nil {
+		t.Fatalf("register after failover: %v", err)
+	}
+	if _, err := c.Invoke(ctx, "newcomer", nil); err != nil {
+		t.Errorf("cold invoke after failover: %v", err)
+	}
+}
+
+// TestControlPlaneFailoverPreservesRegistrations checks that function
+// registrations survive a leader change through the replicated store
+// (persisted state in paper Table 3).
+func TestControlPlaneFailoverPreservesRegistrations(t *testing.T) {
+	c := mustCluster(t, testOptions())
+	for _, name := range []string{"a", "b", "cfn"} {
+		if err := c.RegisterFunction(testFunction(name)); err != nil {
+			t.Fatalf("register %s: %v", name, err)
+		}
+	}
+	c.KillCPLeader()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	for _, name := range []string{"a", "b", "cfn"} {
+		if _, err := c.Invoke(ctx, name, nil); err != nil {
+			t.Errorf("invoke %s after failover: %v", name, err)
+		}
+	}
+}
+
+// TestDataPlaneFailover reproduces §5.4's data plane failure: kill one DP
+// replica; the front-end LB re-steers to survivors, and a restarted
+// replica re-registers and repopulates its caches from the control plane.
+func TestDataPlaneFailover(t *testing.T) {
+	c := mustCluster(t, testOptions())
+	fn := testFunction("dpfail")
+	if err := c.RegisterFunction(fn); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := c.Invoke(ctx, "dpfail", nil); err != nil {
+		t.Fatalf("pre-failure invoke: %v", err)
+	}
+
+	c.KillDataPlane(0)
+	// Invocations must still succeed via the surviving replica.
+	if _, err := c.Invoke(ctx, "dpfail", nil); err != nil {
+		t.Errorf("invoke after DP failure: %v", err)
+	}
+
+	// Restart the failed replica; it must re-register and serve again.
+	if err := c.RestartDataPlane(0); err != nil {
+		t.Fatalf("restart DP: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var served bool
+	for time.Now().Before(deadline) {
+		if c.DPs[0].EndpointCount("dpfail") > 0 || c.DPs[0].QueueDepth("dpfail") == 0 {
+			// Cache repopulated (endpoint present) or at least functional.
+			if _, err := c.Invoke(ctx, "dpfail", nil); err == nil {
+				served = true
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !served {
+		t.Errorf("restarted data plane did not resume serving")
+	}
+}
+
+// TestWorkerFailure reproduces §5.4's worker daemon failure: kill a worker;
+// the control plane must detect the missing heartbeats, drain its
+// endpoints, and recreate capacity on surviving nodes so invocations keep
+// succeeding.
+func TestWorkerFailure(t *testing.T) {
+	opts := testOptions()
+	opts.Workers = 3
+	c := mustCluster(t, opts)
+	fn := testFunction("wfail")
+	fn.Scaling.MinScale = 3
+	if err := c.RegisterFunction(fn); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := c.AwaitScale("wfail", 3, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Find a worker hosting at least one sandbox and kill it.
+	victim := -1
+	for i, w := range c.Workers {
+		if w.SandboxCount() > 0 {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		t.Fatalf("no worker hosts a sandbox")
+	}
+	c.KillWorker(victim)
+
+	// The control plane must detect the failure and restore the scale on
+	// the surviving workers.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if l := c.Leader(); l != nil && l.WorkerCount() == len(c.Workers)-1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if l := c.Leader(); l == nil || l.WorkerCount() != len(c.Workers)-1 {
+		t.Fatalf("worker failure not detected")
+	}
+	if err := c.AwaitScale("wfail", 3, 10*time.Second); err != nil {
+		t.Errorf("scale not restored after worker failure: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if _, err := c.Invoke(ctx, "wfail", nil); err != nil {
+		t.Errorf("invoke after worker failure: %v", err)
+	}
+}
+
+// TestSandboxCrashRecovery checks the worker's sandbox crash notification
+// path: the control plane removes the endpoint and the autoscaler
+// recreates capacity.
+func TestSandboxCrashRecovery(t *testing.T) {
+	c := mustCluster(t, testOptions())
+	fn := testFunction("crashy")
+	fn.Scaling.MinScale = 1
+	if err := c.RegisterFunction(fn); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := c.AwaitScale("crashy", 1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var crashed bool
+	for _, w := range c.Workers {
+		if ids := w.ReadySandboxIDs(); len(ids) > 0 {
+			if err := w.CrashSandbox(ids[0]); err != nil {
+				t.Fatalf("crash sandbox: %v", err)
+			}
+			crashed = true
+			break
+		}
+	}
+	if !crashed {
+		t.Fatalf("no sandbox found to crash")
+	}
+	// MinScale=1 forces the autoscaler to recreate the sandbox.
+	if err := c.AwaitScale("crashy", 1, 10*time.Second); err != nil {
+		t.Errorf("sandbox not recreated after crash: %v", err)
+	}
+}
+
+// TestMultiComponentFailure kills a CP leader, a data plane, and a worker
+// at once; the cluster must remain operational (paper §3.4.1,
+// "Multi-component fault tolerance").
+func TestMultiComponentFailure(t *testing.T) {
+	opts := testOptions()
+	opts.Workers = 3
+	c := mustCluster(t, opts)
+	fn := testFunction("chaos")
+	if err := c.RegisterFunction(fn); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if _, err := c.Invoke(ctx, "chaos", nil); err != nil {
+		t.Fatalf("pre-failure invoke: %v", err)
+	}
+
+	c.KillCPLeader()
+	c.KillDataPlane(1)
+	c.KillWorker(0)
+
+	// After all recoveries, invocations must succeed again. The deadline
+	// is generous because the full test suite runs packages in parallel
+	// and this live cluster competes for CPU.
+	deadline := time.Now().Add(60 * time.Second)
+	var ok bool
+	for time.Now().Before(deadline) {
+		attemptCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		_, err := c.Invoke(attemptCtx, "chaos", nil)
+		cancel()
+		if err == nil {
+			ok = true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatalf("cluster did not recover from multi-component failure")
+	}
+}

@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWarmLoadSpreadsAcrossSandboxes pins a function at several sandboxes
+// and drives concurrent warm traffic; the least-loaded policy must use
+// more than one sandbox (concurrency 1 per sandbox forces spreading).
+func TestWarmLoadSpreadsAcrossSandboxes(t *testing.T) {
+	opts := testOptions()
+	opts.Workers = 3
+	c := mustCluster(t, opts)
+	fn := testFunction("spread")
+	fn.Scaling.MinScale = 3
+	if err := c.RegisterFunction(fn); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	c.RegisterWorkload(fn.Image, 1.0)
+	if err := c.AwaitScale("spread", 3, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 9; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if _, err := c.Invoke(ctx, "spread", ExecPayload(100*time.Millisecond)); err != nil {
+				t.Errorf("invoke: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// With 9 requests of 100 ms at concurrency 1 across 3 sandboxes, more
+	// than one worker must have executed invocations.
+	busyWorkers := 0
+	total := int64(0)
+	for _, w := range c.Workers {
+		if n := w.SandboxCount(); n > 0 {
+			busyWorkers++
+		}
+		total += int64(w.SandboxCount())
+	}
+	if total < 3 {
+		t.Errorf("expected 3 sandboxes alive, found %d", total)
+	}
+	if busyWorkers < 2 {
+		t.Errorf("sandboxes concentrated on %d worker(s); placement not spreading", busyWorkers)
+	}
+}
+
+// TestEndpointVersioningUnderChurn registers and scales a function while
+// killing sandboxes, checking the data plane cache converges to the
+// control plane's view rather than being stuck on a stale broadcast.
+func TestEndpointVersioningUnderChurn(t *testing.T) {
+	c := mustCluster(t, testOptions())
+	fn := testFunction("churny")
+	fn.Scaling.MinScale = 2
+	if err := c.RegisterFunction(fn); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	if err := c.AwaitScale("churny", 2, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Crash sandboxes repeatedly; each crash and recreation broadcasts
+	// endpoint updates that may race.
+	for round := 0; round < 3; round++ {
+		for _, w := range c.Workers {
+			if ids := w.ReadySandboxIDs(); len(ids) > 0 {
+				_ = w.CrashSandbox(ids[0])
+				break
+			}
+		}
+		if err := c.AwaitScale("churny", 2, 10*time.Second); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	// After the churn settles, every data plane must eventually cache the
+	// live endpoints (2 ready sandboxes) and serve invocations.
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		good := 0
+		for _, dp := range c.DPs {
+			if dp.EndpointCount("churny") == 2 {
+				good++
+			}
+		}
+		if good == len(c.DPs) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Invoke(ctx, "churny", nil); err != nil {
+			t.Fatalf("invoke after churn: %v", err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"dirigent/internal/versioning"
+)
+
+// TestCanaryTrafficSplit exercises the versioning extension end to end on
+// the live cluster: two versions of a function registered independently,
+// a 50/50 canary split at the front end, then a promotion to v2.
+func TestCanaryTrafficSplit(t *testing.T) {
+	opts := testOptions()
+	router := versioning.NewRouter()
+	opts.Versions = router
+	c := mustCluster(t, opts)
+
+	for _, v := range []string{"v1", "v2"} {
+		fn := testFunction("app@" + v)
+		fn.Scaling.MinScale = 1
+		if err := c.RegisterFunction(fn); err != nil {
+			t.Fatalf("register %s: %v", v, err)
+		}
+		v := v
+		c.Images.Register(fn.Image, func([]byte) ([]byte, error) {
+			return []byte(v), nil
+		})
+	}
+	if err := c.AwaitScale("app@v1", 1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AwaitScale("app@v2", 1, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := router.SetSplit("app",
+		versioning.Version{Function: "app@v1", Weight: 1},
+		versioning.Version{Function: "app@v2", Weight: 1},
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	counts := map[string]int{}
+	for i := 0; i < 40; i++ {
+		resp, err := c.Invoke(ctx, "app", nil)
+		if err != nil {
+			t.Fatalf("invoke %d: %v", i, err)
+		}
+		counts[string(resp.Body)]++
+	}
+	if counts["v1"] == 0 || counts["v2"] == 0 {
+		t.Fatalf("50/50 split served only one version: %v", counts)
+	}
+
+	// Promote v2: all traffic must now hit it.
+	if err := router.Promote("app", "app@v2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		resp, err := c.Invoke(ctx, "app", nil)
+		if err != nil {
+			t.Fatalf("invoke after promote: %v", err)
+		}
+		if !bytes.Equal(resp.Body, []byte("v2")) {
+			t.Fatalf("after promote got %q", resp.Body)
+		}
+	}
+}

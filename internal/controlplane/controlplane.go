@@ -1,0 +1,696 @@
+// Package controlplane implements Dirigent's monolithic control plane
+// (paper §3). One process hosts the state manager, health monitor,
+// autoscaler, and placer, exchanging information through in-memory
+// structures instead of RPCs between microservices (design principle 3).
+//
+// The control plane persists only the state required to recover from a
+// failure — Function registrations, DataPlane and WorkerNode records
+// (paper Table 3) — and keeps Sandbox state purely in memory (design
+// principle 2): after a failover the new leader reconstructs sandbox state
+// asynchronously from worker-node reports and suppresses downscaling for
+// one autoscaling window while metrics repopulate (§3.4.1).
+package controlplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dirigent/internal/autoscaler"
+	"dirigent/internal/clock"
+	"dirigent/internal/core"
+	"dirigent/internal/cpclient"
+	"dirigent/internal/placement"
+	"dirigent/internal/proto"
+	"dirigent/internal/raft"
+	"dirigent/internal/telemetry"
+	"dirigent/internal/transport"
+)
+
+// DB is the persistence interface the control plane requires; both
+// store.Store and store.Replicated satisfy it.
+type DB interface {
+	HSet(hash, field string, value []byte) error
+	HDel(hash, field string) error
+	HGetAll(hash string) map[string][]byte
+}
+
+// Persistence hash names.
+const (
+	hashFunctions  = "functions"
+	hashWorkers    = "workers"
+	hashDataPlanes = "dataplanes"
+	hashSandboxes  = "sandboxes" // used only by the persist-all ablation
+	hashMeta       = "meta"      // cluster metadata: leadership epoch
+	fieldEpoch     = "epoch"
+)
+
+// Config parameterizes a control plane replica.
+type Config struct {
+	// Addr is this replica's RPC address; with HA it must appear in Peers.
+	Addr string
+	// Peers lists all control plane replica addresses (including Addr).
+	// Empty or singleton means single-node mode without leader election.
+	Peers []string
+	// Transport carries all RPCs.
+	Transport transport.Transport
+	// DB is the replicated persistent store.
+	DB DB
+	// Clock abstracts time.
+	Clock clock.Clock
+	// AutoscaleInterval is the period of the asynchronous autoscaling
+	// loop (Knative ticks every 2 s; tests compress this).
+	AutoscaleInterval time.Duration
+	// HeartbeatTimeout is how long without a worker heartbeat before the
+	// health monitor declares the worker failed.
+	HeartbeatTimeout time.Duration
+	// NoDownscaleWindow suppresses downscaling after a failover while
+	// autoscaling metrics repopulate (60 s in the paper, §3.4.1).
+	NoDownscaleWindow time.Duration
+	// PersistSandboxState enables the paper's ablation (§5.2.1,
+	// "Dirigent optimization breakdown"): persist every sandbox state
+	// change, putting a durable write on the cold-start critical path.
+	PersistSandboxState bool
+	// Placer selects worker nodes for new sandboxes; nil selects the
+	// K8s-default policy.
+	Placer placement.Policy
+	// Metrics receives control plane telemetry.
+	Metrics *telemetry.Registry
+	// RaftHeartbeat / RaftElectionMin / RaftElectionMax tune leader
+	// election; zero values select defaults calibrated for ~10 ms
+	// failover.
+	RaftHeartbeat   time.Duration
+	RaftElectionMin time.Duration
+	RaftElectionMax time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.NewReal()
+	}
+	if c.AutoscaleInterval == 0 {
+		c.AutoscaleInterval = 2 * time.Second
+	}
+	if c.HeartbeatTimeout == 0 {
+		c.HeartbeatTimeout = time.Second
+	}
+	if c.NoDownscaleWindow == 0 {
+		c.NoDownscaleWindow = 60 * time.Second
+	}
+	if c.Placer == nil {
+		c.Placer = placement.NewKubeDefault(1)
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	return c
+}
+
+type sandboxPhase uint8
+
+const (
+	phaseCreating sandboxPhase = iota
+	phaseReady
+)
+
+type sandboxState struct {
+	id         core.SandboxID
+	function   string
+	node       core.NodeID
+	workerAddr string
+	phase      sandboxPhase
+	createdAt  time.Time
+}
+
+type functionState struct {
+	fn        core.Function
+	scaler    *autoscaler.FunctionAutoscaler
+	sandboxes map[core.SandboxID]*sandboxState
+	// epSeq numbers this function's endpoint broadcasts so that data
+	// planes can discard reordered updates. Combined with the leadership
+	// epoch into the update's Version.
+	epSeq uint64
+}
+
+func (fs *functionState) counts() (ready, creating int) {
+	for _, sb := range fs.sandboxes {
+		if sb.phase == phaseReady {
+			ready++
+		} else {
+			creating++
+		}
+	}
+	return ready, creating
+}
+
+type workerState struct {
+	node    core.WorkerNode
+	addr    string
+	util    core.NodeUtilization
+	lastHB  time.Time
+	healthy bool
+}
+
+// ControlPlane is one control plane replica.
+type ControlPlane struct {
+	cfg     Config
+	clk     clock.Clock
+	metrics *telemetry.Registry
+
+	raftNode *raft.Node // nil in single-node mode
+	listener transport.Listener
+
+	mu            sync.Mutex
+	isLeader      bool
+	functions     map[string]*functionState
+	workers       map[core.NodeID]*workerState
+	dataplanes    map[core.DataPlaneID]core.DataPlane
+	nextSandboxID core.SandboxID
+	recoveredAt   time.Time // when this replica last became leader
+	epoch         uint64
+
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	stopped bool
+}
+
+// New creates a control plane replica; call Start to serve.
+func New(cfg Config) *ControlPlane {
+	cfg = cfg.withDefaults()
+	cp := &ControlPlane{
+		cfg:        cfg,
+		clk:        cfg.Clock,
+		metrics:    cfg.Metrics,
+		functions:  make(map[string]*functionState),
+		workers:    make(map[core.NodeID]*workerState),
+		dataplanes: make(map[core.DataPlaneID]core.DataPlane),
+		stopCh:     make(chan struct{}),
+	}
+	return cp
+}
+
+// Start begins serving RPCs and, in HA mode, participating in leader
+// election. In single-node mode the replica becomes leader immediately.
+func (cp *ControlPlane) Start() error {
+	ln, err := cp.cfg.Transport.Listen(cp.cfg.Addr, cp.handleRPC)
+	if err != nil {
+		return fmt.Errorf("control plane %s: %w", cp.cfg.Addr, err)
+	}
+	cp.listener = ln
+	if len(cp.cfg.Peers) > 1 {
+		cp.raftNode = raft.NewNode(raft.Config{
+			ID:                 cp.cfg.Addr,
+			Peers:              cp.cfg.Peers,
+			Transport:          cp.cfg.Transport,
+			HeartbeatInterval:  cp.cfg.RaftHeartbeat,
+			ElectionTimeoutMin: cp.cfg.RaftElectionMin,
+			ElectionTimeoutMax: cp.cfg.RaftElectionMax,
+			OnLeaderChange:     cp.onLeaderChange,
+		})
+		cp.raftNode.Start()
+	} else {
+		cp.onLeaderChange(true, 1)
+	}
+	cp.wg.Add(2)
+	go cp.autoscaleLoop()
+	go cp.healthLoop()
+	return nil
+}
+
+// Stop simulates a control plane crash: RPCs stop being served and the
+// replica leaves the Raft group without notice.
+func (cp *ControlPlane) Stop() {
+	cp.mu.Lock()
+	if cp.stopped {
+		cp.mu.Unlock()
+		return
+	}
+	cp.stopped = true
+	cp.isLeader = false
+	cp.mu.Unlock()
+	close(cp.stopCh)
+	if cp.raftNode != nil {
+		cp.raftNode.Stop()
+	}
+	if cp.listener != nil {
+		cp.listener.Close()
+	}
+	cp.wg.Wait()
+}
+
+// IsLeader reports whether this replica currently leads.
+func (cp *ControlPlane) IsLeader() bool {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.isLeader
+}
+
+// Addr returns the replica's RPC address.
+func (cp *ControlPlane) Addr() string { return cp.cfg.Addr }
+
+// onLeaderChange runs recovery when this replica gains leadership
+// (paper §3.4.1: fetch DataPlane and WorkerNode objects, re-establish
+// connections, reload Functions, update data plane caches, then merge
+// sandbox reports from workers asynchronously).
+func (cp *ControlPlane) onLeaderChange(isLeader bool, _ uint64) {
+	cp.mu.Lock()
+	if cp.stopped {
+		cp.mu.Unlock()
+		return
+	}
+	wasLeader := cp.isLeader
+	cp.isLeader = isLeader
+	if !isLeader || wasLeader {
+		cp.mu.Unlock()
+		return
+	}
+	cp.recoveredAt = cp.clk.Now()
+	cp.mu.Unlock()
+	cp.recover()
+}
+
+// nextEpoch durably increments the cluster-wide leadership epoch. The
+// epoch forms the high bits of every endpoint-update version, so it must
+// be monotonic across leaders — a freshly elected leader whose per-function
+// sequences restart from zero must still outrank the old leader's
+// broadcasts. The write happens once per leadership change, never on the
+// invocation critical path.
+func (cp *ControlPlane) nextEpoch() uint64 {
+	var prev uint64
+	if b, ok := cp.cfg.DB.HGetAll(hashMeta)[fieldEpoch]; ok && len(b) == 8 {
+		for i := 0; i < 8; i++ {
+			prev |= uint64(b[i]) << (8 * i)
+		}
+	}
+	next := prev + 1
+	buf := make([]byte, 8)
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(next >> (8 * i))
+	}
+	_ = cp.cfg.DB.HSet(hashMeta, fieldEpoch, buf)
+	return next
+}
+
+func (cp *ControlPlane) recover() {
+	start := cp.clk.Now()
+	epoch := cp.nextEpoch()
+	cp.mu.Lock()
+	cp.epoch = epoch
+	cp.mu.Unlock()
+	// 1. Reload persisted state: functions, workers, data planes.
+	cp.mu.Lock()
+	cp.functions = make(map[string]*functionState)
+	cp.workers = make(map[core.NodeID]*workerState)
+	cp.dataplanes = make(map[core.DataPlaneID]core.DataPlane)
+	for _, b := range cp.cfg.DB.HGetAll(hashFunctions) {
+		if f, err := core.UnmarshalFunction(b); err == nil {
+			cp.functions[f.Name] = &functionState{
+				fn:        *f,
+				scaler:    autoscaler.New(f.Scaling),
+				sandboxes: make(map[core.SandboxID]*sandboxState),
+			}
+		}
+	}
+	now := cp.clk.Now()
+	var maxNode core.NodeID
+	for _, b := range cp.cfg.DB.HGetAll(hashWorkers) {
+		if w, err := core.UnmarshalWorkerNode(b); err == nil {
+			cp.workers[w.ID] = &workerState{
+				node:    *w,
+				addr:    workerAddr(w),
+				lastHB:  now,
+				healthy: true,
+			}
+			if w.ID > maxNode {
+				maxNode = w.ID
+			}
+		}
+	}
+	for _, b := range cp.cfg.DB.HGetAll(hashDataPlanes) {
+		if p, err := core.UnmarshalDataPlane(b); err == nil {
+			cp.dataplanes[p.ID] = *p
+		}
+	}
+	workers := make([]*workerState, 0, len(cp.workers))
+	for _, w := range cp.workers {
+		workers = append(workers, w)
+	}
+	cp.mu.Unlock()
+
+	// 2. Refresh data plane caches with the function list.
+	cp.broadcastFunctions()
+
+	// 3. Asynchronously merge sandbox lists from workers. The scale of
+	// every function starts at zero; worker reports repopulate it
+	// (paper §3.4.1).
+	cp.wg.Add(1)
+	go func() {
+		defer cp.wg.Done()
+		for _, w := range workers {
+			select {
+			case <-cp.stopCh:
+				return
+			default:
+			}
+			cp.mergeWorkerSandboxes(w)
+		}
+	}()
+	cp.metrics.Histogram("recovery_ms").Observe(cp.clk.Since(start))
+	cp.metrics.Counter("recoveries").Inc()
+}
+
+func workerAddr(w *core.WorkerNode) string {
+	return fmt.Sprintf("%s:%d", w.IP, w.Port)
+}
+
+func (cp *ControlPlane) mergeWorkerSandboxes(w *workerState) {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	respB, err := cp.cfg.Transport.Call(ctx, w.addr, proto.MethodListSandboxes, nil)
+	if err != nil {
+		return // health monitor will handle a dead worker
+	}
+	list, err := proto.UnmarshalSandboxList(respB)
+	if err != nil {
+		return
+	}
+	touched := make(map[string]bool)
+	cp.mu.Lock()
+	for _, sb := range list.Sandboxes {
+		fs, ok := cp.functions[sb.Function]
+		if !ok {
+			continue // function deregistered while we were down
+		}
+		fs.sandboxes[sb.ID] = &sandboxState{
+			id:         sb.ID,
+			function:   sb.Function,
+			node:       sb.Node,
+			workerAddr: sb.Addr,
+			phase:      phaseReady,
+			createdAt:  cp.clk.Now(),
+		}
+		if sb.ID >= cp.nextSandboxID {
+			cp.nextSandboxID = sb.ID + 1
+		}
+		touched[sb.Function] = true
+	}
+	cp.mu.Unlock()
+	for fn := range touched {
+		cp.broadcastEndpoints(fn)
+	}
+}
+
+// handleRPC multiplexes Raft election RPCs and the Dirigent API.
+func (cp *ControlPlane) handleRPC(method string, payload []byte) ([]byte, error) {
+	if cp.raftNode != nil {
+		if resp, err, handled := cp.raftNode.HandleRPC(method, payload); handled {
+			return resp, err
+		}
+	}
+	if !cp.IsLeader() {
+		return nil, errors.New(cpclient.ErrNotLeaderText)
+	}
+	switch method {
+	case proto.MethodRegisterFunction:
+		return cp.handleRegisterFunction(payload)
+	case proto.MethodDeregisterFunction:
+		return cp.handleDeregisterFunction(payload)
+	case proto.MethodRegisterWorker:
+		return cp.handleRegisterWorker(payload)
+	case proto.MethodDeregisterWorker:
+		return cp.handleDeregisterWorker(payload)
+	case proto.MethodWorkerHeartbeat:
+		return cp.handleWorkerHeartbeat(payload)
+	case proto.MethodRegisterDataPlane:
+		return cp.handleRegisterDataPlane(payload)
+	case proto.MethodDeregisterDataPlane:
+		return cp.handleDeregisterDataPlane(payload)
+	case proto.MethodListFunctions:
+		return cp.handleListFunctions()
+	case proto.MethodScalingMetric:
+		return cp.handleScalingMetric(payload)
+	case proto.MethodSandboxReady:
+		return cp.handleSandboxReady(payload)
+	case proto.MethodSandboxCrashed:
+		return cp.handleSandboxCrashed(payload)
+	case proto.MethodClusterStatus:
+		return cp.handleClusterStatus()
+	default:
+		return nil, fmt.Errorf("control plane: unknown method %q", method)
+	}
+}
+
+// handleRegisterFunction persists the function spec and propagates the
+// metadata to data planes — the entire registration path (paper §5.2.4:
+// "registering a function in Dirigent takes 2 ms on average, as it only
+// involves persisting function specification into the database and
+// propagating metadata to data plane components").
+func (cp *ControlPlane) handleRegisterFunction(payload []byte) ([]byte, error) {
+	f, err := core.UnmarshalFunction(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cp.cfg.DB.HSet(hashFunctions, f.Name, core.MarshalFunction(f)); err != nil {
+		return nil, fmt.Errorf("register function %s: persist: %w", f.Name, err)
+	}
+	cp.mu.Lock()
+	if _, exists := cp.functions[f.Name]; !exists {
+		cp.functions[f.Name] = &functionState{
+			fn:        *f,
+			scaler:    autoscaler.New(f.Scaling),
+			sandboxes: make(map[core.SandboxID]*sandboxState),
+		}
+	} else {
+		cp.functions[f.Name].fn = *f
+	}
+	cp.mu.Unlock()
+	cp.broadcastFunctions()
+	cp.metrics.Counter("functions_registered").Inc()
+	return nil, nil
+}
+
+func (cp *ControlPlane) handleDeregisterFunction(payload []byte) ([]byte, error) {
+	f, err := core.UnmarshalFunction(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := cp.cfg.DB.HDel(hashFunctions, f.Name); err != nil {
+		return nil, err
+	}
+	cp.mu.Lock()
+	fs := cp.functions[f.Name]
+	delete(cp.functions, f.Name)
+	var kills []*sandboxState
+	if fs != nil {
+		for _, sb := range fs.sandboxes {
+			kills = append(kills, sb)
+		}
+	}
+	cp.mu.Unlock()
+	for _, sb := range kills {
+		cp.killSandbox(sb)
+	}
+	cp.broadcastFunctions()
+	cp.broadcastEndpoints(f.Name)
+	return nil, nil
+}
+
+func (cp *ControlPlane) handleRegisterWorker(payload []byte) ([]byte, error) {
+	req, err := proto.UnmarshalRegisterWorkerRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	w := req.Worker
+	if err := cp.cfg.DB.HSet(hashWorkers, w.Name, core.MarshalWorkerNode(&w)); err != nil {
+		return nil, fmt.Errorf("register worker %s: persist: %w", w.Name, err)
+	}
+	cp.mu.Lock()
+	cp.workers[w.ID] = &workerState{
+		node:    w,
+		addr:    workerAddr(&w),
+		lastHB:  cp.clk.Now(),
+		healthy: true,
+	}
+	cp.mu.Unlock()
+	cp.metrics.Counter("workers_registered").Inc()
+	return nil, nil
+}
+
+func (cp *ControlPlane) handleDeregisterWorker(payload []byte) ([]byte, error) {
+	req, err := proto.UnmarshalRegisterWorkerRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := cp.cfg.DB.HDel(hashWorkers, req.Worker.Name); err != nil {
+		return nil, err
+	}
+	cp.failWorker(req.Worker.ID)
+	return nil, nil
+}
+
+func (cp *ControlPlane) handleWorkerHeartbeat(payload []byte) ([]byte, error) {
+	hb, err := proto.UnmarshalWorkerHeartbeat(payload)
+	if err != nil {
+		return nil, err
+	}
+	cp.mu.Lock()
+	if w, ok := cp.workers[hb.Node]; ok {
+		w.lastHB = cp.clk.Now()
+		w.util = hb.Util
+		w.healthy = true
+	}
+	cp.mu.Unlock()
+	return nil, nil
+}
+
+func (cp *ControlPlane) handleRegisterDataPlane(payload []byte) ([]byte, error) {
+	req, err := proto.UnmarshalRegisterDataPlaneRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	p := req.DataPlane
+	if err := cp.cfg.DB.HSet(hashDataPlanes, fmt.Sprintf("%d", p.ID), core.MarshalDataPlane(&p)); err != nil {
+		return nil, fmt.Errorf("register data plane %d: persist: %w", p.ID, err)
+	}
+	cp.mu.Lock()
+	cp.dataplanes[p.ID] = p
+	fns := cp.functionNamesLocked()
+	cp.mu.Unlock()
+	// Warm the new data plane's caches: functions, then endpoints.
+	cp.sendFunctionsTo(dataPlaneAddr(&p))
+	for _, fn := range fns {
+		cp.sendEndpointsTo(dataPlaneAddr(&p), fn)
+	}
+	return nil, nil
+}
+
+func (cp *ControlPlane) handleDeregisterDataPlane(payload []byte) ([]byte, error) {
+	req, err := proto.UnmarshalRegisterDataPlaneRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := cp.cfg.DB.HDel(hashDataPlanes, fmt.Sprintf("%d", req.DataPlane.ID)); err != nil {
+		return nil, err
+	}
+	cp.mu.Lock()
+	delete(cp.dataplanes, req.DataPlane.ID)
+	cp.mu.Unlock()
+	return nil, nil
+}
+
+func (cp *ControlPlane) handleListFunctions() ([]byte, error) {
+	cp.mu.Lock()
+	list := proto.FunctionList{}
+	for _, fs := range cp.functions {
+		list.Functions = append(list.Functions, fs.fn)
+	}
+	cp.mu.Unlock()
+	return list.Marshal(), nil
+}
+
+func (cp *ControlPlane) handleScalingMetric(payload []byte) ([]byte, error) {
+	report, err := proto.UnmarshalScalingMetricReport(payload)
+	if err != nil {
+		return nil, err
+	}
+	now := cp.clk.Now()
+	cp.mu.Lock()
+	for _, m := range report.Metrics {
+		if fs, ok := cp.functions[m.Function]; ok {
+			fs.scaler.Record(now, float64(m.InFlight+m.QueueDepth))
+		}
+	}
+	cp.mu.Unlock()
+	return nil, nil
+}
+
+func (cp *ControlPlane) handleSandboxReady(payload []byte) ([]byte, error) {
+	ev, err := proto.UnmarshalSandboxEvent(payload)
+	if err != nil {
+		return nil, err
+	}
+	cp.mu.Lock()
+	fs, ok := cp.functions[ev.Function]
+	if ok {
+		sb, exists := fs.sandboxes[ev.SandboxID]
+		if !exists {
+			sb = &sandboxState{
+				id:        ev.SandboxID,
+				function:  ev.Function,
+				node:      ev.Node,
+				createdAt: cp.clk.Now(),
+			}
+			fs.sandboxes[ev.SandboxID] = sb
+		}
+		sb.phase = phaseReady
+		sb.workerAddr = ev.Addr
+		cp.metrics.Histogram("sandbox_ready_ms").Observe(cp.clk.Since(sb.createdAt))
+	}
+	cp.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("sandbox ready for unknown function %q", ev.Function)
+	}
+	if cp.cfg.PersistSandboxState {
+		cp.persistSandbox(ev)
+	}
+	cp.broadcastEndpoints(ev.Function)
+	return nil, nil
+}
+
+func (cp *ControlPlane) handleSandboxCrashed(payload []byte) ([]byte, error) {
+	ev, err := proto.UnmarshalSandboxEvent(payload)
+	if err != nil {
+		return nil, err
+	}
+	cp.mu.Lock()
+	if fs, ok := cp.functions[ev.Function]; ok {
+		delete(fs.sandboxes, ev.SandboxID)
+	}
+	cp.mu.Unlock()
+	if cp.cfg.PersistSandboxState {
+		_ = cp.cfg.DB.HDel(hashSandboxes, fmt.Sprintf("%d", ev.SandboxID))
+	}
+	cp.metrics.Counter("sandbox_crashes").Inc()
+	cp.broadcastEndpoints(ev.Function)
+	return nil, nil
+}
+
+func (cp *ControlPlane) handleClusterStatus() ([]byte, error) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	var b []byte
+	b = fmt.Appendf(b, "leader=%s epoch=%d functions=%d workers=%d dataplanes=%d\n",
+		cp.cfg.Addr, cp.epoch, len(cp.functions), len(cp.workers), len(cp.dataplanes))
+	names := cp.functionNamesLocked()
+	for _, name := range names {
+		fs := cp.functions[name]
+		ready, creating := fs.counts()
+		b = fmt.Appendf(b, "function %s ready=%d creating=%d\n", name, ready, creating)
+	}
+	return b, nil
+}
+
+func (cp *ControlPlane) functionNamesLocked() []string {
+	names := make([]string, 0, len(cp.functions))
+	for name := range cp.functions {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// persistSandbox is only used by the persist-everything ablation. In
+// Dirigent proper this write does not exist: removing it from the critical
+// path is what lifts peak cold-start throughput from 1000/s to 2500/s
+// (paper §5.2.1).
+func (cp *ControlPlane) persistSandbox(ev *proto.SandboxEvent) {
+	sb := core.Sandbox{ID: ev.SandboxID, Function: ev.Function, Node: ev.Node}
+	rec := core.MarshalSandboxRecord(&sb)
+	_ = cp.cfg.DB.HSet(hashSandboxes, fmt.Sprintf("%d", ev.SandboxID), rec[:])
+}

@@ -1,0 +1,356 @@
+package controlplane
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"dirigent/internal/core"
+	"dirigent/internal/placement"
+	"dirigent/internal/proto"
+	"dirigent/internal/telemetry"
+	"dirigent/internal/worker"
+)
+
+// autoscaleLoop is the asynchronous loop that reconciles the number of
+// sandboxes per function with the autoscaler's desired scale, issuing
+// sandbox creations and teardowns to worker nodes (paper §3.3, §4).
+func (cp *ControlPlane) autoscaleLoop() {
+	defer cp.wg.Done()
+	ticker := time.NewTicker(cp.cfg.AutoscaleInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-cp.stopCh:
+			return
+		case <-ticker.C:
+			if cp.IsLeader() {
+				cp.Reconcile()
+			}
+		}
+	}
+}
+
+// Reconcile runs one autoscaling pass. It is exported so that tests and
+// the experiment harness can drive scaling deterministically instead of
+// waiting for ticker periods.
+func (cp *ControlPlane) Reconcile() {
+	now := cp.clk.Now()
+	type action struct {
+		create int
+		kills  []*sandboxState
+		fn     core.Function
+	}
+	var actions []action
+
+	cp.mu.Lock()
+	suppressDownscale := now.Sub(cp.recoveredAt) < cp.cfg.NoDownscaleWindow
+	for _, fs := range cp.functions {
+		ready, creating := fs.counts()
+		current := ready + creating
+		desired := fs.scaler.Desired(now, current)
+		switch {
+		case desired > current:
+			actions = append(actions, action{create: desired - current, fn: fs.fn})
+		case desired < current && !suppressDownscale:
+			// Tear down surplus sandboxes, preferring ready ones last so
+			// that in-flight creations are cancelled first conceptually;
+			// since creations cannot be cancelled mid-flight, we kill
+			// ready sandboxes beyond the desired count.
+			surplus := current - desired
+			var victims []*sandboxState
+			for _, sb := range fs.sandboxes {
+				if len(victims) == surplus {
+					break
+				}
+				if sb.phase == phaseReady {
+					victims = append(victims, sb)
+				}
+			}
+			for _, sb := range victims {
+				delete(fs.sandboxes, sb.id)
+			}
+			actions = append(actions, action{kills: victims, fn: fs.fn})
+		}
+	}
+	cp.mu.Unlock()
+
+	for _, a := range actions {
+		for i := 0; i < a.create; i++ {
+			cp.createSandbox(a.fn)
+		}
+		for _, sb := range a.kills {
+			cp.killSandbox(sb)
+		}
+		if len(a.kills) > 0 {
+			cp.broadcastEndpoints(a.fn.Name)
+		}
+	}
+}
+
+// createSandbox places and requests one new sandbox for fn. This is the
+// latency-critical cold-start path: note the absence of any persistent
+// state update (design principle 2).
+func (cp *ControlPlane) createSandbox(fn core.Function) {
+	cp.mu.Lock()
+	candidates := make([]placement.NodeStatus, 0, len(cp.workers))
+	for _, w := range cp.workers {
+		if w.healthy {
+			candidates = append(candidates, placement.NodeStatus{Node: w.node, Util: w.util})
+		}
+	}
+	cp.mu.Unlock()
+	req := placement.Requirements{CPUMilli: fn.Scaling.CPUMilli, MemoryMB: fn.Scaling.MemoryMB}
+	nodeID, err := cp.cfg.Placer.Place(candidates, req)
+	if err != nil {
+		cp.metrics.Counter("placement_failures").Inc()
+		return
+	}
+
+	cp.mu.Lock()
+	w, ok := cp.workers[nodeID]
+	if !ok || !w.healthy {
+		cp.mu.Unlock()
+		return
+	}
+	fs, ok := cp.functions[fn.Name]
+	if !ok {
+		cp.mu.Unlock()
+		return
+	}
+	cp.nextSandboxID++
+	id := cp.nextSandboxID
+	sb := &sandboxState{
+		id:         id,
+		function:   fn.Name,
+		node:       nodeID,
+		workerAddr: w.addr,
+		phase:      phaseCreating,
+		createdAt:  cp.clk.Now(),
+	}
+	fs.sandboxes[id] = sb
+	// Optimistically account the sandbox on the worker so that the placer
+	// sees the pending allocation before the next heartbeat refresh.
+	w.util.CPUMilliUsed += fn.Scaling.CPUMilli
+	w.util.MemoryMBUsed += fn.Scaling.MemoryMB
+	addr := w.addr
+	cp.mu.Unlock()
+
+	createReq := proto.CreateSandboxRequest{SandboxID: id, Function: fn}
+	payload := createReq.Marshal()
+	cp.wg.Add(1)
+	go func() {
+		defer cp.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if _, err := cp.cfg.Transport.Call(ctx, addr, proto.MethodCreateSandbox, payload); err != nil {
+			cp.mu.Lock()
+			if fs, ok := cp.functions[fn.Name]; ok {
+				delete(fs.sandboxes, id)
+			}
+			cp.mu.Unlock()
+			cp.metrics.Counter("sandbox_create_rpc_errors").Inc()
+		}
+	}()
+	cp.metrics.Counter("sandbox_creations_requested").Inc()
+}
+
+// killSandbox asks the worker to tear down a sandbox.
+func (cp *ControlPlane) killSandbox(sb *sandboxState) {
+	cp.metrics.Counter("sandbox_teardowns").Inc()
+	if cp.cfg.PersistSandboxState {
+		_ = cp.cfg.DB.HDel(hashSandboxes, fmt.Sprintf("%d", sb.id))
+	}
+	addr := sb.workerAddr
+	payload := worker.EncodeSandboxID(sb.id)
+	cp.wg.Add(1)
+	go func() {
+		defer cp.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, _ = cp.cfg.Transport.Call(ctx, addr, proto.MethodKillSandbox, payload)
+	}()
+}
+
+// healthLoop watches worker heartbeats and fails workers that go silent
+// (paper §3.4.1: "Once the control plane detects no heartbeats, it
+// notifies data plane components not to route requests to sandboxes on the
+// affected worker node" and re-runs autoscaling).
+func (cp *ControlPlane) healthLoop() {
+	defer cp.wg.Done()
+	interval := cp.cfg.HeartbeatTimeout / 4
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-cp.stopCh:
+			return
+		case <-ticker.C:
+			if !cp.IsLeader() {
+				continue
+			}
+			now := cp.clk.Now()
+			var failed []core.NodeID
+			cp.mu.Lock()
+			for id, w := range cp.workers {
+				if w.healthy && now.Sub(w.lastHB) > cp.cfg.HeartbeatTimeout {
+					failed = append(failed, id)
+				}
+			}
+			cp.mu.Unlock()
+			for _, id := range failed {
+				cp.failWorker(id)
+			}
+		}
+	}
+}
+
+// failWorker removes a worker from scheduling and drains its sandboxes
+// from the cluster state, then reconciles so the autoscaler re-creates
+// capacity on healthy nodes.
+func (cp *ControlPlane) failWorker(id core.NodeID) {
+	cp.mu.Lock()
+	w, ok := cp.workers[id]
+	if !ok || !w.healthy {
+		cp.mu.Unlock()
+		return
+	}
+	w.healthy = false
+	touched := make(map[string]bool)
+	for name, fs := range cp.functions {
+		for sid, sb := range fs.sandboxes {
+			if sb.node == id {
+				delete(fs.sandboxes, sid)
+				touched[name] = true
+			}
+		}
+	}
+	cp.mu.Unlock()
+	cp.metrics.Counter("worker_failures_detected").Inc()
+	for fn := range touched {
+		cp.broadcastEndpoints(fn)
+	}
+	// Re-run autoscaling immediately so replacement sandboxes spin up
+	// elsewhere without waiting a full tick.
+	cp.Reconcile()
+}
+
+// broadcastFunctions pushes the registered function list to every data
+// plane.
+func (cp *ControlPlane) broadcastFunctions() {
+	cp.mu.Lock()
+	addrs := cp.dataPlaneAddrsLocked()
+	cp.mu.Unlock()
+	for _, addr := range addrs {
+		cp.sendFunctionsTo(addr)
+	}
+}
+
+func (cp *ControlPlane) dataPlaneAddrsLocked() []string {
+	addrs := make([]string, 0, len(cp.dataplanes))
+	for _, p := range cp.dataplanes {
+		p := p
+		addrs = append(addrs, dataPlaneAddr(&p))
+	}
+	return addrs
+}
+
+func dataPlaneAddr(p *core.DataPlane) string {
+	return fmt.Sprintf("%s:%d", p.IP, p.Port)
+}
+
+func (cp *ControlPlane) sendFunctionsTo(addr string) {
+	cp.mu.Lock()
+	list := proto.FunctionList{}
+	for _, fs := range cp.functions {
+		list.Functions = append(list.Functions, fs.fn)
+	}
+	cp.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, _ = cp.cfg.Transport.Call(ctx, addr, proto.MethodAddFunction, list.Marshal())
+}
+
+// sendEndpointsTo pushes one function's endpoint set to a single data
+// plane, used when warming a newly registered replica's cache.
+func (cp *ControlPlane) sendEndpointsTo(addr, function string) {
+	payload := cp.endpointUpdate(function).Marshal()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, _ = cp.cfg.Transport.Call(ctx, addr, proto.MethodUpdateEndpoints, payload)
+}
+
+func (cp *ControlPlane) endpointUpdate(function string) *proto.EndpointUpdate {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	update := &proto.EndpointUpdate{Function: function}
+	if fs, ok := cp.functions[function]; ok {
+		fs.epSeq++
+		// Leadership epoch in the high bits keeps versions monotonic
+		// across failovers, where per-function sequences restart.
+		update.Version = cp.epoch<<32 | fs.epSeq
+		for _, sb := range fs.sandboxes {
+			if sb.phase == phaseReady {
+				update.Endpoints = append(update.Endpoints, proto.SandboxInfo{
+					ID:       sb.id,
+					Function: function,
+					Node:     sb.node,
+					Addr:     sb.workerAddr,
+					State:    core.SandboxReady,
+				})
+			}
+		}
+	}
+	return update
+}
+
+// broadcastEndpoints pushes the current ready-endpoint set for a function
+// to all data planes (paper Table 2, "Add/remove LB endpoint"). The update
+// carries the full endpoint list for the function, making it idempotent.
+func (cp *ControlPlane) broadcastEndpoints(function string) {
+	update := cp.endpointUpdate(function)
+	cp.mu.Lock()
+	addrs := cp.dataPlaneAddrsLocked()
+	cp.mu.Unlock()
+	payload := update.Marshal()
+	for _, addr := range addrs {
+		addr := addr
+		cp.wg.Add(1)
+		go func() {
+			defer cp.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_, _ = cp.cfg.Transport.Call(ctx, addr, proto.MethodUpdateEndpoints, payload)
+		}()
+	}
+}
+
+// FunctionScale reports (ready, creating) sandbox counts for a function,
+// used by tests and the experiment harness.
+func (cp *ControlPlane) FunctionScale(name string) (ready, creating int) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if fs, ok := cp.functions[name]; ok {
+		return fs.counts()
+	}
+	return 0, 0
+}
+
+// WorkerCount reports the number of healthy workers.
+func (cp *ControlPlane) WorkerCount() int {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	n := 0
+	for _, w := range cp.workers {
+		if w.healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// Metrics exposes the control plane's metrics registry.
+func (cp *ControlPlane) Metrics() *telemetry.Registry { return cp.metrics }

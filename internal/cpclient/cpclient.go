@@ -1,0 +1,104 @@
+// Package cpclient is the client stub that worker nodes and data planes use
+// to call the control plane. With a highly available control plane, only
+// the Raft leader serves requests; followers reject them. This client
+// remembers the last known leader and fails over to the other replicas
+// transparently, retrying briefly so that a leader election in progress
+// (≈10 ms in Dirigent, paper §5.4) does not surface as an error.
+package cpclient
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"time"
+
+	"dirigent/internal/transport"
+)
+
+// ErrNotLeaderText is the marker followers embed in rejections; the client
+// uses it to distinguish "wrong replica" from application errors.
+const ErrNotLeaderText = "not the control plane leader"
+
+// ErrNoLeader reports that no control plane replica accepted the call.
+var ErrNoLeader = errors.New("cpclient: no control plane leader reachable")
+
+// Client calls the current control-plane leader.
+type Client struct {
+	transport transport.Transport
+	addrs     []string
+
+	mu     sync.Mutex
+	leader int // index into addrs of last known leader
+
+	// RetryWindow bounds how long Call keeps cycling replicas waiting for
+	// a leader before giving up.
+	RetryWindow time.Duration
+	// RetryDelay is the pause between full cycles over the replicas.
+	RetryDelay time.Duration
+}
+
+// New returns a client over the given control plane replica addresses.
+func New(t transport.Transport, addrs []string) *Client {
+	return &Client{
+		transport:   t,
+		addrs:       append([]string(nil), addrs...),
+		RetryWindow: 2 * time.Second,
+		RetryDelay:  5 * time.Millisecond,
+	}
+}
+
+// Addrs returns the configured replica addresses.
+func (c *Client) Addrs() []string {
+	return append([]string(nil), c.addrs...)
+}
+
+// Call invokes method on the current leader, failing over and retrying
+// within the retry window.
+func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	if len(c.addrs) == 0 {
+		return nil, errors.New("cpclient: no control plane addresses configured")
+	}
+	deadline := time.Now().Add(c.RetryWindow)
+	var lastErr error
+	for {
+		c.mu.Lock()
+		start := c.leader
+		c.mu.Unlock()
+		for i := 0; i < len(c.addrs); i++ {
+			idx := (start + i) % len(c.addrs)
+			resp, err := c.transport.Call(ctx, c.addrs[idx], method, payload)
+			switch {
+			case err == nil:
+				c.mu.Lock()
+				c.leader = idx
+				c.mu.Unlock()
+				return resp, nil
+			case isNotLeader(err) || errors.Is(err, transport.ErrUnreachable):
+				lastErr = err
+				continue // try the next replica
+			default:
+				return nil, err // application error from the leader
+			}
+		}
+		if time.Now().After(deadline) {
+			if lastErr != nil {
+				return nil, errors.Join(ErrNoLeader, lastErr)
+			}
+			return nil, ErrNoLeader
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(c.RetryDelay):
+		}
+	}
+}
+
+func isNotLeader(err error) bool {
+	var re *transport.RemoteError
+	if errors.As(err, &re) {
+		return strings.Contains(re.Msg, ErrNotLeaderText)
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+package cpclient
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dirigent/internal/transport"
+)
+
+func leaderHandler(resp string) transport.HandlerFunc {
+	return func(method string, payload []byte) ([]byte, error) {
+		return []byte(resp), nil
+	}
+}
+
+func followerHandler() transport.HandlerFunc {
+	return func(method string, payload []byte) ([]byte, error) {
+		return nil, errors.New(ErrNotLeaderText)
+	}
+}
+
+func TestFindsLeaderAmongFollowers(t *testing.T) {
+	tr := transport.NewInProc()
+	for _, addr := range []string{"cp0", "cp1"} {
+		ln, err := tr.Listen(addr, followerHandler())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+	}
+	ln, err := tr.Listen("cp2", leaderHandler("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	c := New(tr, []string{"cp0", "cp1", "cp2"})
+	resp, err := c.Call(context.Background(), "m", nil)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if string(resp) != "ok" {
+		t.Errorf("resp = %q", resp)
+	}
+	// The client must remember the leader: a second call goes straight
+	// there (observable via the leader index).
+	c.mu.Lock()
+	leader := c.leader
+	c.mu.Unlock()
+	if leader != 2 {
+		t.Errorf("cached leader index = %d, want 2", leader)
+	}
+}
+
+func TestFailsOverWhenLeaderDies(t *testing.T) {
+	tr := transport.NewInProc()
+	ln0, err := tr.Listen("cp0", leaderHandler("first"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(tr, []string{"cp0", "cp1"})
+	if _, err := c.Call(context.Background(), "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	// Leader crashes; cp1 takes over.
+	ln0.Close()
+	ln1, err := tr.Listen("cp1", leaderHandler("second"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln1.Close()
+	resp, err := c.Call(context.Background(), "m", nil)
+	if err != nil {
+		t.Fatalf("failover call: %v", err)
+	}
+	if string(resp) != "second" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestRetriesDuringElection(t *testing.T) {
+	tr := transport.NewInProc()
+	var elected atomic.Bool
+	ln, err := tr.Listen("cp0", func(method string, payload []byte) ([]byte, error) {
+		if !elected.Load() {
+			return nil, errors.New(ErrNotLeaderText)
+		}
+		return []byte("done"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c := New(tr, []string{"cp0"})
+	c.RetryWindow = 2 * time.Second
+	c.RetryDelay = time.Millisecond
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		elected.Store(true)
+	}()
+	resp, err := c.Call(context.Background(), "m", nil)
+	if err != nil {
+		t.Fatalf("call during election: %v", err)
+	}
+	if string(resp) != "done" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestGivesUpAfterRetryWindow(t *testing.T) {
+	tr := transport.NewInProc()
+	c := New(tr, []string{"nowhere"})
+	c.RetryWindow = 50 * time.Millisecond
+	c.RetryDelay = 5 * time.Millisecond
+	start := time.Now()
+	_, err := c.Call(context.Background(), "m", nil)
+	if !errors.Is(err, ErrNoLeader) {
+		t.Errorf("err = %v, want ErrNoLeader", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Errorf("retry window not respected")
+	}
+}
+
+func TestApplicationErrorsPassThrough(t *testing.T) {
+	tr := transport.NewInProc()
+	ln, err := tr.Listen("cp0", func(string, []byte) ([]byte, error) {
+		return nil, errors.New("validation failed")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c := New(tr, []string{"cp0"})
+	_, err = c.Call(context.Background(), "m", nil)
+	if err == nil || errors.Is(err, ErrNoLeader) {
+		t.Errorf("application error should pass through, got %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	tr := transport.NewInProc()
+	c := New(tr, []string{"nowhere"})
+	c.RetryWindow = time.Hour
+	c.RetryDelay = 10 * time.Millisecond
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	_, err := c.Call(ctx, "m", nil)
+	if err == nil {
+		t.Fatalf("expected error")
+	}
+}
+
+func TestNoAddresses(t *testing.T) {
+	c := New(transport.NewInProc(), nil)
+	if _, err := c.Call(context.Background(), "m", nil); err == nil {
+		t.Errorf("expected error with no addresses")
+	}
+	if len(c.Addrs()) != 0 {
+		t.Errorf("Addrs should be empty")
+	}
+}

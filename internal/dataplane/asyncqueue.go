@@ -1,0 +1,102 @@
+package dataplane
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"dirigent/internal/codec"
+)
+
+// Asynchronous invocations provide at-least-once semantics "through
+// request persistence and a retry policy" (paper §3.4.2). When the data
+// plane is configured with a persistent store, every accepted async
+// invocation is durably recorded before acknowledgement and deleted only
+// after it completes or exhausts its retries; a restarted replica
+// re-enqueues whatever survived the crash. Re-execution of a task that
+// completed between persistence and deletion is possible — exactly the
+// at-least-once contract FaaS platforms document, which is why they advise
+// idempotent functions (paper §2.1).
+
+// asyncQueueHash is the store hash holding pending async invocations.
+const asyncQueueHash = "async-queue"
+
+var asyncSeq atomic.Uint64
+
+func marshalAsyncTask(t asyncTask) []byte {
+	e := codec.NewEncoder(16 + len(t.function) + len(t.payload))
+	e.String(t.function)
+	e.RawBytes(t.payload)
+	e.I64(int64(t.attempt))
+	return e.Bytes()
+}
+
+func unmarshalAsyncTask(b []byte) (asyncTask, error) {
+	d := codec.NewDecoder(b)
+	var t asyncTask
+	t.function = d.String()
+	if p := d.RawBytes(); len(p) > 0 {
+		t.payload = append([]byte(nil), p...)
+	}
+	t.attempt = int(d.I64())
+	if err := d.Err(); err != nil {
+		return asyncTask{}, fmt.Errorf("dataplane: unmarshal async task: %w", err)
+	}
+	return t, nil
+}
+
+// persistAsync durably records an accepted async invocation and returns
+// the key under which it is stored ("" when persistence is disabled).
+func (dp *DataPlane) persistAsync(t asyncTask) (string, error) {
+	if dp.cfg.AsyncStore == nil {
+		return "", nil
+	}
+	key := fmt.Sprintf("%d-%d", dp.cfg.ID, asyncSeq.Add(1))
+	if err := dp.cfg.AsyncStore.HSet(asyncQueueHash, key, marshalAsyncTask(t)); err != nil {
+		return "", err
+	}
+	return key, nil
+}
+
+// settleAsync removes a completed (or permanently failed) task from the
+// durable queue.
+func (dp *DataPlane) settleAsync(key string) {
+	if key == "" || dp.cfg.AsyncStore == nil {
+		return
+	}
+	if err := dp.cfg.AsyncStore.HDel(asyncQueueHash, key); err != nil {
+		dp.metrics.Counter("async_settle_errors").Inc()
+	}
+}
+
+// recoverAsync re-enqueues tasks that were durably accepted but not yet
+// settled when the previous replica incarnation crashed.
+func (dp *DataPlane) recoverAsync() {
+	if dp.cfg.AsyncStore == nil {
+		return
+	}
+	for key, raw := range dp.cfg.AsyncStore.HGetAll(asyncQueueHash) {
+		task, err := unmarshalAsyncTask(raw)
+		if err != nil {
+			// Unreadable record: drop it rather than crash-loop.
+			dp.cfg.AsyncStore.HDel(asyncQueueHash, key)
+			dp.metrics.Counter("async_recover_corrupt").Inc()
+			continue
+		}
+		task.storeKey = key
+		task.attempt = 0 // restart the retry budget after recovery
+		select {
+		case dp.asyncCh <- task:
+			dp.metrics.Counter("async_recovered").Inc()
+		default:
+			dp.metrics.Counter("async_recover_overflow").Inc()
+		}
+	}
+}
+
+// PendingAsync reports the number of durably queued async invocations.
+func (dp *DataPlane) PendingAsync() int {
+	if dp.cfg.AsyncStore == nil {
+		return len(dp.asyncCh)
+	}
+	return dp.cfg.AsyncStore.HLen(asyncQueueHash)
+}

@@ -1,0 +1,163 @@
+package dataplane
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"dirigent/internal/core"
+	"dirigent/internal/proto"
+	"dirigent/internal/store"
+	"dirigent/internal/transport"
+)
+
+func TestAsyncTaskMarshalRoundTrip(t *testing.T) {
+	task := asyncTask{function: "f", payload: []byte{1, 2, 3}, attempt: 2}
+	got, err := unmarshalAsyncTask(marshalAsyncTask(task))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.function != task.function || !bytes.Equal(got.payload, task.payload) || got.attempt != task.attempt {
+		t.Errorf("round trip: %+v", got)
+	}
+	if _, err := unmarshalAsyncTask([]byte{0xFF}); err == nil {
+		t.Errorf("truncated task should fail to unmarshal")
+	}
+}
+
+func TestAsyncPersistedUntilCompletion(t *testing.T) {
+	tr := transport.NewInProc()
+	startFakeCP(t, tr, "cp")
+	startSandboxHost(t, tr, "w1:9000", 0)
+	db := store.NewMemory()
+	dp := New(Config{
+		ID:             1,
+		Addr:           "dp0:8000",
+		Transport:      tr,
+		ControlPlanes:  []string{"cp"},
+		MetricInterval: 10 * time.Millisecond,
+		QueueTimeout:   2 * time.Second,
+		AsyncStore:     db,
+	})
+	if err := dp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Stop()
+	pushFunction(t, tr, dp.Addr(), "f")
+	pushEndpoints(t, tr, dp.Addr(), "f", []core.SandboxID{1}, "w1:9000")
+
+	req := proto.InvokeRequest{Function: "f", Async: true, Payload: []byte("x")}
+	if _, err := tr.Call(context.Background(), dp.Addr(), proto.MethodInvoke, req.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	// The task must eventually complete and the durable record disappear.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if dp.metrics.Counter("async_completed").Value() >= 1 && db.HLen(asyncQueueHash) == 0 {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("async task not completed+settled: completed=%d pending=%d",
+		dp.metrics.Counter("async_completed").Value(), db.HLen(asyncQueueHash))
+}
+
+func TestAsyncSurvivesDataPlaneRestart(t *testing.T) {
+	tr := transport.NewInProc()
+	startFakeCP(t, tr, "cp")
+	db := store.NewMemory()
+
+	// First incarnation: accept async invocations for a function with no
+	// sandbox and no cold-start resolution (short queue timeout + many
+	// retries keep them pending), then crash.
+	dp1 := New(Config{
+		ID:             1,
+		Addr:           "dp0:8000",
+		Transport:      tr,
+		ControlPlanes:  []string{"cp"},
+		MetricInterval: 10 * time.Millisecond,
+		QueueTimeout:   20 * time.Millisecond,
+		AsyncRetries:   1_000_000,
+		AsyncStore:     db,
+	})
+	if err := dp1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	pushFunction(t, tr, dp1.Addr(), "f")
+	for i := 0; i < 3; i++ {
+		req := proto.InvokeRequest{Function: "f", Async: true, Payload: []byte{byte(i)}}
+		if _, err := tr.Call(context.Background(), dp1.Addr(), proto.MethodInvoke, req.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.HLen(asyncQueueHash) != 3 {
+		t.Fatalf("persisted = %d, want 3", db.HLen(asyncQueueHash))
+	}
+	dp1.Stop() // crash: tasks remain durable
+
+	// Second incarnation with the same store: tasks are recovered and,
+	// once a sandbox exists, complete.
+	startSandboxHost(t, tr, "w1:9000", 0)
+	dp2 := New(Config{
+		ID:             1,
+		Addr:           "dp0:8000",
+		Transport:      tr,
+		ControlPlanes:  []string{"cp"},
+		MetricInterval: 10 * time.Millisecond,
+		QueueTimeout:   2 * time.Second,
+		AsyncRetries:   10,
+		AsyncStore:     db,
+	})
+	if err := dp2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer dp2.Stop()
+	if got := dp2.metrics.Counter("async_recovered").Value(); got != 3 {
+		t.Fatalf("recovered = %d, want 3", got)
+	}
+	pushFunction(t, tr, dp2.Addr(), "f")
+	pushEndpoints(t, tr, dp2.Addr(), "f", []core.SandboxID{1}, "w1:9000")
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if dp2.metrics.Counter("async_completed").Value() >= 3 && db.HLen(asyncQueueHash) == 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("recovered tasks not completed: completed=%d pending=%d",
+		dp2.metrics.Counter("async_completed").Value(), db.HLen(asyncQueueHash))
+}
+
+func TestAsyncCorruptRecordDropped(t *testing.T) {
+	tr := transport.NewInProc()
+	startFakeCP(t, tr, "cp")
+	db := store.NewMemory()
+	db.HSet(asyncQueueHash, "bad", []byte{0xFF}) // unreadable record
+	dp := New(Config{
+		ID:            1,
+		Addr:          "dp0:8000",
+		Transport:     tr,
+		ControlPlanes: []string{"cp"},
+		AsyncStore:    db,
+	})
+	if err := dp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Stop()
+	if db.HLen(asyncQueueHash) != 0 {
+		t.Errorf("corrupt record not dropped")
+	}
+	if dp.metrics.Counter("async_recover_corrupt").Value() != 1 {
+		t.Errorf("corrupt recovery not counted")
+	}
+}
+
+func TestPendingAsyncWithoutStore(t *testing.T) {
+	tr := transport.NewInProc()
+	startFakeCP(t, tr, "cp")
+	dp := testDP(t, tr)
+	if dp.PendingAsync() != 0 {
+		t.Errorf("PendingAsync = %d", dp.PendingAsync())
+	}
+}

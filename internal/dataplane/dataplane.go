@@ -1,0 +1,355 @@
+// Package dataplane implements Dirigent's monolithic data plane (paper
+// §3.1–3.3). One process performs everything Knative spreads across the
+// activator, per-pod queue-proxy sidecars, and the ingress gateway:
+//
+//   - reverse proxying of invocations to worker nodes,
+//   - per-function request queues that buffer cold-start invocations until
+//     a sandbox becomes available,
+//   - concurrency throttling, limiting the requests each sandbox processes
+//     in parallel,
+//   - load balancing across a function's ready sandboxes,
+//   - periodic reporting of scaling metrics to the control plane, and
+//   - an asynchronous invocation queue with at-least-once retry semantics.
+//
+// Buffering requests in the data plane instead of per-sandbox sidecars is
+// what removes sidecar creation from the cold-start critical path
+// (paper §5.2.1, "Cold start latency breakdown").
+package dataplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"dirigent/internal/clock"
+	"dirigent/internal/core"
+	"dirigent/internal/cpclient"
+	"dirigent/internal/loadbalancer"
+	"dirigent/internal/proto"
+	"dirigent/internal/store"
+	"dirigent/internal/telemetry"
+	"dirigent/internal/transport"
+)
+
+// Config parameterizes a data plane replica.
+type Config struct {
+	// ID identifies this replica.
+	ID core.DataPlaneID
+	// Addr is the replica's RPC address.
+	Addr string
+	// Transport carries RPCs.
+	Transport transport.Transport
+	// ControlPlanes lists the CP replica addresses.
+	ControlPlanes []string
+	// Clock abstracts time.
+	Clock clock.Clock
+	// Balancer picks sandboxes for invocations; nil selects least-loaded.
+	Balancer loadbalancer.Policy
+	// MetricInterval is the period of scaling-metric reports to the CP.
+	MetricInterval time.Duration
+	// QueueTimeout bounds how long a cold-start invocation may wait in
+	// the request queue before failing.
+	QueueTimeout time.Duration
+	// AsyncRetries is the maximum retry count for asynchronous
+	// invocations (at-least-once, paper §3.4.2).
+	AsyncRetries int
+	// AsyncStore, when non-nil, durably persists accepted asynchronous
+	// invocations so they survive data plane crashes (the "persistent
+	// queue" of paper §3.4.2). Nil keeps the queue in memory only.
+	AsyncStore *store.Store
+	// Metrics receives data plane telemetry.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clock == nil {
+		c.Clock = clock.NewReal()
+	}
+	if c.Balancer == nil {
+		c.Balancer = loadbalancer.NewLeastLoaded(int64(c.ID) + 1)
+	}
+	if c.MetricInterval == 0 {
+		c.MetricInterval = 250 * time.Millisecond
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 60 * time.Second
+	}
+	if c.AsyncRetries == 0 {
+		c.AsyncRetries = 3
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	return c
+}
+
+type endpointState struct {
+	info     proto.SandboxInfo
+	inFlight int
+	capacity int
+}
+
+type pending struct {
+	payload    []byte
+	enqueuedAt time.Time
+	resultCh   chan invokeResult
+}
+
+type invokeResult struct {
+	body      []byte
+	err       error
+	dispatch  time.Time
+	coldStart bool
+}
+
+type functionRuntime struct {
+	fn        core.Function
+	endpoints map[core.SandboxID]*endpointState
+	queue     []*pending
+	// epVersion is the version of the last applied endpoint update;
+	// broadcasts that arrive out of order are discarded.
+	epVersion uint64
+}
+
+// DataPlane is one data plane replica.
+type DataPlane struct {
+	cfg      Config
+	clk      clock.Clock
+	cp       *cpclient.Client
+	metrics  *telemetry.Registry
+	listener transport.Listener
+
+	mu        sync.Mutex
+	functions map[string]*functionRuntime
+	invokeSeq uint64
+
+	asyncCh chan asyncTask
+
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	stopped bool
+}
+
+type asyncTask struct {
+	function string
+	payload  []byte
+	attempt  int
+	// storeKey identifies the durable record for this task ("" when the
+	// queue is memory-only).
+	storeKey string
+}
+
+// New creates a data plane replica; call Start to register and serve.
+func New(cfg Config) *DataPlane {
+	cfg = cfg.withDefaults()
+	return &DataPlane{
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		cp:        cpclient.New(cfg.Transport, cfg.ControlPlanes),
+		metrics:   cfg.Metrics,
+		functions: make(map[string]*functionRuntime),
+		asyncCh:   make(chan asyncTask, 4096),
+		stopCh:    make(chan struct{}),
+	}
+}
+
+// Start listens, registers with the control plane (which pushes function
+// and endpoint caches back), and starts the metric and async loops.
+func (dp *DataPlane) Start() error {
+	ln, err := dp.cfg.Transport.Listen(dp.cfg.Addr, dp.handleRPC)
+	if err != nil {
+		return fmt.Errorf("data plane %d: %w", dp.cfg.ID, err)
+	}
+	dp.listener = ln
+	req := proto.RegisterDataPlaneRequest{DataPlane: dp.identity()}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := dp.cp.Call(ctx, proto.MethodRegisterDataPlane, req.Marshal()); err != nil {
+		ln.Close()
+		return fmt.Errorf("data plane %d: register: %w", dp.cfg.ID, err)
+	}
+	// Re-enqueue async invocations that survived a crash of a previous
+	// incarnation of this replica before serving new ones.
+	dp.recoverAsync()
+	dp.wg.Add(2)
+	go dp.metricLoop()
+	go dp.asyncLoop()
+	return nil
+}
+
+func (dp *DataPlane) identity() core.DataPlane {
+	ip, port := splitAddr(dp.cfg.Addr)
+	return core.DataPlane{ID: dp.cfg.ID, IP: ip, Port: port}
+}
+
+func splitAddr(addr string) (string, uint16) {
+	for i := len(addr) - 1; i >= 0; i-- {
+		if addr[i] == ':' {
+			var port uint16
+			for _, c := range addr[i+1:] {
+				if c < '0' || c > '9' {
+					return addr, 0
+				}
+				port = port*10 + uint16(c-'0')
+			}
+			return addr[:i], port
+		}
+	}
+	return addr, 0
+}
+
+// Stop simulates a data plane crash: in-flight requests fail as their
+// client connections are severed (paper §3.4.2).
+func (dp *DataPlane) Stop() {
+	dp.mu.Lock()
+	if dp.stopped {
+		dp.mu.Unlock()
+		return
+	}
+	dp.stopped = true
+	// Fail everything queued.
+	for _, fr := range dp.functions {
+		for _, p := range fr.queue {
+			p.resultCh <- invokeResult{err: errors.New("data plane: shutting down")}
+		}
+		fr.queue = nil
+	}
+	dp.mu.Unlock()
+	close(dp.stopCh)
+	if dp.listener != nil {
+		dp.listener.Close()
+	}
+	dp.wg.Wait()
+}
+
+// Addr returns the replica's RPC address.
+func (dp *DataPlane) Addr() string { return dp.cfg.Addr }
+
+// ID returns the replica's identity.
+func (dp *DataPlane) ID() core.DataPlaneID { return dp.cfg.ID }
+
+func (dp *DataPlane) handleRPC(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case proto.MethodInvoke:
+		return dp.handleInvoke(payload)
+	case proto.MethodAddFunction:
+		return dp.handleAddFunctions(payload)
+	case proto.MethodRemoveFunction:
+		return dp.handleRemoveFunction(payload)
+	case proto.MethodUpdateEndpoints:
+		return dp.handleUpdateEndpoints(payload)
+	default:
+		return nil, fmt.Errorf("data plane: unknown method %q", method)
+	}
+}
+
+// handleAddFunctions replaces/extends the function cache (CP pushes the
+// full list; the update is idempotent).
+func (dp *DataPlane) handleAddFunctions(payload []byte) ([]byte, error) {
+	list, err := proto.UnmarshalFunctionList(payload)
+	if err != nil {
+		return nil, err
+	}
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	seen := make(map[string]bool, len(list.Functions))
+	for _, f := range list.Functions {
+		seen[f.Name] = true
+		fr, ok := dp.functions[f.Name]
+		if !ok {
+			dp.functions[f.Name] = &functionRuntime{
+				fn:        f,
+				endpoints: make(map[core.SandboxID]*endpointState),
+			}
+		} else {
+			fr.fn = f
+		}
+	}
+	// Drop functions no longer registered.
+	for name, fr := range dp.functions {
+		if !seen[name] {
+			for _, p := range fr.queue {
+				p.resultCh <- invokeResult{err: fmt.Errorf("function %q deregistered", name)}
+			}
+			delete(dp.functions, name)
+		}
+	}
+	return nil, nil
+}
+
+func (dp *DataPlane) handleRemoveFunction(payload []byte) ([]byte, error) {
+	f, err := core.UnmarshalFunction(payload)
+	if err != nil {
+		return nil, err
+	}
+	dp.mu.Lock()
+	fr := dp.functions[f.Name]
+	delete(dp.functions, f.Name)
+	dp.mu.Unlock()
+	if fr != nil {
+		for _, p := range fr.queue {
+			p.resultCh <- invokeResult{err: fmt.Errorf("function %q deregistered", f.Name)}
+		}
+	}
+	return nil, nil
+}
+
+// handleUpdateEndpoints reconciles a function's endpoint cache with the
+// control plane's broadcast, then pumps the request queue: newly added
+// sandboxes immediately absorb buffered cold-start invocations.
+func (dp *DataPlane) handleUpdateEndpoints(payload []byte) ([]byte, error) {
+	update, err := proto.UnmarshalEndpointUpdate(payload)
+	if err != nil {
+		return nil, err
+	}
+	dp.mu.Lock()
+	fr, ok := dp.functions[update.Function]
+	if !ok {
+		// Endpoint update racing function registration: create a shell
+		// entry; the function push will fill in the spec.
+		fr = &functionRuntime{
+			fn:        core.Function{Name: update.Function},
+			endpoints: make(map[core.SandboxID]*endpointState),
+		}
+		dp.functions[update.Function] = fr
+	}
+	// Broadcasts travel on independent goroutines and can reorder; an
+	// older full-list update must not regress a newer cache.
+	if update.Version != 0 && update.Version <= fr.epVersion {
+		dp.mu.Unlock()
+		dp.metrics.Counter("endpoint_updates_stale").Inc()
+		return nil, nil
+	}
+	fr.epVersion = update.Version
+	next := make(map[core.SandboxID]*endpointState, len(update.Endpoints))
+	for _, info := range update.Endpoints {
+		if prev, ok := fr.endpoints[info.ID]; ok {
+			prev.info = info
+			next[info.ID] = prev
+		} else {
+			next[info.ID] = &endpointState{
+				info:     info,
+				capacity: sandboxCapacity(&fr.fn),
+			}
+		}
+	}
+	fr.endpoints = next
+	dispatches := dp.pumpLocked(fr)
+	dp.mu.Unlock()
+	for _, d := range dispatches {
+		go dp.dispatch(d.function, d.info, d.p)
+	}
+	return nil, nil
+}
+
+// sandboxCapacity is the per-sandbox concurrency limit. The paper's
+// evaluation configures sandboxes to process one request at a time,
+// matching commercial FaaS defaults (§5.1).
+func sandboxCapacity(fn *core.Function) int {
+	if fn.Scaling.TargetConcurrency >= 2 {
+		return int(fn.Scaling.TargetConcurrency)
+	}
+	return 1
+}

@@ -1,0 +1,396 @@
+package dataplane
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"dirigent/internal/core"
+	"dirigent/internal/loadbalancer"
+	"dirigent/internal/proto"
+	"dirigent/internal/transport"
+)
+
+// handleInvoke is the life of a request inside the data plane (paper §3.3):
+// warm starts are proxied immediately through the concurrency throttler;
+// cold starts wait in the per-function request queue until the control
+// plane reports a ready sandbox.
+func (dp *DataPlane) handleInvoke(payload []byte) ([]byte, error) {
+	req, err := proto.UnmarshalInvokeRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	if req.Async {
+		return dp.acceptAsync(req)
+	}
+	return dp.invokeSync(req.Function, req.Payload)
+}
+
+func (dp *DataPlane) invokeSync(function string, payload []byte) ([]byte, error) {
+	arrival := dp.clk.Now()
+	dp.metrics.Counter("invocations").Inc()
+
+	staleRetries := 0
+	for {
+		dp.mu.Lock()
+		fr, ok := dp.functions[function]
+		if !ok {
+			dp.mu.Unlock()
+			dp.metrics.Counter("invocations_unknown_function").Inc()
+			return nil, fmt.Errorf("data plane: unknown function %q", function)
+		}
+		dp.invokeSeq++
+		key := dp.invokeSeq
+		var ep *endpointState
+		if staleRetries < 5 {
+			ep = dp.pickLocked(fr, key)
+		}
+		if ep == nil {
+			// No free (or trustworthy) slot: buffer as a cold start and
+			// wait for the control plane to provide capacity.
+			break
+		}
+		// Warm start: a sandbox with a free slot exists right now.
+		ep.inFlight++
+		info := ep.info
+		dp.mu.Unlock()
+		body, err := dp.proxy(&info, function, payload)
+		dp.releaseSlot(function, info.ID)
+		if err != nil {
+			if isStaleEndpointErr(err) {
+				// The sandbox (or its worker) is gone but the control
+				// plane's drain broadcast has not landed yet. Dirigent
+				// favors availability (paper §3.4.1): drop the endpoint
+				// locally and retry instead of failing the client.
+				dp.dropEndpoint(function, info.ID)
+				dp.metrics.Counter("stale_endpoints_dropped").Inc()
+				staleRetries++
+				continue
+			}
+			dp.metrics.Counter("invocation_errors").Inc()
+			return nil, err
+		}
+		resp := proto.InvokeResponse{
+			ColdStart:           false,
+			SchedulingLatencyUs: dp.clk.Since(arrival).Microseconds() - execHintUs(body),
+			Body:                body,
+		}
+		dp.metrics.Counter("warm_starts").Inc()
+		return resp.Marshal(), nil
+	}
+
+	// Cold start: buffer in the per-function request queue. (dp.mu held.)
+	fr := dp.functions[function]
+	p := &pending{
+		payload:    payload,
+		enqueuedAt: arrival,
+		resultCh:   make(chan invokeResult, 1),
+	}
+	fr.queue = append(fr.queue, p)
+	dp.metrics.Counter("cold_starts").Inc()
+	dp.mu.Unlock()
+
+	select {
+	case res := <-p.resultCh:
+		if res.err != nil {
+			dp.metrics.Counter("invocation_errors").Inc()
+			return nil, res.err
+		}
+		resp := proto.InvokeResponse{
+			ColdStart:           true,
+			SchedulingLatencyUs: res.dispatch.Sub(arrival).Microseconds(),
+			Body:                res.body,
+		}
+		return resp.Marshal(), nil
+	case <-time.After(dp.cfg.QueueTimeout):
+		dp.abandon(function, p)
+		dp.metrics.Counter("invocation_timeouts").Inc()
+		return nil, fmt.Errorf("data plane: invocation of %q timed out waiting for a sandbox", function)
+	case <-dp.stopCh:
+		return nil, fmt.Errorf("data plane: shutting down")
+	}
+}
+
+// execHintUs is a hook for latency accounting; the simulated function
+// handlers report pure execution time out of band, so the data plane's
+// scheduling latency for warm starts is simply proxy + throttler time.
+// Returning 0 keeps the accounting conservative (scheduling latency
+// includes the function execution for warm starts measured here; the
+// experiment harness measures execution separately).
+func execHintUs([]byte) int64 { return 0 }
+
+// pickLocked runs the load-balancing policy over the function's endpoint
+// snapshot. Callers hold dp.mu.
+func (dp *DataPlane) pickLocked(fr *functionRuntime, key uint64) *endpointState {
+	if len(fr.endpoints) == 0 {
+		return nil
+	}
+	eps := make([]loadbalancer.Endpoint, 0, len(fr.endpoints))
+	for _, ep := range fr.endpoints {
+		eps = append(eps, loadbalancer.Endpoint{
+			SandboxID: ep.info.ID,
+			Addr:      ep.info.Addr,
+			InFlight:  ep.inFlight,
+			Capacity:  ep.capacity,
+		})
+	}
+	chosen := dp.cfg.Balancer.Pick(fr.fn.Name, key, eps)
+	if chosen == nil {
+		return nil
+	}
+	return fr.endpoints[chosen.SandboxID]
+}
+
+// proxy forwards the invocation to the worker hosting the sandbox; this is
+// the HTTP/2 reverse-proxy hop in Figure 6.
+func (dp *DataPlane) proxy(info *proto.SandboxInfo, function string, payload []byte) ([]byte, error) {
+	req := proto.InvokeSandboxRequest{
+		SandboxID: info.ID,
+		Function:  function,
+		Payload:   payload,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), dp.cfg.QueueTimeout)
+	defer cancel()
+	return dp.cfg.Transport.Call(ctx, info.Addr, proto.MethodInvokeSandbox, req.Marshal())
+}
+
+// releaseSlot frees a concurrency slot and pumps the queue.
+func (dp *DataPlane) releaseSlot(function string, id core.SandboxID) {
+	dp.mu.Lock()
+	fr, ok := dp.functions[function]
+	if !ok {
+		dp.mu.Unlock()
+		return
+	}
+	if ep, ok := fr.endpoints[id]; ok && ep.inFlight > 0 {
+		ep.inFlight--
+	}
+	dispatches := dp.pumpLocked(fr)
+	dp.mu.Unlock()
+	for _, d := range dispatches {
+		go dp.dispatch(d.function, d.info, d.p)
+	}
+}
+
+type dispatchWork struct {
+	function string
+	info     proto.SandboxInfo
+	p        *pending
+}
+
+// pumpLocked matches queued invocations with free endpoint slots.
+// Callers hold dp.mu; the returned work must be executed off-lock, which
+// is why each item carries a snapshot of the endpoint info taken under
+// the lock (endpoint updates may rewrite it concurrently).
+func (dp *DataPlane) pumpLocked(fr *functionRuntime) []dispatchWork {
+	var work []dispatchWork
+	for len(fr.queue) > 0 {
+		dp.invokeSeq++
+		ep := dp.pickLocked(fr, dp.invokeSeq)
+		if ep == nil {
+			break
+		}
+		p := fr.queue[0]
+		fr.queue = fr.queue[1:]
+		ep.inFlight++
+		work = append(work, dispatchWork{function: fr.fn.Name, info: ep.info, p: p})
+	}
+	return work
+}
+
+// dispatch executes one dequeued cold-start invocation. If the chosen
+// endpoint turns out to be stale (sandbox or worker gone before the drain
+// broadcast arrived), the endpoint is dropped and the invocation requeued
+// rather than failed.
+func (dp *DataPlane) dispatch(function string, info proto.SandboxInfo, p *pending) {
+	dispatchedAt := dp.clk.Now()
+	body, err := dp.proxy(&info, function, p.payload)
+	if err != nil && isStaleEndpointErr(err) {
+		dp.dropEndpoint(function, info.ID)
+		dp.metrics.Counter("stale_endpoints_dropped").Inc()
+		dp.requeue(function, p)
+		dp.releaseSlot(function, info.ID)
+		return
+	}
+	dp.releaseSlot(function, info.ID)
+	p.resultCh <- invokeResult{
+		body:      body,
+		err:       err,
+		dispatch:  dispatchedAt,
+		coldStart: true,
+	}
+}
+
+// isStaleEndpointErr reports whether a proxy failure indicates the target
+// sandbox no longer exists (as opposed to an application error from the
+// function itself).
+func isStaleEndpointErr(err error) bool {
+	if errors.Is(err, transport.ErrUnreachable) {
+		return true
+	}
+	var re *transport.RemoteError
+	if errors.As(err, &re) {
+		return strings.Contains(re.Msg, "no such sandbox") ||
+			strings.Contains(re.Msg, "address unreachable")
+	}
+	return false
+}
+
+// dropEndpoint removes a stale endpoint from the local cache; the next
+// control-plane broadcast re-synchronizes the authoritative view.
+func (dp *DataPlane) dropEndpoint(function string, id core.SandboxID) {
+	dp.mu.Lock()
+	if fr, ok := dp.functions[function]; ok {
+		delete(fr.endpoints, id)
+	}
+	dp.mu.Unlock()
+}
+
+// requeue puts a pending invocation back at the head of the function's
+// queue so a subsequent endpoint can absorb it.
+func (dp *DataPlane) requeue(function string, p *pending) {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	fr, ok := dp.functions[function]
+	if !ok {
+		p.resultCh <- invokeResult{err: fmt.Errorf("function %q deregistered", function)}
+		return
+	}
+	fr.queue = append([]*pending{p}, fr.queue...)
+}
+
+// abandon removes a timed-out pending invocation from the queue.
+func (dp *DataPlane) abandon(function string, p *pending) {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	fr, ok := dp.functions[function]
+	if !ok {
+		return
+	}
+	for i, q := range fr.queue {
+		if q == p {
+			fr.queue = append(fr.queue[:i], fr.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// acceptAsync durably queues an asynchronous invocation and acknowledges
+// immediately; the async loop executes it with retries (at-least-once,
+// paper §3.4.2).
+func (dp *DataPlane) acceptAsync(req *proto.InvokeRequest) ([]byte, error) {
+	task := asyncTask{function: req.Function, payload: req.Payload}
+	// Persist before acknowledging: once the client sees "accepted", the
+	// invocation survives a data plane crash (paper §3.4.2).
+	key, err := dp.persistAsync(task)
+	if err != nil {
+		dp.metrics.Counter("async_rejected").Inc()
+		return nil, fmt.Errorf("data plane: persist async invocation: %w", err)
+	}
+	task.storeKey = key
+	select {
+	case dp.asyncCh <- task:
+		dp.metrics.Counter("async_accepted").Inc()
+		resp := proto.InvokeResponse{Body: []byte("accepted")}
+		return resp.Marshal(), nil
+	default:
+		dp.settleAsync(key)
+		dp.metrics.Counter("async_rejected").Inc()
+		return nil, fmt.Errorf("data plane: async queue full")
+	}
+}
+
+func (dp *DataPlane) asyncLoop() {
+	defer dp.wg.Done()
+	for {
+		select {
+		case <-dp.stopCh:
+			return
+		case task := <-dp.asyncCh:
+			if _, err := dp.invokeSync(task.function, task.payload); err != nil {
+				task.attempt++
+				if task.attempt <= dp.cfg.AsyncRetries {
+					dp.metrics.Counter("async_retries").Inc()
+					select {
+					case dp.asyncCh <- task:
+					default:
+						// Queue overflow: keep the durable record so a
+						// restart retries the task.
+						dp.metrics.Counter("async_dropped").Inc()
+					}
+				} else {
+					dp.settleAsync(task.storeKey)
+					dp.metrics.Counter("async_failed").Inc()
+				}
+			} else {
+				dp.settleAsync(task.storeKey)
+				dp.metrics.Counter("async_completed").Inc()
+			}
+		}
+	}
+}
+
+// metricLoop periodically reports per-function scaling metrics (in-flight
+// plus queued requests) to the control plane (paper Table 2).
+func (dp *DataPlane) metricLoop() {
+	defer dp.wg.Done()
+	ticker := time.NewTicker(dp.cfg.MetricInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-dp.stopCh:
+			return
+		case <-ticker.C:
+			dp.reportMetrics()
+		}
+	}
+}
+
+func (dp *DataPlane) reportMetrics() {
+	now := dp.clk.Now()
+	report := proto.ScalingMetricReport{DataPlane: dp.cfg.ID}
+	dp.mu.Lock()
+	for name, fr := range dp.functions {
+		inFlight := 0
+		for _, ep := range fr.endpoints {
+			inFlight += ep.inFlight
+		}
+		report.Metrics = append(report.Metrics, core.ScalingMetric{
+			Function:   name,
+			InFlight:   inFlight,
+			QueueDepth: len(fr.queue),
+			At:         now,
+		})
+	}
+	dp.mu.Unlock()
+	if len(report.Metrics) == 0 {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), dp.cfg.MetricInterval*4)
+	defer cancel()
+	// Best effort: a missed report only delays autoscaling by one period.
+	_, _ = dp.cp.Call(ctx, proto.MethodScalingMetric, report.Marshal())
+}
+
+// QueueDepth reports the number of buffered invocations for a function.
+func (dp *DataPlane) QueueDepth(function string) int {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	if fr, ok := dp.functions[function]; ok {
+		return len(fr.queue)
+	}
+	return 0
+}
+
+// EndpointCount reports the number of cached ready endpoints for a
+// function.
+func (dp *DataPlane) EndpointCount(function string) int {
+	dp.mu.Lock()
+	defer dp.mu.Unlock()
+	if fr, ok := dp.functions[function]; ok {
+		return len(fr.endpoints)
+	}
+	return 0
+}

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dirigent/internal/core"
+	"dirigent/internal/simulation"
+	"dirigent/internal/telemetry"
+	"dirigent/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Sandbox creation rate over the Azure trace on 1000 nodes (paper Fig. 3)",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Knative scheduling latency CDFs on the Azure-500 trace (paper Fig. 5)",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Per-function slowdown CDFs on the Azure-500 trace (paper Fig. 9)",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "fig10",
+		Title: "Scheduling latency CDFs on the Azure-500 trace (paper Fig. 10)",
+		Run:   runFig10,
+	})
+	register(Experiment{
+		ID:    "azure500",
+		Title: "Azure-500 end-to-end comparison: slowdown, scheduling, sandboxes, CPU (paper §5.3)",
+		Run:   runAzure500,
+	})
+	register(Experiment{
+		ID:    "azure4k",
+		Title: "Azure-4000 larger trace: Dirigent vs AWS Lambda (paper §5.3)",
+		Run:   runAzure4k,
+	})
+}
+
+// azureTrace builds the synthetic Azure-like sample used across the §5.3
+// experiments. Scale shrinks both the function count and the duration.
+func azureTrace(functions int, duration time.Duration, scale float64, seed int64) *trace.Trace {
+	return trace.NewAzureLike(trace.Config{
+		Functions: scaleInt(functions, scale, 20),
+		Duration:  maxDuration(time.Duration(float64(duration)*scale), 3*time.Minute),
+		Seed:      seed,
+	})
+}
+
+func maxDuration(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// warmupFor returns the warmup cutoff (paper: discard the first 10 of 30
+// minutes).
+func warmupFor(tr *trace.Trace) time.Duration { return tr.Duration / 3 }
+
+// runFig3 reproduces Figure 3: per-second sandbox creation counts when the
+// trace runs on a 1000-node cluster with Knative's default policies, plus
+// the infinite-keep-alive variant discussed in §2.1.
+func runFig3(w io.Writer, scale float64) error {
+	tr := azureTrace(8000, 30*time.Minute, scale, 11)
+	warmup := warmupFor(tr)
+
+	run := func(infiniteKeepAlive bool) (telemetry.Stats, int) {
+		eng := simulation.NewEngine()
+		cfg := simulation.DirigentConfig{
+			Workers: 1000,
+			Runtime: "firecracker",
+			Seed:    1,
+		}
+		if infiniteKeepAlive {
+			sc := core.DefaultScalingConfig()
+			sc.ScaleToZeroGrace = 365 * 24 * time.Hour
+			sc.StableWindow = 60 * time.Second
+			cfg.ScaleDefaults = &sc
+		}
+		m := simulation.NewDirigent(eng, cfg)
+		simulation.ReplayTrace(eng, m, tr, warmup)
+		_, stats := simulation.CreationRateStats(m.CreationTimes(), tr.Duration, warmup)
+		return stats, m.SandboxCreations()
+	}
+
+	def, defTotal := run(false)
+	inf, infTotal := run(true)
+
+	t := newTable("policy", "avg_per_s", "p50_per_s", "p95_per_s", "p99_per_s", "max_per_s", "total")
+	t.addRow("knative-default", def.Avg, def.P50, def.P95, def.P99, def.Max, defTotal)
+	t.addRow("infinite-keep-alive", inf.Avg, inf.P50, inf.P95, inf.P99, inf.Max, infTotal)
+	t.write(w)
+	fmt.Fprintf(w, "# Trace: %d functions, %d invocations over %v.\n",
+		len(tr.Functions), tr.TotalInvocations(), tr.Duration)
+	fmt.Fprintln(w, "# Expected shape: sustained creations with p99 bursts far above the average")
+	fmt.Fprintln(w, "# (timer-driven unison cold starts); infinite keep-alive still needs substantial")
+	fmt.Fprintln(w, "# creation throughput for first-time invocations.")
+	return nil
+}
+
+// runFig5 reproduces Figure 5: the CDFs of Knative per-invocation and
+// per-function mean scheduling latency on the Azure-500 trace.
+func runFig5(w io.Writer, scale float64) error {
+	tr := azureTrace(500, 30*time.Minute, scale, 12)
+	warmup := warmupFor(tr)
+	eng := simulation.NewEngine()
+	m := simulation.NewKnative(eng, simulation.KnativeConfig{Seed: 1})
+	col := simulation.ReplayTrace(eng, m, tr, warmup)
+
+	perInv := col.Scheduling()
+	perFn := col.PerFunctionScheduling()
+	io.WriteString(w, telemetry.FormatCDFTable("knative per-invocation scheduling latency (ms)", perInv.CDF(15)))
+	io.WriteString(w, telemetry.FormatCDFTable("knative per-function mean scheduling latency (ms)", perFn.CDF(15)))
+	fmt.Fprintf(w, "# per-invocation: p50=%.2fms p99=%.2fms; per-function mean: p50=%.2fms p99=%.2fms\n",
+		perInv.Percentile(50), perInv.Percentile(99), perFn.Percentile(50), perFn.Percentile(99))
+	fmt.Fprintln(w, "# Expected shape: long tail — a sizable fraction of functions see multi-second")
+	fmt.Fprintln(w, "# mean scheduling latency while the median invocation is fast.")
+	return nil
+}
+
+type azureSystem struct {
+	name string
+	make func(eng *simulation.Engine) simulation.Model
+}
+
+func azureSystems() []azureSystem {
+	return []azureSystem{
+		{"knative", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewKnative(e, simulation.KnativeConfig{Seed: 1})
+		}},
+		{"aws-lambda", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewLambda(e, simulation.LambdaConfig{Seed: 1})
+		}},
+		{"dirigent-containerd", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewDirigent(e, simulation.DirigentConfig{Runtime: "containerd", Seed: 1})
+		}},
+		{"dirigent-firecracker", func(e *simulation.Engine) simulation.Model {
+			return simulation.NewDirigent(e, simulation.DirigentConfig{Runtime: "firecracker", Seed: 1})
+		}},
+	}
+}
+
+// runFig9 reproduces Figure 9: per-function slowdown CDFs for the four
+// systems on the Azure-500 trace.
+func runFig9(w io.Writer, scale float64) error {
+	tr := azureTrace(500, 30*time.Minute, scale, 13)
+	warmup := warmupFor(tr)
+	t := newTable("system", "p50_slowdown", "p90", "p99", "max")
+	for _, sys := range azureSystems() {
+		eng := simulation.NewEngine()
+		m := sys.make(eng)
+		col := simulation.ReplayTrace(eng, m, tr, warmup)
+		h := col.PerFunctionSlowdown()
+		t.addRow(sys.name, h.Percentile(50), h.Percentile(90), h.Percentile(99), h.Max())
+	}
+	t.write(w)
+	fmt.Fprintln(w, "# Expected shape: Dirigent median ≈1.4 < Lambda ≈1.9 < Knative ≈13; Dirigent's")
+	fmt.Fprintln(w, "# p99 orders of magnitude below Knative's; Dirigent-firecracker slightly better")
+	fmt.Fprintln(w, "# than containerd except at the extreme tail (snapshot restores from disk).")
+	return nil
+}
+
+// runFig10 reproduces Figure 10: per-invocation and per-function average
+// scheduling latency CDFs.
+func runFig10(w io.Writer, scale float64) error {
+	tr := azureTrace(500, 30*time.Minute, scale, 13)
+	warmup := warmupFor(tr)
+	t := newTable("system", "perinv_p50_ms", "perinv_p99_ms", "perfn_p50_ms", "perfn_p99_ms")
+	for _, sys := range azureSystems() {
+		if sys.name == "dirigent-containerd" {
+			continue // Figure 10 plots one Dirigent configuration
+		}
+		eng := simulation.NewEngine()
+		m := sys.make(eng)
+		col := simulation.ReplayTrace(eng, m, tr, warmup)
+		perInv := col.Scheduling()
+		perFn := col.PerFunctionScheduling()
+		t.addRow(sys.name, perInv.Percentile(50), perInv.Percentile(99),
+			perFn.Percentile(50), perFn.Percentile(99))
+	}
+	t.write(w)
+	fmt.Fprintln(w, "# Expected shape: Dirigent's median per-invocation scheduling ≈1.7ms vs Knative ≈4.7ms,")
+	fmt.Fprintln(w, "# and p99 ≈1.1s vs ≈60s (403x per-function at p99 in the paper); Lambda in between.")
+	return nil
+}
+
+// runAzure500 reproduces the §5.3 summary table: slowdown percentiles,
+// scheduling latency, sandbox counts, and control plane utilization.
+func runAzure500(w io.Writer, scale float64) error {
+	tr := azureTrace(500, 30*time.Minute, scale, 13)
+	warmup := warmupFor(tr)
+	t := newTable("system", "sd_p50", "sd_p99", "sched_p50_ms", "sched_p99_ms", "sandboxes", "cp_util_%", "fail_%")
+	for _, sys := range azureSystems() {
+		eng := simulation.NewEngine()
+		m := sys.make(eng)
+		col := simulation.ReplayTrace(eng, m, tr, warmup)
+		slow := col.PerFunctionSlowdown()
+		sched := col.Scheduling()
+		cpUtil := "-"
+		switch mm := m.(type) {
+		case *simulation.Dirigent:
+			cpUtil = formatFloat(mm.ControlPlaneUtilization() * 100)
+		case *simulation.Knative:
+			cpUtil = formatFloat(mm.ControlPlaneUtilization() * 100)
+		}
+		t.addRow(sys.name, slow.Percentile(50), slow.Percentile(99),
+			sched.Percentile(50), sched.Percentile(99),
+			m.SandboxCreations(), cpUtil, col.FailureRate()*100)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "# Expected shape: Dirigent creates far fewer sandboxes than Knative for the same")
+	fmt.Fprintln(w, "# trace and policies (713 vs 2930 in the paper) because fast creations drain the")
+	fmt.Fprintln(w, "# queue before the autoscaler overreacts; Dirigent CP utilization ~3% vs >75%.")
+	return nil
+}
+
+// runAzure4k reproduces the larger-trace experiment: 4000 functions,
+// Dirigent vs AWS Lambda (Knative cannot run it, §5.3).
+func runAzure4k(w io.Writer, scale float64) error {
+	tr := azureTrace(4000, 30*time.Minute, scale, 14)
+	warmup := warmupFor(tr)
+	t := newTable("system", "invocations", "sd_p50", "sd_p99", "fail_%")
+	for _, sys := range azureSystems() {
+		if sys.name == "knative" || sys.name == "dirigent-containerd" {
+			continue
+		}
+		eng := simulation.NewEngine()
+		m := sys.make(eng)
+		col := simulation.ReplayTrace(eng, m, tr, warmup)
+		slow := col.Slowdowns()
+		t.addRow(sys.name, len(col.Results), slow.Percentile(50), slow.Percentile(99), col.FailureRate()*100)
+	}
+	t.write(w)
+	fmt.Fprintln(w, "# Expected shape: Dirigent sustains the 4000-function trace with modest slowdowns")
+	fmt.Fprintln(w, "# (paper: p50 2.14, p99 15.4) while Lambda's tail explodes (p50 70, p99 11631)")
+	fmt.Fprintln(w, "# under the trace's cold-start bursts.")
+	return nil
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every artifact from the paper's evaluation must be addressable.
+	want := []string{
+		"fig1", "fig2", "fig3", "fig5", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "scalability", "registration", "azure500", "azure4k", "faults",
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(All()) < len(want) {
+		t.Errorf("All() returned %d experiments, want >= %d", len(All()), len(want))
+	}
+	// All() is sorted by ID.
+	ids := All()
+	for i := 1; i < len(ids); i++ {
+		if ids[i].ID < ids[i-1].ID {
+			t.Errorf("All() not sorted at %d", i)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := Run(io.Discard, "fig99", 0.5); err == nil {
+		t.Errorf("unknown experiment should error")
+	}
+}
+
+func TestInvalidScale(t *testing.T) {
+	for _, s := range []float64{0, -1, 1.5} {
+		if err := Run(io.Discard, "fig1", s); err == nil {
+			t.Errorf("scale %v should be rejected", s)
+		}
+	}
+}
+
+// TestSimulationExperimentsRunAtTinyScale executes every pure-simulation
+// experiment end to end at a very small scale, checking they produce
+// plausible table output. The live-cluster experiments (fig11, faults,
+// registration) are covered separately because they take seconds each.
+func TestSimulationExperimentsRunAtTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweeps take a few seconds")
+	}
+	for _, id := range []string{"fig1", "fig2", "fig3", "fig5", "fig9", "fig10", "azure500", "azure4k"} {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := Run(&buf, id, 0.05); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			out := buf.String()
+			if !strings.Contains(out, "===") {
+				t.Errorf("missing header:\n%s", out)
+			}
+			if len(strings.Split(out, "\n")) < 5 {
+				t.Errorf("suspiciously short output:\n%s", out)
+			}
+		})
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := newTable("col_a", "b")
+	tab.addRow("x", 1.5)
+	tab.addRow("longer-value", 12345.678)
+	tab.addRow(42, "str")
+	var buf bytes.Buffer
+	tab.write(&buf)
+	out := buf.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // header + separator + 3 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "col_a") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(out, "12346") { // >=10000 renders with %.0f
+		t.Errorf("float formatting wrong:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		1.234:    "1.23",
+		99.99:    "99.99",
+		150.26:   "150.3",
+		12345.67: "12346",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestScaleInt(t *testing.T) {
+	if got := scaleInt(1000, 0.25, 10); got != 250 {
+		t.Errorf("scaleInt = %d", got)
+	}
+	if got := scaleInt(1000, 0.001, 10); got != 10 {
+		t.Errorf("scaleInt floor = %d", got)
+	}
+}

@@ -1,0 +1,158 @@
+// Package frontend implements Dirigent's front-end load balancer (the
+// HAProxy + keepalived tier in the paper's deployment, §5.1). It steers
+// invocations to data plane replicas by a hash of the function ID, which
+// "ensures all invocations of a particular function end up on the same
+// data plane component and allows centralized tracking of the number of
+// in-flight requests for each function" (paper §4). Failed data planes are
+// taken out of rotation for a cooldown and traffic re-steers to the next
+// replica on the ring.
+package frontend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dirigent/internal/core"
+	"dirigent/internal/proto"
+	"dirigent/internal/telemetry"
+	"dirigent/internal/transport"
+	"dirigent/internal/versioning"
+)
+
+// Config parameterizes the front-end load balancer.
+type Config struct {
+	// Transport carries invocations to data planes.
+	Transport transport.Transport
+	// DataPlanes lists data plane replica addresses.
+	DataPlanes []string
+	// FailureCooldown is how long a data plane stays out of rotation
+	// after a connection failure before being retried.
+	FailureCooldown time.Duration
+	// RequestTimeout bounds one invocation end to end.
+	RequestTimeout time.Duration
+	// Versions, when non-nil, resolves logical function names to
+	// versioned targets before steering (canary / blue-green splits; see
+	// internal/versioning and paper §4, Limitations).
+	Versions *versioning.Router
+	// Metrics receives front-end telemetry.
+	Metrics *telemetry.Registry
+}
+
+// LB is the front-end load balancer.
+type LB struct {
+	cfg     Config
+	metrics *telemetry.Registry
+
+	mu       sync.Mutex
+	replicas []string
+	downTil  map[string]time.Time
+	seq      atomic.Uint64
+}
+
+// ErrNoDataPlane reports that no data plane replica is available.
+var ErrNoDataPlane = errors.New("frontend: no data plane available")
+
+// New returns a front-end LB over the given data plane replicas.
+func New(cfg Config) *LB {
+	if cfg.FailureCooldown == 0 {
+		cfg.FailureCooldown = 500 * time.Millisecond
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 90 * time.Second
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	return &LB{
+		cfg:      cfg,
+		metrics:  cfg.Metrics,
+		replicas: append([]string(nil), cfg.DataPlanes...),
+		downTil:  make(map[string]time.Time),
+	}
+}
+
+// SetDataPlanes replaces the replica set (e.g. after scaling data planes).
+func (lb *LB) SetDataPlanes(addrs []string) {
+	lb.mu.Lock()
+	lb.replicas = append([]string(nil), addrs...)
+	lb.mu.Unlock()
+}
+
+// candidates returns the replica order to try for a function: the hashed
+// home replica first, then the rest of the ring, skipping replicas in
+// failure cooldown (which are still returned last as a final resort).
+func (lb *LB) candidates(function string) []string {
+	lb.mu.Lock()
+	defer lb.mu.Unlock()
+	n := len(lb.replicas)
+	if n == 0 {
+		return nil
+	}
+	start := int(core.FunctionHash(function)) % n
+	now := time.Now()
+	var healthy, cooling []string
+	for i := 0; i < n; i++ {
+		addr := lb.replicas[(start+i)%n]
+		if t, ok := lb.downTil[addr]; ok && now.Before(t) {
+			cooling = append(cooling, addr)
+			continue
+		}
+		healthy = append(healthy, addr)
+	}
+	return append(healthy, cooling...)
+}
+
+func (lb *LB) markDown(addr string) {
+	lb.mu.Lock()
+	lb.downTil[addr] = time.Now().Add(lb.cfg.FailureCooldown)
+	lb.mu.Unlock()
+	lb.metrics.Counter("dataplane_failovers").Inc()
+}
+
+// Invoke sends one invocation through the data plane tier and returns the
+// decoded response. With a version router configured, the logical function
+// name resolves to a versioned target first, so splits apply uniformly to
+// every data plane.
+func (lb *LB) Invoke(ctx context.Context, req *proto.InvokeRequest) (*proto.InvokeResponse, error) {
+	if lb.cfg.Versions != nil {
+		resolved := lb.cfg.Versions.Resolve(req.Function, lb.seq.Add(1))
+		if resolved != req.Function {
+			r := *req
+			r.Function = resolved
+			req = &r
+		}
+	}
+	cands := lb.candidates(req.Function)
+	if len(cands) == 0 {
+		return nil, ErrNoDataPlane
+	}
+	if _, hasDeadline := ctx.Deadline(); !hasDeadline {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, lb.cfg.RequestTimeout)
+		defer cancel()
+	}
+	payload := req.Marshal()
+	var lastErr error
+	for _, addr := range cands {
+		respB, err := lb.cfg.Transport.Call(ctx, addr, proto.MethodInvoke, payload)
+		if err == nil {
+			lb.metrics.Counter("invocations").Inc()
+			return proto.UnmarshalInvokeResponse(respB)
+		}
+		lastErr = err
+		if errors.Is(err, transport.ErrUnreachable) {
+			// Connection-level failure: fail over to the next replica.
+			lb.markDown(addr)
+			continue
+		}
+		// Application-level error from the data plane: report it.
+		lb.metrics.Counter("invocation_errors").Inc()
+		return nil, err
+	}
+	lb.metrics.Counter("invocation_errors").Inc()
+	return nil, fmt.Errorf("%w: %v", ErrNoDataPlane, lastErr)
+}

@@ -1,0 +1,190 @@
+package frontend
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dirigent/internal/proto"
+	"dirigent/internal/transport"
+)
+
+// fakeDP serves dp.Invoke and records which functions it saw.
+type fakeDP struct {
+	mu    sync.Mutex
+	seen  []string
+	fail  bool
+	addr  string
+	tr    *transport.InProc
+	ln    transport.Listener
+	calls int
+}
+
+func newFakeDP(t *testing.T, tr *transport.InProc, addr string) *fakeDP {
+	t.Helper()
+	dp := &fakeDP{addr: addr, tr: tr}
+	ln, err := tr.Listen(addr, func(method string, payload []byte) ([]byte, error) {
+		if method != proto.MethodInvoke {
+			return nil, fmt.Errorf("unexpected method %s", method)
+		}
+		req, err := proto.UnmarshalInvokeRequest(payload)
+		if err != nil {
+			return nil, err
+		}
+		dp.mu.Lock()
+		dp.seen = append(dp.seen, req.Function)
+		dp.calls++
+		fail := dp.fail
+		dp.mu.Unlock()
+		if fail {
+			return nil, errors.New("boom")
+		}
+		resp := proto.InvokeResponse{Body: []byte(dp.addr)}
+		return resp.Marshal(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp.ln = ln
+	t.Cleanup(func() { ln.Close() })
+	return dp
+}
+
+func TestSteersByFunctionHash(t *testing.T) {
+	tr := transport.NewInProc()
+	dps := []*fakeDP{
+		newFakeDP(t, tr, "dp0"),
+		newFakeDP(t, tr, "dp1"),
+		newFakeDP(t, tr, "dp2"),
+	}
+	lb := New(Config{Transport: tr, DataPlanes: []string{"dp0", "dp1", "dp2"}})
+	ctx := context.Background()
+	// All invocations of the same function must land on the same replica.
+	for i := 0; i < 10; i++ {
+		if _, err := lb.Invoke(ctx, &proto.InvokeRequest{Function: "sticky"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hit := 0
+	for _, dp := range dps {
+		dp.mu.Lock()
+		if dp.calls > 0 {
+			hit++
+			if dp.calls != 10 {
+				t.Errorf("replica %s got %d/10 calls", dp.addr, dp.calls)
+			}
+		}
+		dp.mu.Unlock()
+	}
+	if hit != 1 {
+		t.Errorf("function spread across %d replicas, want 1", hit)
+	}
+}
+
+func TestDifferentFunctionsSpread(t *testing.T) {
+	tr := transport.NewInProc()
+	dps := []*fakeDP{
+		newFakeDP(t, tr, "dp0"),
+		newFakeDP(t, tr, "dp1"),
+		newFakeDP(t, tr, "dp2"),
+	}
+	lb := New(Config{Transport: tr, DataPlanes: []string{"dp0", "dp1", "dp2"}})
+	ctx := context.Background()
+	for i := 0; i < 60; i++ {
+		fn := fmt.Sprintf("fn-%d", i)
+		if _, err := lb.Invoke(ctx, &proto.InvokeRequest{Function: fn}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, dp := range dps {
+		dp.mu.Lock()
+		if dp.calls == 0 {
+			t.Errorf("replica %s received no traffic across 60 functions", dp.addr)
+		}
+		dp.mu.Unlock()
+	}
+}
+
+func TestFailsOverOnUnreachableReplica(t *testing.T) {
+	tr := transport.NewInProc()
+	newFakeDP(t, tr, "dp-alive")
+	lb := New(Config{
+		Transport:       tr,
+		DataPlanes:      []string{"dp-dead", "dp-alive"},
+		FailureCooldown: time.Minute,
+	})
+	ctx := context.Background()
+	// Find a function that hashes to the dead replica first.
+	for i := 0; i < 100; i++ {
+		fn := fmt.Sprintf("probe-%d", i)
+		resp, err := lb.Invoke(ctx, &proto.InvokeRequest{Function: fn})
+		if err != nil {
+			t.Fatalf("invoke %s: %v", fn, err)
+		}
+		if string(resp.Body) != "dp-alive" {
+			t.Fatalf("response from unexpected replica %q", resp.Body)
+		}
+	}
+	if lb.metrics.Counter("dataplane_failovers").Value() == 0 {
+		t.Errorf("no failovers recorded although one replica is dead")
+	}
+}
+
+func TestApplicationErrorsAreNotFailovers(t *testing.T) {
+	tr := transport.NewInProc()
+	dp := newFakeDP(t, tr, "dp0")
+	dp.fail = true
+	lb := New(Config{Transport: tr, DataPlanes: []string{"dp0"}})
+	_, err := lb.Invoke(context.Background(), &proto.InvokeRequest{Function: "f"})
+	if err == nil {
+		t.Fatalf("expected application error")
+	}
+	if errors.Is(err, ErrNoDataPlane) {
+		t.Errorf("application error misreported as no-data-plane: %v", err)
+	}
+}
+
+func TestNoDataPlanes(t *testing.T) {
+	lb := New(Config{Transport: transport.NewInProc()})
+	if _, err := lb.Invoke(context.Background(), &proto.InvokeRequest{Function: "f"}); !errors.Is(err, ErrNoDataPlane) {
+		t.Errorf("err = %v, want ErrNoDataPlane", err)
+	}
+}
+
+func TestAllReplicasDown(t *testing.T) {
+	tr := transport.NewInProc()
+	lb := New(Config{Transport: tr, DataPlanes: []string{"d0", "d1"}})
+	if _, err := lb.Invoke(context.Background(), &proto.InvokeRequest{Function: "f"}); !errors.Is(err, ErrNoDataPlane) {
+		t.Errorf("err = %v, want ErrNoDataPlane", err)
+	}
+}
+
+func TestSetDataPlanes(t *testing.T) {
+	tr := transport.NewInProc()
+	newFakeDP(t, tr, "late")
+	lb := New(Config{Transport: tr, DataPlanes: []string{"gone"}})
+	lb.SetDataPlanes([]string{"late"})
+	if _, err := lb.Invoke(context.Background(), &proto.InvokeRequest{Function: "f"}); err != nil {
+		t.Errorf("invoke after SetDataPlanes: %v", err)
+	}
+}
+
+func TestCooldownExpires(t *testing.T) {
+	tr := transport.NewInProc()
+	lb := New(Config{
+		Transport:       tr,
+		DataPlanes:      []string{"flaky"},
+		FailureCooldown: 10 * time.Millisecond,
+	})
+	// First call fails and puts the replica in cooldown.
+	lb.Invoke(context.Background(), &proto.InvokeRequest{Function: "f"})
+	// Replica comes back.
+	newFakeDP(t, tr, "flaky")
+	time.Sleep(20 * time.Millisecond)
+	if _, err := lb.Invoke(context.Background(), &proto.InvokeRequest{Function: "f"}); err != nil {
+		t.Errorf("invoke after cooldown: %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+// Package loadbalancer implements the data plane's invocation load
+// balancing. Dirigent's default forwards invocations to the least-loaded
+// sandbox, following Knative (paper §4); round-robin, random, and a
+// CH-RLU-style consistent-hashing policy (Fuerst & Sharma, HPDC'22) are
+// provided behind the same interface.
+package loadbalancer
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"dirigent/internal/core"
+)
+
+// Endpoint is one candidate sandbox with its instantaneous load.
+type Endpoint struct {
+	SandboxID core.SandboxID
+	Addr      string
+	// InFlight is the number of requests currently executing on the
+	// sandbox (tracked by the data plane's concurrency throttler).
+	InFlight int
+	// Capacity is the sandbox's concurrency limit (1 in the paper's
+	// evaluation, matching commercial FaaS).
+	Capacity int
+}
+
+// Policy picks a sandbox for an invocation. A nil return means every
+// endpoint is saturated and the request must queue.
+type Policy interface {
+	// Pick selects from eps for the given function and invocation key.
+	Pick(function string, key uint64, eps []Endpoint) *Endpoint
+	// Name identifies the policy.
+	Name() string
+}
+
+// LeastLoaded picks the endpoint with the fewest in-flight requests that
+// still has a free slot, breaking ties pseudo-randomly.
+type LeastLoaded struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewLeastLoaded returns the default least-loaded policy.
+func NewLeastLoaded(seed int64) *LeastLoaded {
+	return &LeastLoaded{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (p *LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Policy.
+func (p *LeastLoaded) Pick(_ string, _ uint64, eps []Endpoint) *Endpoint {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	best := -1
+	ties := 0
+	for i := range eps {
+		e := &eps[i]
+		if e.InFlight >= e.Capacity {
+			continue
+		}
+		switch {
+		case best < 0 || e.InFlight < eps[best].InFlight:
+			best = i
+			ties = 1
+		case e.InFlight == eps[best].InFlight:
+			ties++
+			if p.rng.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	return &eps[best]
+}
+
+// RoundRobin cycles through endpoints with free slots, per function.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next map[string]int
+}
+
+// NewRoundRobin returns a round-robin policy.
+func NewRoundRobin() *RoundRobin {
+	return &RoundRobin{next: make(map[string]int)}
+}
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Policy.
+func (p *RoundRobin) Pick(function string, _ uint64, eps []Endpoint) *Endpoint {
+	if len(eps) == 0 {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	start := p.next[function]
+	for i := 0; i < len(eps); i++ {
+		idx := (start + i) % len(eps)
+		if eps[idx].InFlight < eps[idx].Capacity {
+			p.next[function] = idx + 1
+			return &eps[idx]
+		}
+	}
+	return nil
+}
+
+// Random picks a uniformly random endpoint with a free slot.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom returns a random policy.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (p *Random) Name() string { return "random" }
+
+// Pick implements Policy.
+func (p *Random) Pick(_ string, _ uint64, eps []Endpoint) *Endpoint {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	chosen := -1
+	n := 0
+	for i := range eps {
+		if eps[i].InFlight >= eps[i].Capacity {
+			continue
+		}
+		n++
+		if p.rng.Intn(n) == 0 {
+			chosen = i
+		}
+	}
+	if chosen < 0 {
+		return nil
+	}
+	return &eps[chosen]
+}
+
+// CHRLU is a CH-RLU-style policy: consistent hashing on the invocation key
+// for locality, with bounded-load forwarding — if the hashed sandbox is
+// overloaded, the request walks the ring to the next sandbox with spare
+// capacity, spreading load while preserving locality for warm caches.
+type CHRLU struct {
+	// LoadBound is the multiple of average load beyond which the hashed
+	// endpoint is skipped (classic bounded-load consistent hashing uses
+	// ~1.25).
+	LoadBound float64
+}
+
+// NewCHRLU returns a CH-RLU policy with the conventional 1.25 load bound.
+func NewCHRLU() *CHRLU { return &CHRLU{LoadBound: 1.25} }
+
+// Name implements Policy.
+func (p *CHRLU) Name() string { return "ch-rlu" }
+
+// Pick implements Policy.
+func (p *CHRLU) Pick(function string, key uint64, eps []Endpoint) *Endpoint {
+	if len(eps) == 0 {
+		return nil
+	}
+	// Ring order: endpoints sorted by hash of their sandbox ID.
+	type ringEntry struct {
+		hash uint64
+		idx  int
+	}
+	ring := make([]ringEntry, len(eps))
+	var totalLoad int
+	for i := range eps {
+		ring[i] = ringEntry{hash: hash64(function, uint64(eps[i].SandboxID)), idx: i}
+		totalLoad += eps[i].InFlight
+	}
+	sort.Slice(ring, func(i, j int) bool { return ring[i].hash < ring[j].hash })
+	avgLoad := float64(totalLoad) / float64(len(eps))
+	bound := p.LoadBound * (avgLoad + 1)
+
+	h := hash64(function, key)
+	start := sort.Search(len(ring), func(i int) bool { return ring[i].hash >= h })
+	// First pass: respect the load bound.
+	for i := 0; i < len(ring); i++ {
+		e := &eps[ring[(start+i)%len(ring)].idx]
+		if e.InFlight < e.Capacity && float64(e.InFlight) < bound {
+			return e
+		}
+	}
+	// Second pass: any free slot.
+	for i := 0; i < len(ring); i++ {
+		e := &eps[ring[(start+i)%len(ring)].idx]
+		if e.InFlight < e.Capacity {
+			return e
+		}
+	}
+	return nil
+}
+
+func hash64(function string, v uint64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(function))
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}

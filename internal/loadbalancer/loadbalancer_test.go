@@ -1,0 +1,217 @@
+package loadbalancer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dirigent/internal/core"
+)
+
+func eps(loads ...int) []Endpoint {
+	out := make([]Endpoint, len(loads))
+	for i, l := range loads {
+		out[i] = Endpoint{
+			SandboxID: core.SandboxID(i + 1),
+			Addr:      "addr",
+			InFlight:  l,
+			Capacity:  1,
+		}
+	}
+	return out
+}
+
+func epsWithCapacity(capacity int, loads ...int) []Endpoint {
+	out := eps(loads...)
+	for i := range out {
+		out[i].Capacity = capacity
+	}
+	return out
+}
+
+func TestLeastLoadedPicksIdle(t *testing.T) {
+	p := NewLeastLoaded(1)
+	got := p.Pick("f", 1, epsWithCapacity(4, 3, 0, 2))
+	if got == nil || got.SandboxID != 2 {
+		t.Errorf("picked %+v, want sandbox 2", got)
+	}
+}
+
+func TestLeastLoadedReturnsNilWhenSaturated(t *testing.T) {
+	p := NewLeastLoaded(1)
+	if got := p.Pick("f", 1, eps(1, 1, 1)); got != nil {
+		t.Errorf("picked %+v from saturated set, want nil (queue)", got)
+	}
+}
+
+func TestLeastLoadedEmpty(t *testing.T) {
+	p := NewLeastLoaded(1)
+	if got := p.Pick("f", 1, nil); got != nil {
+		t.Errorf("picked from empty set")
+	}
+}
+
+func TestRoundRobinCyclesFreeSlots(t *testing.T) {
+	p := NewRoundRobin()
+	e := eps(0, 0, 0)
+	seen := make(map[core.SandboxID]int)
+	for i := 0; i < 9; i++ {
+		got := p.Pick("f", uint64(i), e)
+		if got == nil {
+			t.Fatal("nil pick")
+		}
+		seen[got.SandboxID]++
+	}
+	for id, n := range seen {
+		if n != 3 {
+			t.Errorf("sandbox %d picked %d times, want 3", id, n)
+		}
+	}
+}
+
+func TestRoundRobinPerFunctionState(t *testing.T) {
+	p := NewRoundRobin()
+	e := eps(0, 0)
+	a := p.Pick("f1", 0, e)
+	b := p.Pick("f2", 0, e)
+	if a == nil || b == nil {
+		t.Fatal("nil pick")
+	}
+	if a.SandboxID != b.SandboxID {
+		t.Errorf("independent functions should start at the same index")
+	}
+}
+
+func TestRandomSkipsSaturated(t *testing.T) {
+	p := NewRandom(3)
+	e := eps(1, 0, 1)
+	for i := 0; i < 50; i++ {
+		got := p.Pick("f", uint64(i), e)
+		if got == nil || got.SandboxID != 2 {
+			t.Fatalf("picked %+v, want only free sandbox 2", got)
+		}
+	}
+}
+
+func TestCHRLUDeterministicForKey(t *testing.T) {
+	p := NewCHRLU()
+	e := epsWithCapacity(8, 0, 0, 0, 0)
+	first := p.Pick("f", 42, e)
+	for i := 0; i < 10; i++ {
+		got := p.Pick("f", 42, e)
+		if got.SandboxID != first.SandboxID {
+			t.Fatalf("same key mapped to different sandboxes: %d vs %d", got.SandboxID, first.SandboxID)
+		}
+	}
+}
+
+func TestCHRLUForwardsWhenOverloaded(t *testing.T) {
+	p := NewCHRLU()
+	e := epsWithCapacity(8, 0, 0, 0, 0)
+	home := p.Pick("f", 42, e)
+	// Saturate the home endpoint far above the load bound; the same key
+	// must forward to a different sandbox.
+	for i := range e {
+		if e[i].SandboxID == home.SandboxID {
+			e[i].InFlight = 7
+		}
+	}
+	got := p.Pick("f", 42, e)
+	if got == nil {
+		t.Fatal("nil pick")
+	}
+	if got.SandboxID == home.SandboxID {
+		t.Errorf("CH-RLU did not forward away from the overloaded home node")
+	}
+}
+
+func TestCHRLUFallsBackToAnyFreeSlot(t *testing.T) {
+	p := NewCHRLU()
+	// Everything above the bound but one endpoint still has capacity.
+	e := epsWithCapacity(8, 7, 7, 7)
+	e[1].InFlight = 8 // full
+	got := p.Pick("f", 9, e)
+	if got == nil {
+		t.Fatalf("CH-RLU returned nil although free slots exist")
+	}
+	if got.InFlight >= got.Capacity {
+		t.Errorf("picked a full endpoint")
+	}
+}
+
+func TestCHRLUEmptyAndSaturated(t *testing.T) {
+	p := NewCHRLU()
+	if p.Pick("f", 1, nil) != nil {
+		t.Errorf("empty set should return nil")
+	}
+	if p.Pick("f", 1, eps(1, 1)) != nil {
+		t.Errorf("saturated set should return nil")
+	}
+}
+
+// TestQuickPoliciesNeverPickFull property-tests the concurrency-throttling
+// invariant: no policy ever returns an endpoint at capacity.
+func TestQuickPoliciesNeverPickFull(t *testing.T) {
+	policies := []Policy{NewLeastLoaded(5), NewRoundRobin(), NewRandom(5), NewCHRLU()}
+	f := func(loads []uint8, key uint64) bool {
+		if len(loads) == 0 {
+			return true
+		}
+		e := make([]Endpoint, len(loads))
+		anyFree := false
+		for i, l := range loads {
+			e[i] = Endpoint{
+				SandboxID: core.SandboxID(i + 1),
+				InFlight:  int(l % 3),
+				Capacity:  2,
+			}
+			if e[i].InFlight < e[i].Capacity {
+				anyFree = true
+			}
+		}
+		for _, p := range policies {
+			got := p.Pick("fn", key, e)
+			if got == nil {
+				if anyFree {
+					return false // policy starved a free endpoint
+				}
+				continue
+			}
+			if got.InFlight >= got.Capacity {
+				return false // throttling violated
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLeastLoadedTieBreakSpreads(t *testing.T) {
+	p := NewLeastLoaded(11)
+	e := epsWithCapacity(4, 0, 0, 0)
+	seen := make(map[core.SandboxID]bool)
+	for i := 0; i < 200; i++ {
+		got := p.Pick("f", uint64(i), e)
+		seen[got.SandboxID] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("tie-break always picked the same endpoint")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, tc := range []struct {
+		p    Policy
+		want string
+	}{
+		{NewLeastLoaded(1), "least-loaded"},
+		{NewRoundRobin(), "round-robin"},
+		{NewRandom(1), "random"},
+		{NewCHRLU(), "ch-rlu"},
+	} {
+		if tc.p.Name() != tc.want {
+			t.Errorf("Name = %q, want %q", tc.p.Name(), tc.want)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package placement implements the control plane's sandbox placement
+// policies. Dirigent's default mirrors the K8s/Knative scheduler: it
+// "favors nodes with the least utilized resources while aiming to balance
+// resource utilization across CPU and memory" (paper §4). Alternative
+// policies (random, round-robin, and a Hermod-style hybrid) plug in through
+// the same interface, as the paper describes for Hermod and CH-RLU.
+package placement
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+
+	"dirigent/internal/core"
+)
+
+// NodeStatus combines a worker's identity/capacity with its last reported
+// utilization, as tracked by the control plane's health monitor.
+type NodeStatus struct {
+	Node core.WorkerNode
+	Util core.NodeUtilization
+}
+
+// Requirements are the per-sandbox resource requests.
+type Requirements struct {
+	CPUMilli int
+	MemoryMB int
+}
+
+// ErrNoCapacity reports that no node can fit the sandbox.
+var ErrNoCapacity = errors.New("placement: no node with sufficient capacity")
+
+// Policy selects the worker node for a new sandbox.
+type Policy interface {
+	// Place returns the chosen node ID. Implementations must not retain
+	// the candidates slice.
+	Place(candidates []NodeStatus, req Requirements) (core.NodeID, error)
+	// Name identifies the policy.
+	Name() string
+}
+
+// fits reports whether the node has room for the request.
+func fits(n *NodeStatus, req Requirements) bool {
+	return n.Util.CPUMilliUsed+req.CPUMilli <= n.Node.CPUMilli &&
+		n.Util.MemoryMBUsed+req.MemoryMB <= n.Node.MemoryMB
+}
+
+// KubeDefault scores feasible nodes with the average of the K8s
+// "LeastAllocated" and "BalancedAllocation" priorities and picks the best.
+type KubeDefault struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewKubeDefault returns the default policy with deterministic tie-breaks.
+func NewKubeDefault(seed int64) *KubeDefault {
+	return &KubeDefault{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (p *KubeDefault) Name() string { return "kube-default" }
+
+// Place implements Policy.
+func (p *KubeDefault) Place(candidates []NodeStatus, req Requirements) (core.NodeID, error) {
+	best := -1
+	bestScore := math.Inf(-1)
+	ties := 0
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range candidates {
+		c := &candidates[i]
+		if !fits(c, req) {
+			continue
+		}
+		cpuFrac := float64(c.Util.CPUMilliUsed+req.CPUMilli) / float64(max(c.Node.CPUMilli, 1))
+		memFrac := float64(c.Util.MemoryMBUsed+req.MemoryMB) / float64(max(c.Node.MemoryMB, 1))
+		// LeastAllocated: prefer low post-placement utilization.
+		leastAllocated := 1 - (cpuFrac+memFrac)/2
+		// BalancedAllocation: prefer similar CPU and memory fractions.
+		balanced := 1 - math.Abs(cpuFrac-memFrac)
+		score := (leastAllocated + balanced) / 2
+		switch {
+		case score > bestScore:
+			bestScore = score
+			best = i
+			ties = 1
+		case score == bestScore:
+			// Reservoir-sample among exact ties for fairness.
+			ties++
+			if p.rng.Intn(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return 0, ErrNoCapacity
+	}
+	return candidates[best].Node.ID, nil
+}
+
+// Random places on a uniformly random feasible node.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom returns a random placement policy.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Policy.
+func (p *Random) Name() string { return "random" }
+
+// Place implements Policy.
+func (p *Random) Place(candidates []NodeStatus, req Requirements) (core.NodeID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	chosen := -1
+	feasible := 0
+	for i := range candidates {
+		if !fits(&candidates[i], req) {
+			continue
+		}
+		feasible++
+		if p.rng.Intn(feasible) == 0 {
+			chosen = i
+		}
+	}
+	if chosen < 0 {
+		return 0, ErrNoCapacity
+	}
+	return candidates[chosen].Node.ID, nil
+}
+
+// RoundRobin cycles through feasible nodes.
+type RoundRobin struct {
+	mu   sync.Mutex
+	next int
+}
+
+// NewRoundRobin returns a round-robin placement policy.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// Place implements Policy.
+func (p *RoundRobin) Place(candidates []NodeStatus, req Requirements) (core.NodeID, error) {
+	if len(candidates) == 0 {
+		return 0, ErrNoCapacity
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := 0; i < len(candidates); i++ {
+		idx := (p.next + i) % len(candidates)
+		if fits(&candidates[idx], req) {
+			p.next = idx + 1
+			return candidates[idx].Node.ID, nil
+		}
+	}
+	return 0, ErrNoCapacity
+}
+
+// Hermod implements a Hermod-style hybrid policy (Kaffes et al., SoCC'22):
+// prefer packing onto moderately loaded nodes ("least-loaded among warm")
+// to balance cold-start avoidance against interference, falling back to the
+// globally least-loaded node. The paper lists Hermod as a supported but
+// unused policy (§4); it is exercised by the ablation benches.
+type Hermod struct{}
+
+// NewHermod returns the Hermod-style policy.
+func NewHermod() *Hermod { return &Hermod{} }
+
+// Name implements Policy.
+func (p *Hermod) Name() string { return "hermod" }
+
+// Place implements Policy.
+func (p *Hermod) Place(candidates []NodeStatus, req Requirements) (core.NodeID, error) {
+	best := -1
+	bestKey := math.Inf(1)
+	for i := range candidates {
+		c := &candidates[i]
+		if !fits(c, req) {
+			continue
+		}
+		cpuFrac := float64(c.Util.CPUMilliUsed) / float64(max(c.Node.CPUMilli, 1))
+		// Hermod's hybrid: pack onto busy-but-not-saturated nodes. Key
+		// is distance from a 50% utilization sweet spot; saturated nodes
+		// (>90%) are deprioritized strongly.
+		key := math.Abs(cpuFrac - 0.5)
+		if cpuFrac > 0.9 {
+			key += 1
+		}
+		if key < bestKey {
+			bestKey = key
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, ErrNoCapacity
+	}
+	return candidates[best].Node.ID, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package placement
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dirigent/internal/core"
+)
+
+func nodes(utils ...[2]int) []NodeStatus {
+	out := make([]NodeStatus, len(utils))
+	for i, u := range utils {
+		out[i] = NodeStatus{
+			Node: core.WorkerNode{
+				ID:       core.NodeID(i + 1),
+				Name:     "w",
+				CPUMilli: 10000,
+				MemoryMB: 65536,
+			},
+			Util: core.NodeUtilization{
+				Node:         core.NodeID(i + 1),
+				CPUMilliUsed: u[0],
+				MemoryMBUsed: u[1],
+			},
+		}
+	}
+	return out
+}
+
+var req = Requirements{CPUMilli: 100, MemoryMB: 128}
+
+func TestKubeDefaultPrefersLeastUtilized(t *testing.T) {
+	p := NewKubeDefault(1)
+	cands := nodes([2]int{9000, 60000}, [2]int{100, 1000}, [2]int{5000, 30000})
+	id, err := p.Place(cands, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Errorf("placed on node %d, want 2 (least utilized)", id)
+	}
+}
+
+func TestKubeDefaultBalancesCPUAndMemory(t *testing.T) {
+	p := NewKubeDefault(1)
+	// Node 1: CPU hot, memory cold (imbalanced). Node 2: both moderate
+	// with the same total allocation — balanced should win.
+	cands := nodes([2]int{8000, 0}, [2]int{4000, 26214})
+	id, err := p.Place(cands, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Errorf("placed on node %d, want 2 (balanced)", id)
+	}
+}
+
+func TestPlacementRespectsCapacity(t *testing.T) {
+	policies := []Policy{NewKubeDefault(1), NewRandom(1), NewRoundRobin(), NewHermod()}
+	full := nodes([2]int{10000, 65536}, [2]int{9950, 65536})
+	for _, p := range policies {
+		if _, err := p.Place(full, req); err == nil {
+			t.Errorf("%s placed on a full cluster", p.Name())
+		}
+	}
+	empty := []NodeStatus{}
+	for _, p := range policies {
+		if _, err := p.Place(empty, req); err == nil {
+			t.Errorf("%s placed with no nodes", p.Name())
+		}
+	}
+}
+
+func TestPlacementPartialCapacity(t *testing.T) {
+	policies := []Policy{NewKubeDefault(1), NewRandom(1), NewRoundRobin(), NewHermod()}
+	// Only node 3 has room.
+	cands := nodes([2]int{10000, 65536}, [2]int{10000, 65536}, [2]int{0, 0})
+	for _, p := range policies {
+		id, err := p.Place(cands, req)
+		if err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+			continue
+		}
+		if id != 3 {
+			t.Errorf("%s placed on %d, want 3", p.Name(), id)
+		}
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	p := NewRoundRobin()
+	cands := nodes([2]int{0, 0}, [2]int{0, 0}, [2]int{0, 0})
+	seen := make(map[core.NodeID]int)
+	for i := 0; i < 9; i++ {
+		id, err := p.Place(cands, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[id]++
+	}
+	for id, n := range seen {
+		if n != 3 {
+			t.Errorf("node %d placed %d times, want 3", id, n)
+		}
+	}
+}
+
+func TestRandomSpreads(t *testing.T) {
+	p := NewRandom(7)
+	cands := nodes([2]int{0, 0}, [2]int{0, 0}, [2]int{0, 0}, [2]int{0, 0})
+	seen := make(map[core.NodeID]int)
+	for i := 0; i < 400; i++ {
+		id, err := p.Place(cands, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[id]++
+	}
+	if len(seen) != 4 {
+		t.Errorf("random placement used %d of 4 nodes", len(seen))
+	}
+	for id, n := range seen {
+		if n < 50 {
+			t.Errorf("node %d only placed %d/400; too skewed", id, n)
+		}
+	}
+}
+
+func TestHermodPrefersModeratelyLoaded(t *testing.T) {
+	p := NewHermod()
+	// Empty node (0%), moderate node (50%), nearly saturated (95%).
+	cands := nodes([2]int{0, 0}, [2]int{5000, 32768}, [2]int{9500, 62000})
+	id, err := p.Place(cands, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Errorf("hermod placed on %d, want 2 (moderate load)", id)
+	}
+}
+
+// TestQuickPlacementAlwaysFeasible property-tests that every policy only
+// ever returns nodes that actually fit the request.
+func TestQuickPlacementAlwaysFeasible(t *testing.T) {
+	policies := []Policy{NewKubeDefault(3), NewRandom(3), NewRoundRobin(), NewHermod()}
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		cands := make([]NodeStatus, 0, len(raw))
+		for i, r := range raw {
+			cands = append(cands, NodeStatus{
+				Node: core.WorkerNode{ID: core.NodeID(i + 1), CPUMilli: 10000, MemoryMB: 65536},
+				Util: core.NodeUtilization{
+					CPUMilliUsed: int(r) % 11000,
+					MemoryMBUsed: (int(r) * 7) % 70000,
+				},
+			})
+		}
+		byID := make(map[core.NodeID]NodeStatus)
+		anyFits := false
+		for _, c := range cands {
+			byID[c.Node.ID] = c
+			if fits(&c, req) {
+				anyFits = true
+			}
+		}
+		for _, p := range policies {
+			id, err := p.Place(cands, req)
+			if err != nil {
+				if anyFits {
+					return false // refused although a node fits
+				}
+				continue
+			}
+			c := byID[id]
+			if !fits(&c, req) {
+				return false // placed on an overfull node
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	for _, tc := range []struct {
+		p    Policy
+		want string
+	}{
+		{NewKubeDefault(1), "kube-default"},
+		{NewRandom(1), "random"},
+		{NewRoundRobin(), "round-robin"},
+		{NewHermod(), "hermod"},
+	} {
+		if tc.p.Name() != tc.want {
+			t.Errorf("Name = %q, want %q", tc.p.Name(), tc.want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package proto
+
+import (
+	"dirigent/internal/codec"
+	"dirigent/internal/core"
+)
+
+// MethodInvokeSandbox is the DP → WN proxy hop: the data plane forwards an
+// invocation to the worker hosting the chosen sandbox. In the paper's
+// deployment the data plane proxies to the sandbox IP:port through
+// iptables NAT on the worker; here the worker daemon performs the final
+// dispatch, which preserves the same single-proxy-hop structure.
+const MethodInvokeSandbox = "wn.InvokeSandbox"
+
+// InvokeSandboxRequest carries a proxied invocation to a worker.
+type InvokeSandboxRequest struct {
+	SandboxID core.SandboxID
+	Function  string
+	Payload   []byte
+}
+
+// Marshal encodes the request.
+func (m *InvokeSandboxRequest) Marshal() []byte {
+	e := codec.NewEncoder(24 + len(m.Function) + len(m.Payload))
+	e.U64(uint64(m.SandboxID))
+	e.String(m.Function)
+	e.RawBytes(m.Payload)
+	return e.Bytes()
+}
+
+// UnmarshalInvokeSandboxRequest decodes an InvokeSandboxRequest.
+func UnmarshalInvokeSandboxRequest(b []byte) (*InvokeSandboxRequest, error) {
+	d := codec.NewDecoder(b)
+	m := &InvokeSandboxRequest{}
+	m.SandboxID = core.SandboxID(d.U64())
+	m.Function = d.String()
+	if p := d.RawBytes(); len(p) > 0 {
+		m.Payload = append([]byte(nil), p...)
+	}
+	return m, wrap(d.Err(), "InvokeSandboxRequest")
+}

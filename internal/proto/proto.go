@@ -1,0 +1,478 @@
+// Package proto defines the wire messages of the Dirigent API (paper
+// Table 2). The bold client-facing operations are RegisterFunction,
+// DeregisterFunction (to the control plane) and Invoke (to a data plane);
+// the rest are internal calls between control plane (CP), data planes (DP),
+// and worker nodes (WN). All messages use the compact binary codec —
+// Dirigent's answer to the 17 KB YAML objects K8s serializes per update.
+package proto
+
+import (
+	"fmt"
+	"time"
+
+	"dirigent/internal/codec"
+	"dirigent/internal/core"
+)
+
+// RPC method names. The prefix identifies the callee component.
+const (
+	// Client → CP.
+	MethodRegisterFunction   = "cp.RegisterFunction"
+	MethodDeregisterFunction = "cp.DeregisterFunction"
+	// Client → DP (via front-end load balancer).
+	MethodInvoke = "dp.Invoke"
+	// DP → CP.
+	MethodRegisterDataPlane   = "cp.RegisterDataPlane"
+	MethodDeregisterDataPlane = "cp.DeregisterDataPlane"
+	MethodListFunctions       = "cp.ListFunctions"
+	MethodScalingMetric       = "cp.ScalingMetric"
+	MethodDataPlaneHeartbeat  = "cp.DataPlaneHeartbeat"
+	// CP → DP.
+	MethodAddFunction     = "dp.AddFunction"
+	MethodRemoveFunction  = "dp.RemoveFunction"
+	MethodUpdateEndpoints = "dp.UpdateEndpoints"
+	// CP → WN.
+	MethodCreateSandbox = "wn.CreateSandbox"
+	MethodKillSandbox   = "wn.KillSandbox"
+	MethodListSandboxes = "wn.ListSandboxes"
+	// WN → CP.
+	MethodRegisterWorker   = "cp.RegisterWorker"
+	MethodDeregisterWorker = "cp.DeregisterWorker"
+	MethodWorkerHeartbeat  = "cp.WorkerHeartbeat"
+	MethodSandboxReady     = "cp.SandboxReady"
+	MethodSandboxCrashed   = "cp.SandboxCrashed"
+	// CP ↔ CP (leader election).
+	MethodRequestVote   = "cp.RequestVote"
+	MethodLeaderPing    = "cp.LeaderPing"
+	MethodClusterStatus = "cp.ClusterStatus"
+)
+
+// InvokeRequest carries one function invocation through the data plane.
+type InvokeRequest struct {
+	Function string
+	// Async selects the asynchronous invocation mode (paper §3.3): the
+	// request is durably queued and retried on timeout (at-least-once).
+	Async bool
+	// Payload is the opaque request body forwarded to the sandbox.
+	Payload []byte
+}
+
+// Marshal encodes the request.
+func (m *InvokeRequest) Marshal() []byte {
+	e := codec.NewEncoder(16 + len(m.Function) + len(m.Payload))
+	e.String(m.Function)
+	e.Bool(m.Async)
+	e.RawBytes(m.Payload)
+	return e.Bytes()
+}
+
+// UnmarshalInvokeRequest decodes an InvokeRequest.
+func UnmarshalInvokeRequest(b []byte) (*InvokeRequest, error) {
+	d := codec.NewDecoder(b)
+	m := &InvokeRequest{}
+	m.Function = d.String()
+	m.Async = d.Bool()
+	if p := d.RawBytes(); len(p) > 0 {
+		m.Payload = append([]byte(nil), p...)
+	}
+	return m, wrap(d.Err(), "InvokeRequest")
+}
+
+// InvokeResponse carries the function result (or async acceptance) back.
+type InvokeResponse struct {
+	// ColdStart reports whether this invocation had to wait for a sandbox.
+	ColdStart bool
+	// SchedulingLatencyUs is time spent in the cluster manager (queueing,
+	// placement, sandbox wait), i.e. end-to-end minus function execution.
+	SchedulingLatencyUs int64
+	// Body is the function's response payload (empty for async accept).
+	Body []byte
+}
+
+// Marshal encodes the response.
+func (m *InvokeResponse) Marshal() []byte {
+	e := codec.NewEncoder(16 + len(m.Body))
+	e.Bool(m.ColdStart)
+	e.I64(m.SchedulingLatencyUs)
+	e.RawBytes(m.Body)
+	return e.Bytes()
+}
+
+// UnmarshalInvokeResponse decodes an InvokeResponse.
+func UnmarshalInvokeResponse(b []byte) (*InvokeResponse, error) {
+	d := codec.NewDecoder(b)
+	m := &InvokeResponse{}
+	m.ColdStart = d.Bool()
+	m.SchedulingLatencyUs = d.I64()
+	if p := d.RawBytes(); len(p) > 0 {
+		m.Body = append([]byte(nil), p...)
+	}
+	return m, wrap(d.Err(), "InvokeResponse")
+}
+
+// CreateSandboxRequest instructs a worker to spin up a sandbox.
+type CreateSandboxRequest struct {
+	SandboxID core.SandboxID
+	Function  core.Function
+}
+
+// Marshal encodes the request.
+func (m *CreateSandboxRequest) Marshal() []byte {
+	e := codec.NewEncoder(96)
+	e.U64(uint64(m.SandboxID))
+	e.RawBytes(core.MarshalFunction(&m.Function))
+	return e.Bytes()
+}
+
+// UnmarshalCreateSandboxRequest decodes a CreateSandboxRequest.
+func UnmarshalCreateSandboxRequest(b []byte) (*CreateSandboxRequest, error) {
+	d := codec.NewDecoder(b)
+	m := &CreateSandboxRequest{}
+	m.SandboxID = core.SandboxID(d.U64())
+	fb := d.RawBytes()
+	if err := d.Err(); err != nil {
+		return nil, wrap(err, "CreateSandboxRequest")
+	}
+	f, err := core.UnmarshalFunction(fb)
+	if err != nil {
+		return nil, wrap(err, "CreateSandboxRequest")
+	}
+	m.Function = *f
+	return m, nil
+}
+
+// SandboxInfo describes one sandbox in worker reports and endpoint updates.
+type SandboxInfo struct {
+	ID       core.SandboxID
+	Function string
+	Node     core.NodeID
+	Addr     string
+	State    core.SandboxState
+}
+
+func (m *SandboxInfo) encode(e *codec.Encoder) {
+	e.U64(uint64(m.ID))
+	e.String(m.Function)
+	e.U16(uint16(m.Node))
+	e.String(m.Addr)
+	e.U8(uint8(m.State))
+}
+
+func decodeSandboxInfo(d *codec.Decoder) SandboxInfo {
+	var m SandboxInfo
+	m.ID = core.SandboxID(d.U64())
+	m.Function = d.String()
+	m.Node = core.NodeID(d.U16())
+	m.Addr = d.String()
+	m.State = core.SandboxState(d.U8())
+	return m
+}
+
+// SandboxList is a list of sandboxes: the ListSandboxes response and the
+// recovery report a worker sends after a control-plane failover.
+type SandboxList struct {
+	Sandboxes []SandboxInfo
+}
+
+// Marshal encodes the list.
+func (m *SandboxList) Marshal() []byte {
+	e := codec.NewEncoder(16 + 48*len(m.Sandboxes))
+	e.U32(uint32(len(m.Sandboxes)))
+	for i := range m.Sandboxes {
+		m.Sandboxes[i].encode(e)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalSandboxList decodes a SandboxList.
+func UnmarshalSandboxList(b []byte) (*SandboxList, error) {
+	d := codec.NewDecoder(b)
+	n := int(d.U32())
+	m := &SandboxList{}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Sandboxes = append(m.Sandboxes, decodeSandboxInfo(d))
+	}
+	return m, wrap(d.Err(), "SandboxList")
+}
+
+// EndpointUpdate is the CP → DP broadcast refreshing a function's ready
+// endpoints (paper Table 2, "Add/remove LB endpoint"). Updates carry the
+// full endpoint list plus a monotonically increasing version (leadership
+// epoch in the high bits, per-function sequence in the low bits) so that
+// data planes can discard broadcasts that arrive out of order.
+type EndpointUpdate struct {
+	Function  string
+	Version   uint64
+	Endpoints []SandboxInfo
+}
+
+// Marshal encodes the update.
+func (m *EndpointUpdate) Marshal() []byte {
+	e := codec.NewEncoder(40 + 48*len(m.Endpoints))
+	e.String(m.Function)
+	e.U64(m.Version)
+	e.U32(uint32(len(m.Endpoints)))
+	for i := range m.Endpoints {
+		m.Endpoints[i].encode(e)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalEndpointUpdate decodes an EndpointUpdate.
+func UnmarshalEndpointUpdate(b []byte) (*EndpointUpdate, error) {
+	d := codec.NewDecoder(b)
+	m := &EndpointUpdate{}
+	m.Function = d.String()
+	m.Version = d.U64()
+	n := int(d.U32())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Endpoints = append(m.Endpoints, decodeSandboxInfo(d))
+	}
+	return m, wrap(d.Err(), "EndpointUpdate")
+}
+
+// ScalingMetricReport batches per-function scaling metrics from a DP.
+type ScalingMetricReport struct {
+	DataPlane core.DataPlaneID
+	Metrics   []core.ScalingMetric
+}
+
+// Marshal encodes the report.
+func (m *ScalingMetricReport) Marshal() []byte {
+	e := codec.NewEncoder(16 + 32*len(m.Metrics))
+	e.U16(uint16(m.DataPlane))
+	e.U32(uint32(len(m.Metrics)))
+	for i := range m.Metrics {
+		mm := &m.Metrics[i]
+		e.String(mm.Function)
+		e.I64(int64(mm.InFlight))
+		e.I64(int64(mm.QueueDepth))
+		e.I64(mm.At.UnixNano())
+	}
+	return e.Bytes()
+}
+
+// UnmarshalScalingMetricReport decodes a ScalingMetricReport.
+func UnmarshalScalingMetricReport(b []byte) (*ScalingMetricReport, error) {
+	d := codec.NewDecoder(b)
+	m := &ScalingMetricReport{}
+	m.DataPlane = core.DataPlaneID(d.U16())
+	n := int(d.U32())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var mm core.ScalingMetric
+		mm.Function = d.String()
+		mm.InFlight = int(d.I64())
+		mm.QueueDepth = int(d.I64())
+		mm.At = time.Unix(0, d.I64())
+		m.Metrics = append(m.Metrics, mm)
+	}
+	return m, wrap(d.Err(), "ScalingMetricReport")
+}
+
+// WorkerHeartbeat is the WN → CP liveness and utilization signal.
+type WorkerHeartbeat struct {
+	Node core.NodeID
+	Util core.NodeUtilization
+}
+
+// Marshal encodes the heartbeat.
+func (m *WorkerHeartbeat) Marshal() []byte {
+	e := codec.NewEncoder(48)
+	e.U16(uint16(m.Node))
+	e.I64(int64(m.Util.CPUMilliUsed))
+	e.I64(int64(m.Util.MemoryMBUsed))
+	e.I64(int64(m.Util.SandboxCount))
+	e.I64(int64(m.Util.CreationQueue))
+	return e.Bytes()
+}
+
+// UnmarshalWorkerHeartbeat decodes a WorkerHeartbeat.
+func UnmarshalWorkerHeartbeat(b []byte) (*WorkerHeartbeat, error) {
+	d := codec.NewDecoder(b)
+	m := &WorkerHeartbeat{}
+	m.Node = core.NodeID(d.U16())
+	m.Util.Node = m.Node
+	m.Util.CPUMilliUsed = int(d.I64())
+	m.Util.MemoryMBUsed = int(d.I64())
+	m.Util.SandboxCount = int(d.I64())
+	m.Util.CreationQueue = int(d.I64())
+	return m, wrap(d.Err(), "WorkerHeartbeat")
+}
+
+// RegisterWorkerRequest announces a worker node to the control plane.
+type RegisterWorkerRequest struct {
+	Worker core.WorkerNode
+}
+
+// Marshal encodes the request.
+func (m *RegisterWorkerRequest) Marshal() []byte {
+	return core.MarshalWorkerNode(&m.Worker)
+}
+
+// UnmarshalRegisterWorkerRequest decodes a RegisterWorkerRequest.
+func UnmarshalRegisterWorkerRequest(b []byte) (*RegisterWorkerRequest, error) {
+	w, err := core.UnmarshalWorkerNode(b)
+	if err != nil {
+		return nil, wrap(err, "RegisterWorkerRequest")
+	}
+	return &RegisterWorkerRequest{Worker: *w}, nil
+}
+
+// RegisterDataPlaneRequest announces a data plane replica to the CP.
+type RegisterDataPlaneRequest struct {
+	DataPlane core.DataPlane
+}
+
+// Marshal encodes the request.
+func (m *RegisterDataPlaneRequest) Marshal() []byte {
+	return core.MarshalDataPlane(&m.DataPlane)
+}
+
+// UnmarshalRegisterDataPlaneRequest decodes a RegisterDataPlaneRequest.
+func UnmarshalRegisterDataPlaneRequest(b []byte) (*RegisterDataPlaneRequest, error) {
+	p, err := core.UnmarshalDataPlane(b)
+	if err != nil {
+		return nil, wrap(err, "RegisterDataPlaneRequest")
+	}
+	return &RegisterDataPlaneRequest{DataPlane: *p}, nil
+}
+
+// SandboxEvent reports a sandbox lifecycle transition (ready or crashed)
+// from a worker to the control plane.
+type SandboxEvent struct {
+	SandboxID core.SandboxID
+	Function  string
+	Node      core.NodeID
+	Addr      string
+}
+
+// Marshal encodes the event.
+func (m *SandboxEvent) Marshal() []byte {
+	e := codec.NewEncoder(32 + len(m.Function) + len(m.Addr))
+	e.U64(uint64(m.SandboxID))
+	e.String(m.Function)
+	e.U16(uint16(m.Node))
+	e.String(m.Addr)
+	return e.Bytes()
+}
+
+// UnmarshalSandboxEvent decodes a SandboxEvent.
+func UnmarshalSandboxEvent(b []byte) (*SandboxEvent, error) {
+	d := codec.NewDecoder(b)
+	m := &SandboxEvent{}
+	m.SandboxID = core.SandboxID(d.U64())
+	m.Function = d.String()
+	m.Node = core.NodeID(d.U16())
+	m.Addr = d.String()
+	return m, wrap(d.Err(), "SandboxEvent")
+}
+
+// FunctionList carries registered functions from CP to DP caches.
+type FunctionList struct {
+	Functions []core.Function
+}
+
+// Marshal encodes the list.
+func (m *FunctionList) Marshal() []byte {
+	e := codec.NewEncoder(16 + 128*len(m.Functions))
+	e.U32(uint32(len(m.Functions)))
+	for i := range m.Functions {
+		e.RawBytes(core.MarshalFunction(&m.Functions[i]))
+	}
+	return e.Bytes()
+}
+
+// UnmarshalFunctionList decodes a FunctionList.
+func UnmarshalFunctionList(b []byte) (*FunctionList, error) {
+	d := codec.NewDecoder(b)
+	n := int(d.U32())
+	m := &FunctionList{}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		fb := d.RawBytes()
+		if d.Err() != nil {
+			break
+		}
+		f, err := core.UnmarshalFunction(fb)
+		if err != nil {
+			return nil, wrap(err, "FunctionList")
+		}
+		m.Functions = append(m.Functions, *f)
+	}
+	return m, wrap(d.Err(), "FunctionList")
+}
+
+// VoteRequest is the Raft leader-election RPC between CP replicas.
+type VoteRequest struct {
+	Term      uint64
+	Candidate string
+}
+
+// Marshal encodes the request.
+func (m *VoteRequest) Marshal() []byte {
+	e := codec.NewEncoder(24 + len(m.Candidate))
+	e.U64(m.Term)
+	e.String(m.Candidate)
+	return e.Bytes()
+}
+
+// UnmarshalVoteRequest decodes a VoteRequest.
+func UnmarshalVoteRequest(b []byte) (*VoteRequest, error) {
+	d := codec.NewDecoder(b)
+	m := &VoteRequest{}
+	m.Term = d.U64()
+	m.Candidate = d.String()
+	return m, wrap(d.Err(), "VoteRequest")
+}
+
+// VoteResponse answers a VoteRequest.
+type VoteResponse struct {
+	Term    uint64
+	Granted bool
+}
+
+// Marshal encodes the response.
+func (m *VoteResponse) Marshal() []byte {
+	e := codec.NewEncoder(16)
+	e.U64(m.Term)
+	e.Bool(m.Granted)
+	return e.Bytes()
+}
+
+// UnmarshalVoteResponse decodes a VoteResponse.
+func UnmarshalVoteResponse(b []byte) (*VoteResponse, error) {
+	d := codec.NewDecoder(b)
+	m := &VoteResponse{}
+	m.Term = d.U64()
+	m.Granted = d.Bool()
+	return m, wrap(d.Err(), "VoteResponse")
+}
+
+// LeaderPing is the Raft heartbeat from the CP leader to followers.
+type LeaderPing struct {
+	Term   uint64
+	Leader string
+}
+
+// Marshal encodes the ping.
+func (m *LeaderPing) Marshal() []byte {
+	e := codec.NewEncoder(24 + len(m.Leader))
+	e.U64(m.Term)
+	e.String(m.Leader)
+	return e.Bytes()
+}
+
+// UnmarshalLeaderPing decodes a LeaderPing.
+func UnmarshalLeaderPing(b []byte) (*LeaderPing, error) {
+	d := codec.NewDecoder(b)
+	m := &LeaderPing{}
+	m.Term = d.U64()
+	m.Leader = d.String()
+	return m, wrap(d.Err(), "LeaderPing")
+}
+
+func wrap(err error, what string) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("proto: %s: %w", what, err)
+}

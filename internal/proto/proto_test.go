@@ -1,0 +1,237 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dirigent/internal/core"
+)
+
+func TestInvokeRequestRoundTrip(t *testing.T) {
+	m := &InvokeRequest{Function: "fn", Async: true, Payload: []byte{1, 2, 3}}
+	got, err := UnmarshalInvokeRequest(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Function != m.Function || got.Async != m.Async || !bytes.Equal(got.Payload, m.Payload) {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestInvokeResponseRoundTrip(t *testing.T) {
+	m := &InvokeResponse{ColdStart: true, SchedulingLatencyUs: 12345, Body: []byte("out")}
+	got, err := UnmarshalInvokeResponse(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ColdStart != m.ColdStart || got.SchedulingLatencyUs != m.SchedulingLatencyUs || !bytes.Equal(got.Body, m.Body) {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestCreateSandboxRequestRoundTrip(t *testing.T) {
+	m := &CreateSandboxRequest{
+		SandboxID: 99,
+		Function: core.Function{
+			Name: "f", Image: "img", Port: 80, Runtime: "containerd",
+			Scaling: core.DefaultScalingConfig(),
+		},
+	}
+	got, err := UnmarshalCreateSandboxRequest(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SandboxID != 99 || got.Function != m.Function {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestSandboxListRoundTrip(t *testing.T) {
+	m := &SandboxList{Sandboxes: []SandboxInfo{
+		{ID: 1, Function: "a", Node: 2, Addr: "10.0.0.1:9000", State: core.SandboxReady},
+		{ID: 2, Function: "b", Node: 3, Addr: "10.0.0.2:9000", State: core.SandboxCreating},
+	}}
+	got, err := UnmarshalSandboxList(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sandboxes) != 2 || got.Sandboxes[0] != m.Sandboxes[0] || got.Sandboxes[1] != m.Sandboxes[1] {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestEmptySandboxList(t *testing.T) {
+	m := &SandboxList{}
+	got, err := UnmarshalSandboxList(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sandboxes) != 0 {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestEndpointUpdateRoundTrip(t *testing.T) {
+	m := &EndpointUpdate{
+		Function: "f",
+		Version:  1<<32 | 7,
+		Endpoints: []SandboxInfo{
+			{ID: 5, Function: "f", Node: 1, Addr: "w:9000", State: core.SandboxReady},
+		},
+	}
+	got, err := UnmarshalEndpointUpdate(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Function != "f" || got.Version != m.Version || len(got.Endpoints) != 1 || got.Endpoints[0] != m.Endpoints[0] {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestScalingMetricReportRoundTrip(t *testing.T) {
+	at := time.Unix(1234, 567_000_000)
+	m := &ScalingMetricReport{
+		DataPlane: 7,
+		Metrics: []core.ScalingMetric{
+			{Function: "f1", InFlight: 3, QueueDepth: 2, At: at},
+			{Function: "f2", InFlight: 0, QueueDepth: 0, At: at.Add(time.Second)},
+		},
+	}
+	got, err := UnmarshalScalingMetricReport(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DataPlane != 7 || len(got.Metrics) != 2 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	for i := range m.Metrics {
+		a, b := m.Metrics[i], got.Metrics[i]
+		if a.Function != b.Function || a.InFlight != b.InFlight ||
+			a.QueueDepth != b.QueueDepth || !a.At.Equal(b.At) {
+			t.Errorf("metric %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestWorkerHeartbeatRoundTrip(t *testing.T) {
+	m := &WorkerHeartbeat{
+		Node: 4,
+		Util: core.NodeUtilization{Node: 4, CPUMilliUsed: 500, MemoryMBUsed: 1024, SandboxCount: 3, CreationQueue: 1},
+	}
+	got, err := UnmarshalWorkerHeartbeat(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node != m.Node || got.Util != m.Util {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestRegisterWorkerRoundTrip(t *testing.T) {
+	m := &RegisterWorkerRequest{Worker: core.WorkerNode{ID: 1, Name: "w", IP: "10.0.0.1", Port: 9000, CPUMilli: 10000, MemoryMB: 65536}}
+	got, err := UnmarshalRegisterWorkerRequest(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Worker != m.Worker {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestRegisterDataPlaneRoundTrip(t *testing.T) {
+	m := &RegisterDataPlaneRequest{DataPlane: core.DataPlane{ID: 2, IP: "dp0", Port: 8000}}
+	got, err := UnmarshalRegisterDataPlaneRequest(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DataPlane != m.DataPlane {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestSandboxEventRoundTrip(t *testing.T) {
+	m := &SandboxEvent{SandboxID: 8, Function: "f", Node: 2, Addr: "w:9000"}
+	got, err := UnmarshalSandboxEvent(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *m {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestFunctionListRoundTrip(t *testing.T) {
+	m := &FunctionList{Functions: []core.Function{
+		{Name: "a", Image: "img-a", Port: 1, Scaling: core.DefaultScalingConfig()},
+		{Name: "b", Image: "img-b", Port: 2, Runtime: "firecracker", Scaling: core.DefaultScalingConfig()},
+	}}
+	got, err := UnmarshalFunctionList(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Functions) != 2 || got.Functions[0] != m.Functions[0] || got.Functions[1] != m.Functions[1] {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestVoteAndPingRoundTrip(t *testing.T) {
+	vr := &VoteRequest{Term: 9, Candidate: "cp1"}
+	gotVR, err := UnmarshalVoteRequest(vr.Marshal())
+	if err != nil || *gotVR != *vr {
+		t.Errorf("vote request: %+v, %v", gotVR, err)
+	}
+	resp := &VoteResponse{Term: 9, Granted: true}
+	gotResp, err := UnmarshalVoteResponse(resp.Marshal())
+	if err != nil || *gotResp != *resp {
+		t.Errorf("vote response: %+v, %v", gotResp, err)
+	}
+	ping := &LeaderPing{Term: 10, Leader: "cp2"}
+	gotPing, err := UnmarshalLeaderPing(ping.Marshal())
+	if err != nil || *gotPing != *ping {
+		t.Errorf("leader ping: %+v, %v", gotPing, err)
+	}
+}
+
+func TestInvokeSandboxRoundTrip(t *testing.T) {
+	m := &InvokeSandboxRequest{SandboxID: 11, Function: "f", Payload: []byte("p")}
+	got, err := UnmarshalInvokeSandboxRequest(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SandboxID != m.SandboxID || got.Function != m.Function || !bytes.Equal(got.Payload, m.Payload) {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestTruncatedMessagesError(t *testing.T) {
+	full := (&SandboxList{Sandboxes: []SandboxInfo{{ID: 1, Function: "f", Addr: "a"}}}).Marshal()
+	for cut := 1; cut < len(full); cut++ {
+		if _, err := UnmarshalSandboxList(full[:cut]); err == nil {
+			// Some prefixes decode as shorter valid lists (count prefix
+			// zero), which is acceptable; a cut inside a record must err.
+			if cut > 4 {
+				t.Errorf("truncation at %d/%d not detected", cut, len(full))
+			}
+		}
+	}
+}
+
+// TestQuickInvokeRequestRoundTrip property-tests invocation framing.
+func TestQuickInvokeRequestRoundTrip(t *testing.T) {
+	f := func(fn string, async bool, payload []byte) bool {
+		if len(fn) > 60000 {
+			return true
+		}
+		m := &InvokeRequest{Function: fn, Async: async, Payload: payload}
+		got, err := UnmarshalInvokeRequest(m.Marshal())
+		if err != nil {
+			return false
+		}
+		return got.Function == fn && got.Async == async && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

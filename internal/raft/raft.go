@@ -1,0 +1,403 @@
+// Package raft implements Raft leader election (Ongaro & Ousterhout,
+// USENIX ATC'14) for Dirigent's control-plane high availability (paper §4:
+// "Dirigent uses RAFT for control plane leader election"). Dirigent does
+// not replicate a command log through Raft — cluster state flows through
+// the replicated store instead — so this package implements the election
+// subset: terms, randomized election timeouts, RequestVote, leader
+// heartbeats, and step-down on observing a higher term.
+package raft
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"dirigent/internal/proto"
+	"dirigent/internal/transport"
+)
+
+// State is a node's current role.
+type State int
+
+// Raft roles.
+const (
+	Follower State = iota
+	Candidate
+	Leader
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Follower:
+		return "follower"
+	case Candidate:
+		return "candidate"
+	case Leader:
+		return "leader"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterizes a Node.
+type Config struct {
+	// ID is this node's address; it must appear in Peers.
+	ID string
+	// Peers lists all replica addresses, including this node.
+	Peers []string
+	// Transport carries the vote and heartbeat RPCs.
+	Transport transport.Transport
+	// HeartbeatInterval is how often the leader pings followers.
+	// The paper reports ~10 ms to detect a leader failure, elect a new
+	// leader, and resynchronize (§5.4); the defaults are sized to match.
+	HeartbeatInterval time.Duration
+	// ElectionTimeoutMin/Max bound the randomized election timeout.
+	ElectionTimeoutMin time.Duration
+	ElectionTimeoutMax time.Duration
+	// OnLeaderChange, if non-nil, is invoked (on a dedicated goroutine)
+	// whenever this node gains or loses leadership.
+	OnLeaderChange func(isLeader bool, term uint64)
+	// Rand provides the election-timeout jitter; nil selects a default
+	// source seeded from the node ID for reproducibility.
+	Rand *rand.Rand
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.HeartbeatInterval == 0 {
+		out.HeartbeatInterval = 2 * time.Millisecond
+	}
+	if out.ElectionTimeoutMin == 0 {
+		out.ElectionTimeoutMin = 8 * time.Millisecond
+	}
+	if out.ElectionTimeoutMax == 0 {
+		out.ElectionTimeoutMax = 16 * time.Millisecond
+	}
+	if out.Rand == nil {
+		var seed int64 = 1
+		for _, b := range []byte(out.ID) {
+			seed = seed*131 + int64(b)
+		}
+		out.Rand = rand.New(rand.NewSource(seed))
+	}
+	return out
+}
+
+// Node is one Raft participant.
+type Node struct {
+	cfg Config
+
+	mu          sync.Mutex
+	state       State
+	term        uint64
+	votedFor    string
+	leader      string
+	lastContact time.Time
+
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	notify  chan leadership
+	started bool
+}
+
+type leadership struct {
+	isLeader bool
+	term     uint64
+}
+
+// NewNode creates a Node; call Start to begin participating.
+func NewNode(cfg Config) *Node {
+	return &Node{
+		cfg:    cfg.withDefaults(),
+		state:  Follower,
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+		notify: make(chan leadership, 16),
+	}
+}
+
+// HandleRPC serves the Raft-owned methods; the control plane multiplexes
+// it into its main RPC handler. It returns false if the method is not a
+// Raft method.
+func (n *Node) HandleRPC(method string, payload []byte) ([]byte, error, bool) {
+	switch method {
+	case proto.MethodRequestVote:
+		req, err := proto.UnmarshalVoteRequest(payload)
+		if err != nil {
+			return nil, err, true
+		}
+		resp := n.onRequestVote(req)
+		return resp.Marshal(), nil, true
+	case proto.MethodLeaderPing:
+		req, err := proto.UnmarshalLeaderPing(payload)
+		if err != nil {
+			return nil, err, true
+		}
+		n.onLeaderPing(req)
+		return nil, nil, true
+	default:
+		return nil, nil, false
+	}
+}
+
+// Start launches the election loop.
+func (n *Node) Start() {
+	n.mu.Lock()
+	if n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = true
+	n.lastContact = time.Now()
+	n.mu.Unlock()
+	go n.notifyLoop()
+	go n.run()
+}
+
+// Stop terminates the node. It does not notify peers; failure detection is
+// timeout-based, as when a process crashes.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if !n.started {
+		n.mu.Unlock()
+		return
+	}
+	n.started = false
+	n.mu.Unlock()
+	close(n.stopCh)
+	<-n.doneCh
+	close(n.notify)
+}
+
+// IsLeader reports whether this node currently believes it is the leader.
+func (n *Node) IsLeader() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state == Leader
+}
+
+// Term returns the node's current term.
+func (n *Node) Term() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.term
+}
+
+// Leader returns the address of the last known leader ("" if unknown).
+func (n *Node) Leader() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leader
+}
+
+// State returns the node's current role.
+func (n *Node) State() State {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.state
+}
+
+func (n *Node) notifyLoop() {
+	for l := range n.notify {
+		if n.cfg.OnLeaderChange != nil {
+			n.cfg.OnLeaderChange(l.isLeader, l.term)
+		}
+	}
+}
+
+func (n *Node) electionTimeout() time.Duration {
+	min, max := n.cfg.ElectionTimeoutMin, n.cfg.ElectionTimeoutMax
+	if max <= min {
+		return min
+	}
+	return min + time.Duration(n.cfg.Rand.Int63n(int64(max-min)))
+}
+
+func (n *Node) run() {
+	defer close(n.doneCh)
+	timeout := n.electionTimeout()
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval / 2)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			n.stepDownLocked()
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		state := n.state
+		sinceContact := time.Since(n.lastContact)
+		n.mu.Unlock()
+		switch state {
+		case Leader:
+			n.broadcastHeartbeat()
+		case Follower, Candidate:
+			if sinceContact >= timeout {
+				n.runElection()
+				timeout = n.electionTimeout()
+			}
+		}
+	}
+}
+
+func (n *Node) stepDownLocked() {
+	n.mu.Lock()
+	wasLeader := n.state == Leader
+	term := n.term
+	n.state = Follower
+	n.mu.Unlock()
+	if wasLeader {
+		n.sendNotify(false, term)
+	}
+}
+
+func (n *Node) sendNotify(isLeader bool, term uint64) {
+	select {
+	case n.notify <- leadership{isLeader: isLeader, term: term}:
+	default:
+		// A slow observer must not block elections; drop stale events.
+	}
+}
+
+func (n *Node) runElection() {
+	n.mu.Lock()
+	n.state = Candidate
+	n.term++
+	term := n.term
+	n.votedFor = n.cfg.ID
+	n.lastContact = time.Now()
+	n.mu.Unlock()
+
+	req := proto.VoteRequest{Term: term, Candidate: n.cfg.ID}
+	payload := req.Marshal()
+	votes := 1 // self-vote
+	var votesMu sync.Mutex
+	var wg sync.WaitGroup
+	for _, peer := range n.cfg.Peers {
+		if peer == n.cfg.ID {
+			continue
+		}
+		wg.Add(1)
+		go func(peer string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ElectionTimeoutMax)
+			defer cancel()
+			respB, err := n.cfg.Transport.Call(ctx, peer, proto.MethodRequestVote, payload)
+			if err != nil {
+				return
+			}
+			resp, err := proto.UnmarshalVoteResponse(respB)
+			if err != nil {
+				return
+			}
+			if resp.Term > term {
+				n.observeTerm(resp.Term)
+				return
+			}
+			if resp.Granted {
+				votesMu.Lock()
+				votes++
+				votesMu.Unlock()
+			}
+		}(peer)
+	}
+	wg.Wait()
+
+	n.mu.Lock()
+	if n.state != Candidate || n.term != term {
+		n.mu.Unlock()
+		return
+	}
+	if votes*2 > len(n.cfg.Peers) {
+		n.state = Leader
+		n.leader = n.cfg.ID
+		n.mu.Unlock()
+		n.sendNotify(true, term)
+		n.broadcastHeartbeat()
+		return
+	}
+	n.mu.Unlock()
+}
+
+func (n *Node) observeTerm(term uint64) {
+	n.mu.Lock()
+	if term <= n.term {
+		n.mu.Unlock()
+		return
+	}
+	wasLeader := n.state == Leader
+	oldTerm := n.term
+	n.term = term
+	n.state = Follower
+	n.votedFor = ""
+	n.mu.Unlock()
+	if wasLeader {
+		n.sendNotify(false, oldTerm)
+	}
+}
+
+func (n *Node) broadcastHeartbeat() {
+	n.mu.Lock()
+	if n.state != Leader {
+		n.mu.Unlock()
+		return
+	}
+	term := n.term
+	n.mu.Unlock()
+	ping := proto.LeaderPing{Term: term, Leader: n.cfg.ID}
+	payload := ping.Marshal()
+	for _, peer := range n.cfg.Peers {
+		if peer == n.cfg.ID {
+			continue
+		}
+		go func(peer string) {
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.HeartbeatInterval*4)
+			defer cancel()
+			// Best effort: unreachable followers are retried next tick.
+			_, _ = n.cfg.Transport.Call(ctx, peer, proto.MethodLeaderPing, payload)
+		}(peer)
+	}
+}
+
+func (n *Node) onRequestVote(req *proto.VoteRequest) proto.VoteResponse {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if req.Term < n.term {
+		return proto.VoteResponse{Term: n.term, Granted: false}
+	}
+	if req.Term > n.term {
+		if n.state == Leader {
+			defer n.sendNotify(false, n.term)
+		}
+		n.term = req.Term
+		n.state = Follower
+		n.votedFor = ""
+	}
+	if n.votedFor == "" || n.votedFor == req.Candidate {
+		n.votedFor = req.Candidate
+		n.lastContact = time.Now()
+		return proto.VoteResponse{Term: n.term, Granted: true}
+	}
+	return proto.VoteResponse{Term: n.term, Granted: false}
+}
+
+func (n *Node) onLeaderPing(ping *proto.LeaderPing) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ping.Term < n.term {
+		return
+	}
+	if ping.Term > n.term || n.state != Follower {
+		if n.state == Leader && ping.Leader != n.cfg.ID {
+			defer n.sendNotify(false, n.term)
+		}
+		n.term = ping.Term
+		n.state = Follower
+		n.votedFor = ""
+	}
+	n.leader = ping.Leader
+	n.lastContact = time.Now()
+}

@@ -1,0 +1,272 @@
+package raft
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dirigent/internal/transport"
+)
+
+type testCluster struct {
+	tr        *transport.InProc
+	nodes     []*Node
+	listeners []transport.Listener
+}
+
+func newTestCluster(t *testing.T, n int) *testCluster {
+	t.Helper()
+	tr := transport.NewInProc()
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("raft-%d", i)
+	}
+	tc := &testCluster{tr: tr}
+	for i := 0; i < n; i++ {
+		node := NewNode(Config{
+			ID:        peers[i],
+			Peers:     peers,
+			Transport: tr,
+		})
+		ln, err := tr.Listen(peers[i], func(method string, payload []byte) ([]byte, error) {
+			resp, err, handled := node.HandleRPC(method, payload)
+			if !handled {
+				return nil, fmt.Errorf("unhandled method %q", method)
+			}
+			return resp, err
+		})
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		tc.nodes = append(tc.nodes, node)
+		tc.listeners = append(tc.listeners, ln)
+	}
+	for _, node := range tc.nodes {
+		node.Start()
+	}
+	t.Cleanup(tc.stopAll)
+	return tc
+}
+
+func (tc *testCluster) stopAll() {
+	for i, node := range tc.nodes {
+		node.Stop()
+		tc.listeners[i].Close()
+	}
+}
+
+func (tc *testCluster) leaders() []*Node {
+	var out []*Node
+	for _, n := range tc.nodes {
+		if n.IsLeader() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (tc *testCluster) awaitLeader(t *testing.T, timeout time.Duration) *Node {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if ls := tc.leaders(); len(ls) == 1 {
+			return ls[0]
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no unique leader within %v (have %d)", timeout, len(tc.leaders()))
+	return nil
+}
+
+func TestSingleLeaderElected(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	leader := tc.awaitLeader(t, 5*time.Second)
+	if leader.Term() == 0 {
+		t.Errorf("leader term should be > 0")
+	}
+	// Leadership should be stable: wait and confirm the same leader.
+	time.Sleep(100 * time.Millisecond)
+	if ls := tc.leaders(); len(ls) != 1 || ls[0] != leader {
+		t.Errorf("leadership not stable")
+	}
+}
+
+func TestFollowersLearnLeader(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	leader := tc.awaitLeader(t, 5*time.Second)
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		all := true
+		for _, n := range tc.nodes {
+			if n.Leader() != leader.cfg.ID {
+				all = false
+			}
+		}
+		if all {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("followers did not learn the leader's identity")
+}
+
+func TestFailoverElectsNewLeader(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	old := tc.awaitLeader(t, 5*time.Second)
+	// Crash the leader: stop its loop and unplug its endpoint.
+	for i, n := range tc.nodes {
+		if n == old {
+			n.Stop()
+			tc.listeners[i].Close()
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, n := range tc.nodes {
+			if n != old && n.IsLeader() {
+				if n.Term() <= old.Term() {
+					t.Errorf("new leader term %d not greater than old %d", n.Term(), old.Term())
+				}
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no new leader after failover")
+}
+
+func TestNoQuorumNoLeader(t *testing.T) {
+	tc := newTestCluster(t, 3)
+	tc.awaitLeader(t, 5*time.Second)
+	// Kill two of three nodes: the survivor must not become leader.
+	killed := 0
+	var survivor *Node
+	for i, n := range tc.nodes {
+		if killed < 2 {
+			n.Stop()
+			tc.listeners[i].Close()
+			killed++
+		} else {
+			survivor = n
+		}
+	}
+	// Allow several election timeouts to elapse.
+	time.Sleep(200 * time.Millisecond)
+	if survivor.IsLeader() {
+		t.Errorf("node without quorum became leader")
+	}
+}
+
+// TestElectionSafetyUnderChurn property-checks the core Raft invariant: at
+// most one leader per term, sampled repeatedly while elections churn.
+func TestElectionSafetyUnderChurn(t *testing.T) {
+	tc := newTestCluster(t, 5)
+	type obs struct {
+		term uint64
+		id   string
+	}
+	leadersByTerm := make(map[uint64]map[string]bool)
+	var mu sync.Mutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, n := range tc.nodes {
+				if n.IsLeader() {
+					mu.Lock()
+					term := n.Term()
+					if leadersByTerm[term] == nil {
+						leadersByTerm[term] = make(map[string]bool)
+					}
+					leadersByTerm[term][n.cfg.ID] = true
+					mu.Unlock()
+				}
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	for term, ids := range leadersByTerm {
+		if len(ids) > 1 {
+			t.Errorf("term %d had %d leaders: %v", term, len(ids), ids)
+		}
+	}
+	if len(leadersByTerm) == 0 {
+		t.Errorf("never observed a leader")
+	}
+}
+
+func TestLeaderChangeNotifications(t *testing.T) {
+	tr := transport.NewInProc()
+	peers := []string{"n0", "n1", "n2"}
+	var mu sync.Mutex
+	gained := make(map[string]int)
+	var nodes []*Node
+	var listeners []transport.Listener
+	for _, id := range peers {
+		id := id
+		node := NewNode(Config{
+			ID:        id,
+			Peers:     peers,
+			Transport: tr,
+			OnLeaderChange: func(isLeader bool, _ uint64) {
+				if isLeader {
+					mu.Lock()
+					gained[id]++
+					mu.Unlock()
+				}
+			},
+		})
+		ln, err := tr.Listen(id, func(method string, payload []byte) ([]byte, error) {
+			resp, err, _ := node.HandleRPC(method, payload)
+			return resp, err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, node)
+		listeners = append(listeners, ln)
+		node.Start()
+	}
+	defer func() {
+		for i, n := range nodes {
+			n.Stop()
+			listeners[i].Close()
+		}
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		total := 0
+		for _, c := range gained {
+			total += c
+		}
+		mu.Unlock()
+		if total >= 1 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no leadership-gained notification delivered")
+}
+
+func TestStateString(t *testing.T) {
+	if Follower.String() != "follower" || Candidate.String() != "candidate" || Leader.String() != "leader" {
+		t.Errorf("state strings wrong")
+	}
+	if State(42).String() != "unknown" {
+		t.Errorf("unknown state string wrong")
+	}
+}

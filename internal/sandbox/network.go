@@ -1,0 +1,193 @@
+package sandbox
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dirigent/internal/clock"
+)
+
+// NetConfig is one recyclable network configuration: a pre-created virtual
+// interface plus pre-configured iptables rules that can be attached to a
+// new sandbox without touching the kernel's slow paths (paper §4: "each
+// worker node maintains a pool of pre-created recyclable network
+// configurations along with pre-configured iptables rules").
+type NetConfig struct {
+	// Index identifies the veth/TAP pair.
+	Index int
+	// IPSuffix is the last octet range assigned to this config.
+	IPSuffix int
+}
+
+// NetworkPool manages pre-created network configurations. Acquire returns
+// a pooled config almost instantly; when the pool is drained, a slow-path
+// creation pays the full kernel cost. A background refiller keeps the pool
+// topped up, as the real Dirigent worker does.
+type NetworkPool struct {
+	clk   clock.Clock
+	scale float64
+
+	mu      sync.Mutex
+	free    []*NetConfig
+	created int
+	target  int
+
+	// SlowPathLatency is the cost of creating a config on demand.
+	SlowPathLatency time.Duration
+	// FastPathLatency is the cost of attaching a pooled config.
+	FastPathLatency time.Duration
+
+	slowPathCount int
+	fastPathCount int
+}
+
+// NewNetworkPool returns a pool pre-filled with size configurations.
+func NewNetworkPool(clk clock.Clock, latencyScale float64, size int) *NetworkPool {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	p := &NetworkPool{
+		clk:             clk,
+		scale:           latencyScale,
+		target:          size,
+		SlowPathLatency: 50 * time.Millisecond,
+		FastPathLatency: 300 * time.Microsecond,
+	}
+	for i := 0; i < size; i++ {
+		p.free = append(p.free, &NetConfig{Index: i, IPSuffix: i % 250})
+		p.created++
+	}
+	return p
+}
+
+// Acquire returns a network configuration, preferring the pool.
+func (p *NetworkPool) Acquire(ctx context.Context) (*NetConfig, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p.mu.Lock()
+	if n := len(p.free); n > 0 {
+		cfg := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.fastPathCount++
+		p.mu.Unlock()
+		p.clk.Sleep(scaled(p.FastPathLatency, p.scale))
+		return cfg, nil
+	}
+	p.created++
+	idx := p.created
+	p.slowPathCount++
+	p.mu.Unlock()
+	// Slow path: create interface + iptables rules on demand.
+	p.clk.Sleep(scaled(p.SlowPathLatency, p.scale))
+	return &NetConfig{Index: idx, IPSuffix: idx % 250}, nil
+}
+
+// Release recycles a configuration into the pool (up to the target size;
+// surplus configs are destroyed).
+func (p *NetworkPool) Release(cfg *NetConfig) {
+	if cfg == nil {
+		return
+	}
+	p.mu.Lock()
+	if len(p.free) < p.target {
+		p.free = append(p.free, cfg)
+	}
+	p.mu.Unlock()
+}
+
+// Stats reports pool effectiveness for tests and ablation benches.
+func (p *NetworkPool) Stats() (fastPath, slowPath, pooled int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.fastPathCount, p.slowPathCount, len(p.free)
+}
+
+// ArtifactKind distinguishes cached container images from microVM
+// snapshots.
+type ArtifactKind uint8
+
+// Cached artifact kinds.
+const (
+	// ArtifactImage is a container image.
+	ArtifactImage ArtifactKind = iota
+	// ArtifactSnapshot is a Firecracker microVM snapshot.
+	ArtifactSnapshot
+)
+
+// ImageCache is the worker-local cache of container images and microVM
+// snapshots (paper §4: "Each worker node maintains a local container image
+// and snapshot cache to reduce image pulling"). The evaluation prefetches
+// images on every node (§5.1); Prefetch reproduces that.
+type ImageCache struct {
+	mu    sync.Mutex
+	kinds map[string]map[ArtifactKind]bool
+	hits  int
+	miss  int
+}
+
+// NewImageCache returns an empty cache.
+func NewImageCache() *ImageCache {
+	return &ImageCache{kinds: make(map[string]map[ArtifactKind]bool)}
+}
+
+// Has reports whether any artifact for image is cached.
+func (c *ImageCache) Has(image string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.kinds[image]) > 0 {
+		c.hits++
+		return true
+	}
+	c.miss++
+	return false
+}
+
+// HasKind reports whether a specific artifact kind for image is cached.
+func (c *ImageCache) HasKind(image string, kind ArtifactKind) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.kinds[image][kind] {
+		c.hits++
+		return true
+	}
+	c.miss++
+	return false
+}
+
+// Put records an artifact as cached.
+func (c *ImageCache) Put(image string, kind ArtifactKind) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m, ok := c.kinds[image]
+	if !ok {
+		m = make(map[ArtifactKind]bool)
+		c.kinds[image] = m
+	}
+	m[kind] = true
+}
+
+// Prefetch caches both the image and snapshot for each given image,
+// matching the paper's experimental methodology.
+func (c *ImageCache) Prefetch(images ...string) {
+	for _, img := range images {
+		c.Put(img, ArtifactImage)
+		c.Put(img, ArtifactSnapshot)
+	}
+}
+
+// Stats reports hit/miss counts.
+func (c *ImageCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.miss
+}
+
+// String implements fmt.Stringer for debugging.
+func (c *ImageCache) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("imagecache{entries=%d hits=%d misses=%d}", len(c.kinds), c.hits, c.miss)
+}

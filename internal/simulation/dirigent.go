@@ -1,0 +1,395 @@
+package simulation
+
+import (
+	"math/rand"
+	"time"
+
+	"dirigent/internal/autoscaler"
+	"dirigent/internal/core"
+	"dirigent/internal/trace"
+)
+
+// DirigentConfig parameterizes the Dirigent simulation model. The
+// calibration targets the paper's measurements on 10-core CloudLab nodes:
+//
+//   - control plane service time ≈ 0.4 ms per sandbox creation (no
+//     persistence on the critical path) ⇒ saturation ≈ 2500 creations/s
+//     (§5.2.1);
+//   - containerd worker: ~52 ms node-wide kernel-lock hold per creation
+//     (network interfaces + iptables) ⇒ ~19 creations/s/node, ~1750/s on
+//     93 nodes;
+//   - firecracker snapshots: ~40 ms restore, ~4 ms lock hold;
+//   - warm path through front-end LB + proxy + throttler ≈ 1.4 ms p50,
+//     with a data plane capacity of ~4000 warm requests/s (port
+//     exhaustion bound, §5.2.2).
+type DirigentConfig struct {
+	// Workers is the cluster size (paper: 93 usable workers).
+	Workers int
+	// Runtime selects "containerd" or "firecracker".
+	Runtime string
+	// PersistSandboxState enables the persist-everything ablation: a
+	// strongly consistent DB write (fsync) on every sandbox state change,
+	// which caps creation throughput near 1000/s (§5.2.1).
+	PersistSandboxState bool
+	// AutoscaleInterval is the autoscaling loop period (default 2 s).
+	AutoscaleInterval time.Duration
+	// MetricInterval is the concurrency sampling period (default 1 s).
+	MetricInterval time.Duration
+	// ScaleDefaults overrides the per-function scaling config; nil uses
+	// Knative defaults with TargetConcurrency 1.
+	ScaleDefaults *core.ScalingConfig
+	// Seed drives all stochastic latency draws.
+	Seed int64
+	// DataPlanes is the number of data plane replicas (default 3),
+	// bounding aggregate warm throughput.
+	DataPlanes int
+}
+
+type dirigentNode struct {
+	kernel    *Station // node-wide kernel lock section
+	sandboxes int
+	pending   int
+}
+
+type dirigentSandbox struct {
+	node *dirigentNode
+}
+
+type dirigentFunction struct {
+	spec     *trace.FunctionSpec
+	scaler   *autoscaler.FunctionAutoscaler
+	idle     []*dirigentSandbox
+	ready    int // total ready sandboxes (idle + busy)
+	creating int
+	inFlight int // executing + queued
+	queue    []*dirigentPending
+}
+
+type dirigentPending struct {
+	arrival time.Duration
+	exec    time.Duration
+	done    func(Result)
+}
+
+// Dirigent is the discrete-event model of the Dirigent cluster manager.
+type Dirigent struct {
+	eng  *Engine
+	cfg  DirigentConfig
+	rng  *rand.Rand
+	base time.Time
+
+	cp        *Station // monolithic control plane
+	db        *Station // persistence station (ablation only)
+	dataplane *Station // aggregate data plane proxy capacity
+	nodes     []*dirigentNode
+	functions map[string]*dirigentFunction
+
+	kernelHold  time.Duration
+	createLat   latencySampler
+	bootLat     latencySampler
+	warmLat     latencySampler
+	endpointLat time.Duration
+	dbWriteLat  time.Duration
+
+	creations creationRecorder
+	teardowns int
+}
+
+// NewDirigent builds the model on the given engine.
+func NewDirigent(eng *Engine, cfg DirigentConfig) *Dirigent {
+	if cfg.Workers == 0 {
+		cfg.Workers = 93
+	}
+	if cfg.Runtime == "" {
+		cfg.Runtime = "containerd"
+	}
+	if cfg.AutoscaleInterval == 0 {
+		cfg.AutoscaleInterval = 2 * time.Second
+	}
+	if cfg.MetricInterval == 0 {
+		cfg.MetricInterval = time.Second
+	}
+	if cfg.DataPlanes == 0 {
+		cfg.DataPlanes = 3
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	d := &Dirigent{
+		eng:       eng,
+		cfg:       cfg,
+		rng:       rng,
+		base:      time.Unix(0, 0),
+		cp:        NewStation(eng, 1),
+		db:        NewStation(eng, 1),
+		dataplane: NewStation(eng, cfg.DataPlanes),
+		functions: make(map[string]*dirigentFunction),
+		// Proxy + throttler + front-end LB: p50 ≈ 1.4 ms (§5.2.2).
+		warmLat:     latencySampler{rng: rng, median: 1200 * time.Microsecond, sigma: 0.25},
+		endpointLat: 500 * time.Microsecond,
+		// fsync-per-query write (§5.1); 1 ms serialized ⇒ the ablation's
+		// peak drops to ~1000 creations/s with p99 surging past ~500/s,
+		// matching §5.2.1's "Dirigent optimization breakdown".
+		dbWriteLat: time.Millisecond,
+	}
+	switch cfg.Runtime {
+	case "firecracker":
+		d.kernelHold = 4 * time.Millisecond
+		d.createLat = latencySampler{rng: rng, median: 40 * time.Millisecond, sigma: 0.20}
+		d.bootLat = latencySampler{rng: rng, median: 10 * time.Millisecond, sigma: 0.30}
+	default: // containerd
+		d.kernelHold = 52 * time.Millisecond
+		d.createLat = latencySampler{rng: rng, median: 120 * time.Millisecond, sigma: 0.25}
+		d.bootLat = latencySampler{rng: rng, median: 60 * time.Millisecond, sigma: 0.30}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		d.nodes = append(d.nodes, &dirigentNode{kernel: NewStation(eng, 1)})
+	}
+	d.scheduleLoops()
+	return d
+}
+
+func (d *Dirigent) scheduleLoops() {
+	var metricTick func()
+	metricTick = func() {
+		now := d.base.Add(d.eng.Now())
+		for _, fn := range d.functions {
+			fn.scaler.Record(now, float64(fn.inFlight))
+		}
+		d.eng.After(d.cfg.MetricInterval, metricTick)
+	}
+	d.eng.After(d.cfg.MetricInterval, metricTick)
+
+	var autoscaleTick func()
+	autoscaleTick = func() {
+		d.reconcile()
+		d.eng.After(d.cfg.AutoscaleInterval, autoscaleTick)
+	}
+	d.eng.After(d.cfg.AutoscaleInterval, autoscaleTick)
+}
+
+// Name implements Model.
+func (d *Dirigent) Name() string {
+	name := "dirigent-" + d.cfg.Runtime
+	if d.cfg.PersistSandboxState {
+		name += "-persist-all"
+	}
+	return name
+}
+
+// Register implements Model.
+func (d *Dirigent) Register(fn *trace.FunctionSpec) {
+	if _, ok := d.functions[fn.Name]; ok {
+		return
+	}
+	cfg := core.DefaultScalingConfig()
+	if d.cfg.ScaleDefaults != nil {
+		cfg = *d.cfg.ScaleDefaults
+	}
+	d.functions[fn.Name] = &dirigentFunction{
+		spec:   fn,
+		scaler: autoscaler.New(cfg),
+	}
+}
+
+// Invoke implements Model. The request flows through the front-end LB and
+// data plane proxy; with a free sandbox it executes immediately (warm),
+// otherwise it queues in the data plane until the autoscaler provides
+// capacity (cold).
+func (d *Dirigent) Invoke(fn *trace.FunctionSpec, exec time.Duration, done func(Result)) {
+	f := d.functions[fn.Name]
+	if f == nil {
+		done(Result{Function: fn.Name, Failed: true})
+		return
+	}
+	arrival := d.eng.Now()
+	f.inFlight++
+	f.scaler.Record(d.base.Add(arrival), float64(f.inFlight))
+	if len(f.idle) > 0 {
+		sb := f.idle[len(f.idle)-1]
+		f.idle = f.idle[:len(f.idle)-1]
+		d.execute(f, sb, exec, arrival, false, done)
+		return
+	}
+	f.queue = append(f.queue, &dirigentPending{arrival: arrival, exec: exec, done: done})
+	// Queue formation pokes the autoscaler immediately (the data plane
+	// pushes scaling metrics as queues form rather than waiting a full
+	// autoscaling period) — this is what makes Dirigent "promptly scale
+	// the number of ready pods to the desired state" (§5.3).
+	d.reconcileFunction(f)
+}
+
+// Prewarm installs n ready sandboxes for fn without charging creation
+// cost, used by warm-start benchmarks (§5.2.2). The function's MinScale is
+// pinned to n so the autoscaler does not tear the pool down mid-benchmark.
+func (d *Dirigent) Prewarm(fn *trace.FunctionSpec, n int) {
+	d.Register(fn)
+	f := d.functions[fn.Name]
+	cfg := f.scaler.Config()
+	cfg.MinScale = n
+	f.scaler = autoscaler.New(cfg)
+	for i := 0; i < n; i++ {
+		node := d.pickNode()
+		node.sandboxes++
+		f.ready++
+		f.idle = append(f.idle, &dirigentSandbox{node: node})
+	}
+}
+
+// execute proxies a request through the data plane to a sandbox and runs
+// it. The data plane station bounds aggregate warm throughput; its service
+// time per request is small but nonzero (connection handling, throttle
+// bookkeeping, NAT).
+func (d *Dirigent) execute(f *dirigentFunction, sb *dirigentSandbox, exec time.Duration, arrival time.Duration, cold bool, done func(Result)) {
+	proxy := d.warmLat.sample()
+	// Data plane CPU cost per request ≈ 0.75 ms per replica; with 3
+	// replicas the aggregate warm-start capacity is ~4000 requests/s,
+	// the port-exhaustion bound the paper reports (§5.2.2).
+	d.dataplane.Submit(750*time.Microsecond, func() {
+		d.eng.After(proxy+exec, func() {
+			finish := d.eng.Now()
+			f.inFlight--
+			f.idle = append(f.idle, sb)
+			d.pump(f)
+			sched := finish - arrival - exec
+			if sched < 0 {
+				sched = 0
+			}
+			done(Result{
+				Function:   f.spec.Name,
+				ColdStart:  cold,
+				Scheduling: sched,
+				Exec:       exec,
+				E2E:        finish - arrival,
+			})
+		})
+	})
+}
+
+// pump dispatches queued invocations onto idle sandboxes.
+func (d *Dirigent) pump(f *dirigentFunction) {
+	for len(f.queue) > 0 && len(f.idle) > 0 {
+		p := f.queue[0]
+		f.queue = f.queue[1:]
+		sb := f.idle[len(f.idle)-1]
+		f.idle = f.idle[:len(f.idle)-1]
+		d.execute(f, sb, p.exec, p.arrival, true, p.done)
+	}
+}
+
+// reconcile is the autoscaling pass: compare desired vs current scale and
+// create/tear down sandboxes.
+func (d *Dirigent) reconcile() {
+	for _, f := range d.functions {
+		d.reconcileFunction(f)
+	}
+}
+
+func (d *Dirigent) reconcileFunction(f *dirigentFunction) {
+	now := d.base.Add(d.eng.Now())
+	current := f.ready + f.creating
+	desired := f.scaler.Desired(now, current)
+	if desired > current {
+		for i := 0; i < desired-current; i++ {
+			d.createSandbox(f)
+		}
+	} else if desired < current {
+		// Tear down idle sandboxes beyond the desired scale.
+		surplus := current - desired
+		for surplus > 0 && len(f.idle) > 0 {
+			sb := f.idle[len(f.idle)-1]
+			f.idle = f.idle[:len(f.idle)-1]
+			f.ready--
+			sb.node.sandboxes--
+			d.teardowns++
+			surplus--
+		}
+	}
+}
+
+// createSandbox runs the cold-start pipeline: control plane work
+// (placement decision, in-memory state update, worker RPC), the optional
+// ablation DB write, then the worker-side creation bounded by the
+// node-wide kernel lock.
+func (d *Dirigent) createSandbox(f *dirigentFunction) {
+	f.creating++
+	// Control plane: placement + state update + RPC marshaling. 0.4 ms of
+	// CPU per creation ⇒ saturation at ~2500 creations/s.
+	d.cp.Submit(d.cpServiceTime(), func() {
+		next := func() {
+			node := d.pickNode()
+			node.pending++
+			node.kernel.Submit(d.kernelHold, func() {
+				create := d.createLat.sample() + d.bootLat.sample()
+				d.eng.After(create, func() {
+					node.pending--
+					node.sandboxes++
+					d.creations.record(d.eng.Now())
+					// Worker notifies CP; CP broadcasts the endpoint to
+					// data planes, which then drain their queues.
+					d.eng.After(d.endpointLat, func() {
+						f.creating--
+						f.ready++
+						f.idle = append(f.idle, &dirigentSandbox{node: node})
+						d.pump(f)
+					})
+				})
+			})
+		}
+		if d.cfg.PersistSandboxState {
+			// Ablation: a serialized fsync write on the critical path.
+			d.db.Submit(d.dbWriteLat, next)
+		} else {
+			next()
+		}
+	})
+}
+
+// cpServiceTime returns the control plane CPU cost per sandbox creation:
+// ~0.4 ms (placement, in-memory state update, worker RPC) ⇒ ~2500
+// creations/s. Beyond ~2500 workers, contention on the shared health-
+// monitoring structures that process heartbeats inflates the cost, which
+// is why the paper measures throughput degrading to ~2000/s at 5000
+// workers (§5.2.3).
+func (d *Dirigent) cpServiceTime() time.Duration {
+	svc := 400 * time.Microsecond
+	if extra := d.cfg.Workers - 2500; extra > 0 {
+		svc += time.Duration(float64(svc) * float64(extra) / 10000)
+	}
+	return svc
+}
+
+// pickNode approximates the least-allocated placement policy: choose the
+// node with the fewest sandboxes plus pending creations.
+func (d *Dirigent) pickNode() *dirigentNode {
+	best := d.nodes[0]
+	bestLoad := best.sandboxes + best.pending
+	// Sample a bounded number of candidates for large clusters (power of
+	// k choices preserves the distribution at far lower cost).
+	if len(d.nodes) > 64 {
+		for i := 0; i < 16; i++ {
+			n := d.nodes[d.rng.Intn(len(d.nodes))]
+			if load := n.sandboxes + n.pending; load < bestLoad {
+				best, bestLoad = n, load
+			}
+		}
+		return best
+	}
+	for _, n := range d.nodes[1:] {
+		if load := n.sandboxes + n.pending; load < bestLoad {
+			best, bestLoad = n, load
+		}
+	}
+	return best
+}
+
+// SandboxCreations implements Model.
+func (d *Dirigent) SandboxCreations() int { return d.creations.count() }
+
+// CreationTimes implements Model.
+func (d *Dirigent) CreationTimes() []time.Duration { return d.creations.snapshot() }
+
+// Teardowns returns the number of sandbox teardowns.
+func (d *Dirigent) Teardowns() int { return d.teardowns }
+
+// ControlPlaneUtilization reports the CP station's busy fraction (the
+// paper reports ~3% for Dirigent vs >75% for Knative on the Azure trace).
+func (d *Dirigent) ControlPlaneUtilization() float64 { return d.cp.Utilization() }

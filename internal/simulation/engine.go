@@ -1,0 +1,184 @@
+// Package simulation provides a discrete-event simulator for FaaS cluster
+// managers. The live in-process cluster (internal/cluster) executes real
+// goroutines in real time and is ideal for integration and fault-tolerance
+// testing, but the paper's trace experiments cover 30 simulated minutes on
+// up to 5000 worker nodes — far beyond wall-clock testing. This package
+// runs the same policy code (internal/autoscaler, internal/placement,
+// internal/loadbalancer) on a virtual clock, with each cluster manager
+// modeled as a composition of queueing stations whose service times are
+// calibrated to the paper's measurements:
+//
+//   - Dirigent: a fast monolithic control plane (no persistence on the
+//     cold-start path) in front of per-node sandbox runtimes limited by
+//     kernel-lock contention (containerd) or snapshot-restore latency
+//     (Firecracker).
+//   - Knative/K8s: an API-server station performing per-update 17 KB
+//     serialization and etcd persistence for a chain of controllers, plus
+//     sequential sidecar creation and readiness probes on workers.
+//   - OpenWhisk: the K8s substrate plus Kafka/CouchDB hops on the warm
+//     path.
+//   - AWS Lambda: an empirical end-to-end latency model fit to the paper's
+//     Figure 2.
+package simulation
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a single-threaded discrete-event scheduler. Time is a
+// time.Duration offset from the simulation start. Engines are not safe for
+// concurrent use; all model callbacks run on the caller's goroutine inside
+// Run.
+type Engine struct {
+	now   time.Duration
+	queue eventHeap
+	seq   uint64
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at == h[j].at {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at < h[j].at
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// NewEngine returns an engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// At schedules fn to run at the given absolute simulation time. Times in
+// the past run at the current time (FIFO among same-time events).
+func (e *Engine) At(at time.Duration, fn func()) {
+	if at < e.now {
+		at = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d time.Duration, fn func()) {
+	e.At(e.now+d, fn)
+}
+
+// Run executes events in order until the queue empties or the next event
+// lies beyond until. It returns the number of events executed.
+func (e *Engine) Run(until time.Duration) int {
+	n := 0
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		next.fn()
+		n++
+	}
+	if e.now < until {
+		e.now = until
+	}
+	return n
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Station is a FIFO queueing resource with a fixed number of servers —
+// the building block for modeling CPU-bound components (the K8s API
+// server, Dirigent's control plane, a worker's kernel-lock section).
+// Jobs are (serviceTime, completion-callback) pairs.
+type Station struct {
+	eng     *Engine
+	servers int
+	busy    int
+	queue   []stationJob
+
+	// Busy time accounting for utilization reporting.
+	busySince time.Duration
+	busyTotal time.Duration
+	served    int
+}
+
+type stationJob struct {
+	service time.Duration
+	done    func()
+}
+
+// NewStation returns a station with the given server count (>=1).
+func NewStation(eng *Engine, servers int) *Station {
+	if servers < 1 {
+		servers = 1
+	}
+	return &Station{eng: eng, servers: servers}
+}
+
+// Submit enqueues a job requiring service time svc; done (which may be
+// nil) runs when the job completes.
+func (s *Station) Submit(svc time.Duration, done func()) {
+	s.queue = append(s.queue, stationJob{service: svc, done: done})
+	s.dispatch()
+}
+
+func (s *Station) dispatch() {
+	for s.busy < s.servers && len(s.queue) > 0 {
+		job := s.queue[0]
+		s.queue = s.queue[1:]
+		if s.busy == 0 {
+			s.busySince = s.eng.Now()
+		}
+		s.busy++
+		s.eng.After(job.service, func() {
+			s.busy--
+			s.served++
+			if s.busy == 0 {
+				s.busyTotal += s.eng.Now() - s.busySince
+			}
+			if job.done != nil {
+				job.done()
+			}
+			s.dispatch()
+		})
+	}
+}
+
+// QueueLen returns the number of waiting (unstarted) jobs.
+func (s *Station) QueueLen() int { return len(s.queue) }
+
+// Served returns the number of completed jobs.
+func (s *Station) Served() int { return s.served }
+
+// Utilization returns the fraction of simulated time the station has been
+// busy (approximate for multi-server stations).
+func (s *Station) Utilization() float64 {
+	total := s.busyTotal
+	if s.busy > 0 {
+		total += s.eng.Now() - s.busySince
+	}
+	if s.eng.Now() == 0 {
+		return 0
+	}
+	return float64(total) / float64(s.eng.Now())
+}

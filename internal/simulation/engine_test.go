@@ -1,0 +1,190 @@
+package simulation
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineRunsEventsInOrder(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	eng.At(3*time.Second, func() { order = append(order, 3) })
+	eng.At(1*time.Second, func() { order = append(order, 1) })
+	eng.At(2*time.Second, func() { order = append(order, 2) })
+	n := eng.Run(10 * time.Second)
+	if n != 3 {
+		t.Fatalf("ran %d events", n)
+	}
+	for i, v := range []int{1, 2, 3} {
+		if order[i] != v {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if eng.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want 10s (ran to horizon)", eng.Now())
+	}
+}
+
+func TestEngineFIFOAmongSameTime(t *testing.T) {
+	eng := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.At(time.Second, func() { order = append(order, i) })
+	}
+	eng.Run(2 * time.Second)
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEngineStopsAtHorizon(t *testing.T) {
+	eng := NewEngine()
+	ran := false
+	eng.At(5*time.Second, func() { ran = true })
+	eng.Run(2 * time.Second)
+	if ran {
+		t.Errorf("event beyond horizon ran")
+	}
+	if eng.Pending() != 1 {
+		t.Errorf("Pending = %d", eng.Pending())
+	}
+	eng.Run(10 * time.Second)
+	if !ran {
+		t.Errorf("event did not run on second pass")
+	}
+}
+
+func TestEngineAfterAndCascading(t *testing.T) {
+	eng := NewEngine()
+	var times []time.Duration
+	var step func()
+	step = func() {
+		times = append(times, eng.Now())
+		if len(times) < 5 {
+			eng.After(time.Second, step)
+		}
+	}
+	eng.After(time.Second, step)
+	eng.Run(time.Hour)
+	if len(times) != 5 {
+		t.Fatalf("cascade ran %d times", len(times))
+	}
+	for i, at := range times {
+		if at != time.Duration(i+1)*time.Second {
+			t.Errorf("step %d at %v", i, at)
+		}
+	}
+}
+
+func TestEnginePastEventsRunNow(t *testing.T) {
+	eng := NewEngine()
+	eng.At(5*time.Second, func() {
+		eng.At(time.Second, func() {}) // in the past: clamp to now
+	})
+	eng.Run(10 * time.Second)
+	if eng.Pending() != 0 {
+		t.Errorf("past-scheduled event never ran")
+	}
+}
+
+// TestQuickEngineMonotonicTime property-tests that callbacks always
+// observe non-decreasing time, whatever the scheduling order.
+func TestQuickEngineMonotonicTime(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		eng := NewEngine()
+		last := time.Duration(-1)
+		ok := true
+		for _, off := range offsets {
+			at := time.Duration(off) * time.Millisecond
+			eng.At(at, func() {
+				if eng.Now() < last {
+					ok = false
+				}
+				last = eng.Now()
+			})
+		}
+		eng.Run(time.Hour)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStationSingleServerSerializes(t *testing.T) {
+	eng := NewEngine()
+	s := NewStation(eng, 1)
+	var done []time.Duration
+	for i := 0; i < 3; i++ {
+		s.Submit(time.Second, func() { done = append(done, eng.Now()) })
+	}
+	eng.Run(time.Hour)
+	want := []time.Duration{1 * time.Second, 2 * time.Second, 3 * time.Second}
+	if len(done) != 3 {
+		t.Fatalf("done = %v", done)
+	}
+	for i := range want {
+		if done[i] != want[i] {
+			t.Errorf("job %d done at %v, want %v", i, done[i], want[i])
+		}
+	}
+	if s.Served() != 3 {
+		t.Errorf("Served = %d", s.Served())
+	}
+}
+
+func TestStationMultiServerParallelism(t *testing.T) {
+	eng := NewEngine()
+	s := NewStation(eng, 3)
+	var done []time.Duration
+	for i := 0; i < 3; i++ {
+		s.Submit(time.Second, func() { done = append(done, eng.Now()) })
+	}
+	eng.Run(time.Hour)
+	for i, at := range done {
+		if at != time.Second {
+			t.Errorf("job %d done at %v, want 1s (parallel)", i, at)
+		}
+	}
+}
+
+func TestStationQueueLen(t *testing.T) {
+	eng := NewEngine()
+	s := NewStation(eng, 1)
+	for i := 0; i < 5; i++ {
+		s.Submit(time.Second, nil)
+	}
+	if s.QueueLen() != 4 {
+		t.Errorf("QueueLen = %d, want 4 (one in service)", s.QueueLen())
+	}
+	eng.Run(time.Hour)
+	if s.QueueLen() != 0 {
+		t.Errorf("QueueLen after drain = %d", s.QueueLen())
+	}
+}
+
+func TestStationUtilization(t *testing.T) {
+	eng := NewEngine()
+	s := NewStation(eng, 1)
+	s.Submit(time.Second, nil)
+	eng.Run(2 * time.Second)
+	u := s.Utilization()
+	if u < 0.45 || u > 0.55 {
+		t.Errorf("Utilization = %v, want ~0.5", u)
+	}
+}
+
+func TestStationMinimumOneServer(t *testing.T) {
+	eng := NewEngine()
+	s := NewStation(eng, 0)
+	ran := false
+	s.Submit(time.Second, func() { ran = true })
+	eng.Run(time.Hour)
+	if !ran {
+		t.Errorf("zero-server station never served")
+	}
+}

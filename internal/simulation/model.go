@@ -1,0 +1,80 @@
+package simulation
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"dirigent/internal/trace"
+)
+
+// Result is the outcome of one simulated invocation.
+type Result struct {
+	Function  string
+	ColdStart bool
+	// Scheduling is the cluster-manager contribution to latency: queueing,
+	// placement, sandbox wait, and proxy overheads (everything except the
+	// function's own execution time).
+	Scheduling time.Duration
+	// Exec is the function execution time.
+	Exec time.Duration
+	// E2E is Scheduling + Exec.
+	E2E time.Duration
+	// Failed marks invocations that timed out or were dropped.
+	Failed bool
+}
+
+// Slowdown returns E2E divided by Exec (with a 1 ms floor on Exec so that
+// near-zero execution times do not explode the ratio), the per-invocation
+// metric behind the paper's Figure 9.
+func (r Result) Slowdown() float64 {
+	exec := r.Exec
+	if exec < time.Millisecond {
+		exec = time.Millisecond
+	}
+	return float64(r.E2E) / float64(exec)
+}
+
+// Model is a simulated FaaS cluster manager.
+type Model interface {
+	// Name identifies the model for experiment output.
+	Name() string
+	// Register announces a function before any invocation.
+	Register(fn *trace.FunctionSpec)
+	// Invoke submits one invocation; done is called (possibly much later
+	// in simulation time) with the outcome.
+	Invoke(fn *trace.FunctionSpec, exec time.Duration, done func(Result))
+	// SandboxCreations returns the cumulative number of sandboxes created.
+	SandboxCreations() int
+	// CreationTimes returns the simulation times of all sandbox creations
+	// (for the Figure 3 rate-over-time series).
+	CreationTimes() []time.Duration
+}
+
+// latencySampler draws lognormal latencies on the simulation's RNG.
+type latencySampler struct {
+	rng    *rand.Rand
+	median time.Duration
+	sigma  float64
+}
+
+func (s latencySampler) sample() time.Duration {
+	if s.median <= 0 {
+		return 0
+	}
+	return time.Duration(float64(s.median) * math.Exp(s.sigma*s.rng.NormFloat64()))
+}
+
+// creationRecorder tracks sandbox creations for Figure 3 and the §5.3
+// sandbox-count comparison.
+type creationRecorder struct {
+	times []time.Duration
+}
+
+func (c *creationRecorder) record(at time.Duration) { c.times = append(c.times, at) }
+func (c *creationRecorder) count() int              { return len(c.times) }
+func (c *creationRecorder) snapshot() []time.Duration {
+	out := make([]time.Duration, len(c.times))
+	copy(out, c.times)
+	return out
+}

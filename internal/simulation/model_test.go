@@ -1,0 +1,310 @@
+package simulation
+
+import (
+	"testing"
+	"time"
+
+	"dirigent/internal/core"
+	"dirigent/internal/trace"
+)
+
+func hello(name string) *trace.FunctionSpec {
+	return &trace.FunctionSpec{
+		Name:       name,
+		ExecMedian: 10 * time.Millisecond,
+		ExecSigma:  0.05,
+		MemoryMB:   128,
+	}
+}
+
+func TestDirigentColdThenWarm(t *testing.T) {
+	eng := NewEngine()
+	m := NewDirigent(eng, DirigentConfig{Runtime: "firecracker", Seed: 1})
+	fn := hello("f")
+	m.Register(fn)
+	var results []Result
+	m.Invoke(fn, 10*time.Millisecond, func(r Result) { results = append(results, r) })
+	eng.Run(time.Minute)
+	if len(results) != 1 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if !results[0].ColdStart {
+		t.Errorf("first invocation should be cold")
+	}
+	if results[0].Scheduling < 10*time.Millisecond {
+		t.Errorf("cold scheduling %v implausibly low", results[0].Scheduling)
+	}
+	// Second invocation while the sandbox is warm.
+	m.Invoke(fn, 10*time.Millisecond, func(r Result) { results = append(results, r) })
+	eng.Run(eng.Now() + time.Minute)
+	if len(results) != 2 {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[1].ColdStart {
+		t.Errorf("second invocation should be warm")
+	}
+	if results[1].Scheduling > 20*time.Millisecond {
+		t.Errorf("warm scheduling %v implausibly high", results[1].Scheduling)
+	}
+	if m.SandboxCreations() != 1 {
+		t.Errorf("creations = %d, want 1", m.SandboxCreations())
+	}
+}
+
+func TestDirigentFirecrackerFasterThanContainerd(t *testing.T) {
+	run := func(rt string) float64 {
+		eng := NewEngine()
+		m := NewDirigent(eng, DirigentConfig{Runtime: rt, Seed: 1})
+		col := RunColdRateSweep(eng, m, 20, 5*time.Second)
+		return col.E2E().Percentile(50)
+	}
+	fc := run("firecracker")
+	ct := run("containerd")
+	if fc >= ct {
+		t.Errorf("firecracker p50 %.1fms should beat containerd %.1fms", fc, ct)
+	}
+}
+
+func TestDirigentSaturationOrdering(t *testing.T) {
+	// Well below saturation the p99 stays low; far above it explodes.
+	run := func(rate float64) float64 {
+		eng := NewEngine()
+		m := NewDirigent(eng, DirigentConfig{Runtime: "firecracker", Seed: 1})
+		col := RunColdRateSweep(eng, m, rate, 4*time.Second)
+		return col.E2E().Percentile(99)
+	}
+	low := run(500)
+	high := run(4000)
+	if low > 500 {
+		t.Errorf("p99 at 500/s = %.1fms, want < 500ms", low)
+	}
+	if high < 5*low {
+		t.Errorf("p99 at 4000/s = %.1fms did not blow up vs %.1fms", high, low)
+	}
+}
+
+func TestDirigentPersistAblationHurts(t *testing.T) {
+	run := func(persist bool) float64 {
+		eng := NewEngine()
+		m := NewDirigent(eng, DirigentConfig{Runtime: "firecracker", PersistSandboxState: persist, Seed: 1})
+		col := RunColdRateSweep(eng, m, 1500, 4*time.Second)
+		return col.E2E().Percentile(99)
+	}
+	base := run(false)
+	persist := run(true)
+	if persist < 2*base {
+		t.Errorf("persist-all p99 %.1fms should be much worse than %.1fms at 1500/s", persist, base)
+	}
+}
+
+func TestDirigentScaleDownAfterIdle(t *testing.T) {
+	eng := NewEngine()
+	sc := testScaleConfig()
+	m := NewDirigent(eng, DirigentConfig{Runtime: "firecracker", Seed: 1, ScaleDefaults: &sc})
+	fn := hello("f")
+	m.Register(fn)
+	m.Invoke(fn, 10*time.Millisecond, func(Result) {})
+	eng.Run(10 * time.Minute)
+	if m.Teardowns() == 0 {
+		t.Errorf("idle sandbox never torn down")
+	}
+}
+
+func TestKnativeSlowerThanDirigentCold(t *testing.T) {
+	engK := NewEngine()
+	kn := NewKnative(engK, KnativeConfig{Seed: 1})
+	colK := RunColdBurst(engK, kn, 10)
+
+	engD := NewEngine()
+	dg := NewDirigent(engD, DirigentConfig{Runtime: "containerd", Seed: 1})
+	colD := RunColdBurst(engD, dg, 10)
+
+	if colK.E2E().Percentile(50) < 2*colD.E2E().Percentile(50) {
+		t.Errorf("knative p50 %.1fms should be far above dirigent %.1fms",
+			colK.E2E().Percentile(50), colD.E2E().Percentile(50))
+	}
+}
+
+func TestKnativeBurstGrowsControlPlaneShare(t *testing.T) {
+	run := func(burst int) time.Duration {
+		eng := NewEngine()
+		m := NewKnative(eng, KnativeConfig{Seed: 1})
+		RunColdBurst(eng, m, burst)
+		bds := m.Breakdowns()
+		if len(bds) == 0 {
+			t.Fatalf("no breakdowns recorded")
+		}
+		var sum time.Duration
+		for _, b := range bds {
+			sum += b.ControlPlane
+		}
+		return sum / time.Duration(len(bds))
+	}
+	small := run(1)
+	large := run(100)
+	if large < 10*small {
+		t.Errorf("control-plane share at burst 100 (%v) should dwarf burst 1 (%v)", large, small)
+	}
+}
+
+func TestKnativeK3sOnlyMarginallyBetter(t *testing.T) {
+	run := func(fused bool) float64 {
+		eng := NewEngine()
+		m := NewKnative(eng, KnativeConfig{Fused: fused, Seed: 1})
+		col := RunColdRateSweep(eng, m, 5, 5*time.Second)
+		return col.E2E().Percentile(50)
+	}
+	base := run(false)
+	fused := run(true)
+	if fused >= base {
+		t.Errorf("k3s-fused p50 %.1fms should be slightly better than %.1fms", fused, base)
+	}
+	if fused < base/2 {
+		t.Errorf("k3s-fused p50 %.1fms improved too much vs %.1fms — the paper found fusing is NOT the fix", fused, base)
+	}
+}
+
+func TestOpenWhiskWarmLatencyAboveKnative(t *testing.T) {
+	run := func(ow bool) float64 {
+		eng := NewEngine()
+		m := NewKnative(eng, KnativeConfig{OpenWhisk: ow, Seed: 1})
+		col := RunWarmRateSweep(eng, m, 100, 3*time.Second)
+		return col.E2E().Percentile(50)
+	}
+	kn := run(false)
+	ow := run(true)
+	if ow <= kn {
+		t.Errorf("openwhisk warm p50 %.2fms should exceed knative %.2fms (Kafka+CouchDB)", ow, kn)
+	}
+}
+
+func TestKnativeRegistrationCostGrows(t *testing.T) {
+	eng := NewEngine()
+	m := NewKnative(eng, KnativeConfig{Seed: 1})
+	if m.RegistrationCost(0) < 500*time.Millisecond {
+		t.Errorf("empty-cluster registration should be ~770ms")
+	}
+	if m.RegistrationCost(999) <= m.RegistrationCost(0) {
+		t.Errorf("registration cost should grow with cluster content")
+	}
+	var total time.Duration
+	for i := 0; i < 1000; i++ {
+		total += m.RegistrationCost(i)
+	}
+	if total < 10*time.Minute {
+		t.Errorf("registering 1000 functions should take ~18 minutes, got %v", total)
+	}
+}
+
+func TestLambdaColdLatencyGrowsWithConcurrency(t *testing.T) {
+	run := func(burst int) float64 {
+		eng := NewEngine()
+		m := NewLambda(eng, LambdaConfig{Seed: 2})
+		col := RunColdBurst(eng, m, burst)
+		return col.E2E().Percentile(50)
+	}
+	small := run(1)
+	large := run(1600)
+	if large < 1.5*small {
+		t.Errorf("lambda p50 at burst 1600 (%.1fms) should far exceed burst 1 (%.1fms)", large, small)
+	}
+}
+
+func TestLambdaKeepAliveReapsIdle(t *testing.T) {
+	eng := NewEngine()
+	m := NewLambda(eng, LambdaConfig{Seed: 1, KeepAlive: time.Minute})
+	fn := hello("f")
+	m.Register(fn)
+	var cold []bool
+	m.Invoke(fn, time.Millisecond, func(r Result) { cold = append(cold, r.ColdStart) })
+	eng.Run(time.Minute) // complete first invocation
+	// Within keep-alive: warm.
+	eng.At(eng.Now(), func() {
+		m.Invoke(fn, time.Millisecond, func(r Result) { cold = append(cold, r.ColdStart) })
+	})
+	eng.Run(eng.Now() + 10*time.Second)
+	// Far beyond keep-alive: cold again.
+	eng.At(eng.Now()+5*time.Minute, func() {
+		m.Invoke(fn, time.Millisecond, func(r Result) { cold = append(cold, r.ColdStart) })
+	})
+	eng.Run(eng.Now() + 10*time.Minute)
+	want := []bool{true, false, true}
+	if len(cold) != 3 {
+		t.Fatalf("got %d results", len(cold))
+	}
+	for i := range want {
+		if cold[i] != want[i] {
+			t.Errorf("invocation %d cold=%v, want %v", i, cold[i], want[i])
+		}
+	}
+}
+
+func TestModelsHandleUnknownFunction(t *testing.T) {
+	eng := NewEngine()
+	models := []Model{
+		NewDirigent(eng, DirigentConfig{Seed: 1}),
+		NewKnative(eng, KnativeConfig{Seed: 1}),
+		NewLambda(eng, LambdaConfig{Seed: 1}),
+	}
+	for _, m := range models {
+		var failed bool
+		m.Invoke(hello("never-registered"), time.Millisecond, func(r Result) { failed = r.Failed })
+		if !failed {
+			t.Errorf("%s accepted an unregistered function", m.Name())
+		}
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	eng := NewEngine()
+	cases := map[string]Model{
+		"dirigent-containerd":              NewDirigent(eng, DirigentConfig{Seed: 1}),
+		"dirigent-firecracker":             NewDirigent(eng, DirigentConfig{Runtime: "firecracker", Seed: 1}),
+		"dirigent-firecracker-persist-all": NewDirigent(eng, DirigentConfig{Runtime: "firecracker", PersistSandboxState: true, Seed: 1}),
+		"knative":                          NewKnative(eng, KnativeConfig{Seed: 1}),
+		"knative-k3s":                      NewKnative(eng, KnativeConfig{Fused: true, Seed: 1}),
+		"openwhisk":                        NewKnative(eng, KnativeConfig{OpenWhisk: true, Seed: 1}),
+		"aws-lambda":                       NewLambda(eng, LambdaConfig{Seed: 1}),
+	}
+	for want, m := range cases {
+		if m.Name() != want {
+			t.Errorf("Name = %q, want %q", m.Name(), want)
+		}
+	}
+}
+
+func TestResultSlowdownFloor(t *testing.T) {
+	r := Result{E2E: 10 * time.Millisecond, Exec: 0}
+	if s := r.Slowdown(); s != 10 {
+		t.Errorf("Slowdown with zero exec = %v, want 10 (1ms floor)", s)
+	}
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := &Collector{}
+	c.Done(Result{Function: "a", E2E: 10 * time.Millisecond, Exec: 5 * time.Millisecond, Scheduling: 5 * time.Millisecond})
+	c.Done(Result{Function: "a", E2E: 20 * time.Millisecond, Exec: 5 * time.Millisecond, Scheduling: 15 * time.Millisecond})
+	c.Done(Result{Function: "b", Failed: true})
+	if c.Completed() != 2 {
+		t.Errorf("Completed = %d", c.Completed())
+	}
+	if fr := c.FailureRate(); fr < 0.3 || fr > 0.4 {
+		t.Errorf("FailureRate = %v", fr)
+	}
+	if c.E2E().Count() != 2 || c.Scheduling().Count() != 2 {
+		t.Errorf("histograms include failed results")
+	}
+	if c.PerFunctionSlowdown().Count() != 1 {
+		t.Errorf("per-function slowdown should have 1 entry (only function a completed)")
+	}
+	if c.PerFunctionScheduling().Percentile(50) != 10 {
+		t.Errorf("per-function mean scheduling = %v, want 10ms", c.PerFunctionScheduling().Percentile(50))
+	}
+}
+
+func testScaleConfig() core.ScalingConfig {
+	sc := core.DefaultScalingConfig()
+	sc.StableWindow = 20 * time.Second
+	sc.ScaleToZeroGrace = 10 * time.Second
+	return sc
+}

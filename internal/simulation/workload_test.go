@@ -1,0 +1,117 @@
+package simulation
+
+import (
+	"testing"
+	"time"
+
+	"dirigent/internal/trace"
+)
+
+func TestCreationRateStats(t *testing.T) {
+	times := []time.Duration{
+		500 * time.Millisecond,
+		700 * time.Millisecond,
+		1500 * time.Millisecond,
+		2500 * time.Millisecond,
+		2600 * time.Millisecond,
+		2700 * time.Millisecond,
+	}
+	perSecond, stats := CreationRateStats(times, 4*time.Second, 0)
+	if len(perSecond) != 5 {
+		t.Fatalf("perSecond = %v", perSecond)
+	}
+	if perSecond[0] != 2 || perSecond[1] != 1 || perSecond[2] != 3 {
+		t.Errorf("buckets = %v", perSecond)
+	}
+	if stats.Max != 3 {
+		t.Errorf("max = %v", stats.Max)
+	}
+	// Discarding a warmup window drops early events.
+	perSecond, _ = CreationRateStats(times, 4*time.Second, 2*time.Second)
+	var total float64
+	for _, v := range perSecond {
+		total += v
+	}
+	if total != 3 {
+		t.Errorf("post-warmup total = %v, want 3", total)
+	}
+	if got, _ := CreationRateStats(times, 0, 0); got != nil {
+		t.Errorf("zero duration should return nil")
+	}
+}
+
+func TestSlowdownTimelineSeries(t *testing.T) {
+	results := []Result{
+		{E2E: 100 * time.Millisecond, Exec: 50 * time.Millisecond}, // slowdown 2
+		{E2E: 200 * time.Millisecond, Exec: 50 * time.Millisecond}, // slowdown 4
+		{E2E: 50 * time.Millisecond, Exec: 50 * time.Millisecond},  // slowdown 1
+		{Failed: true, E2E: time.Hour},                             // ignored
+	}
+	ends := []time.Duration{
+		600 * time.Millisecond,  // arrival 500ms -> bucket 0
+		700 * time.Millisecond,  // arrival 500ms -> bucket 0
+		1550 * time.Millisecond, // arrival 1500ms -> bucket 1
+		2 * time.Hour,
+	}
+	pts := SlowdownTimelineSeries(results, ends)
+	if len(pts) != 2 {
+		t.Fatalf("points = %+v", pts)
+	}
+	if pts[0].Value != 3 { // mean of 2 and 4
+		t.Errorf("bucket 0 mean = %v, want 3", pts[0].Value)
+	}
+	if pts[1].Value != 1 {
+		t.Errorf("bucket 1 mean = %v, want 1", pts[1].Value)
+	}
+	if SlowdownTimelineSeries(results, ends[:2]) != nil {
+		t.Errorf("mismatched lengths should return nil")
+	}
+}
+
+func TestReplayTraceWarmupDiscards(t *testing.T) {
+	tr := trace.NewAzureLike(trace.Config{Functions: 40, Duration: 4 * time.Minute, Seed: 5})
+	eng := NewEngine()
+	m := NewDirigent(eng, DirigentConfig{Runtime: "firecracker", Seed: 1})
+	warmup := 2 * time.Minute
+	col := ReplayTrace(eng, m, tr, warmup)
+	afterWarmup := 0
+	for _, inv := range tr.Invocations {
+		if inv.At >= warmup {
+			afterWarmup++
+		}
+	}
+	if len(col.Results) != afterWarmup {
+		t.Errorf("collected %d results, want %d (post-warmup only)", len(col.Results), afterWarmup)
+	}
+}
+
+func TestRunColdBurstAllCold(t *testing.T) {
+	eng := NewEngine()
+	m := NewDirigent(eng, DirigentConfig{Runtime: "firecracker", Seed: 1})
+	col := RunColdBurst(eng, m, 20)
+	if len(col.Results) != 20 {
+		t.Fatalf("results = %d", len(col.Results))
+	}
+	for i, r := range col.Results {
+		if !r.ColdStart {
+			t.Errorf("burst invocation %d was not a cold start", i)
+		}
+	}
+	if m.SandboxCreations() < 20 {
+		t.Errorf("creations = %d, want >= 20 (one per distinct function)", m.SandboxCreations())
+	}
+}
+
+func TestRunWarmRateSweepNoColdStarts(t *testing.T) {
+	eng := NewEngine()
+	m := NewDirigent(eng, DirigentConfig{Runtime: "firecracker", Seed: 1})
+	col := RunWarmRateSweep(eng, m, 200, 2*time.Second)
+	for _, r := range col.Results {
+		if r.ColdStart {
+			t.Fatalf("warm sweep produced a cold start")
+		}
+	}
+	if len(col.Results) == 0 {
+		t.Fatalf("no results")
+	}
+}

@@ -1,0 +1,326 @@
+// Package store implements the Redis-like persistent key-value store that
+// Dirigent's control plane uses for the minimal cluster state it persists
+// (paper §4: Redis in append-only mode with fsync at each query, one
+// replica co-located with each control plane replica).
+//
+// The store supports plain keys and hashes (field → value maps, one per
+// object collection: functions, worker nodes, data planes). Every mutation
+// is appended to a write-ahead log before it is acknowledged, and can be
+// synchronously replicated to follower stores for strong consistency.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"dirigent/internal/codec"
+	"dirigent/internal/wal"
+)
+
+// OpKind enumerates the mutation types recorded in the AOF.
+type OpKind uint8
+
+// Mutation kinds.
+const (
+	OpSet OpKind = iota
+	OpDel
+	OpHSet
+	OpHDel
+)
+
+// Op is a single mutation. For hash operations, Key is the hash name and
+// Field the member key.
+type Op struct {
+	Kind  OpKind
+	Key   string
+	Field string
+	Value []byte
+}
+
+// Marshal encodes the op for the AOF.
+func (o *Op) Marshal() []byte {
+	e := codec.NewEncoder(16 + len(o.Key) + len(o.Field) + len(o.Value))
+	e.U8(uint8(o.Kind))
+	e.String(o.Key)
+	e.String(o.Field)
+	e.RawBytes(o.Value)
+	return e.Bytes()
+}
+
+// UnmarshalOp decodes an op written by Op.Marshal.
+func UnmarshalOp(b []byte) (Op, error) {
+	d := codec.NewDecoder(b)
+	var o Op
+	o.Kind = OpKind(d.U8())
+	o.Key = d.String()
+	o.Field = d.String()
+	if v := d.RawBytes(); len(v) > 0 {
+		o.Value = append([]byte(nil), v...)
+	}
+	if err := d.Err(); err != nil {
+		return Op{}, fmt.Errorf("store: unmarshal op: %w", err)
+	}
+	return o, nil
+}
+
+// Store is an in-memory KV + hash store with optional AOF persistence.
+// It is safe for concurrent use.
+type Store struct {
+	mu     sync.RWMutex
+	kv     map[string][]byte
+	hashes map[string]map[string][]byte
+	log    *wal.Log // nil for a purely in-memory store
+}
+
+// NewMemory returns a volatile store with no persistence, used for tests
+// and for replicas that receive state via replication streams.
+func NewMemory() *Store {
+	return &Store{
+		kv:     make(map[string][]byte),
+		hashes: make(map[string]map[string][]byte),
+	}
+}
+
+// Open returns a store persisted at path, replaying any existing AOF.
+func Open(path string, policy wal.FsyncPolicy) (*Store, error) {
+	s := NewMemory()
+	log, err := wal.Open(path, policy, func(rec []byte) error {
+		op, err := UnmarshalOp(rec)
+		if err != nil {
+			return err
+		}
+		s.applyLocked(op)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.log = log
+	return s, nil
+}
+
+// applyLocked mutates in-memory state. Callers must hold mu or guarantee
+// exclusive access (as during replay inside Open).
+func (s *Store) applyLocked(op Op) {
+	switch op.Kind {
+	case OpSet:
+		s.kv[op.Key] = op.Value
+	case OpDel:
+		delete(s.kv, op.Key)
+	case OpHSet:
+		h, ok := s.hashes[op.Key]
+		if !ok {
+			h = make(map[string][]byte)
+			s.hashes[op.Key] = h
+		}
+		h[op.Field] = op.Value
+	case OpHDel:
+		if h, ok := s.hashes[op.Key]; ok {
+			delete(h, op.Field)
+			if len(h) == 0 {
+				delete(s.hashes, op.Key)
+			}
+		}
+	}
+}
+
+// Apply executes the mutation, persisting it first when an AOF is attached.
+func (s *Store) Apply(op Op) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log != nil {
+		if err := s.log.Append(op.Marshal()); err != nil {
+			return err
+		}
+	}
+	s.applyLocked(op)
+	return nil
+}
+
+// Set stores value under key.
+func (s *Store) Set(key string, value []byte) error {
+	return s.Apply(Op{Kind: OpSet, Key: key, Value: value})
+}
+
+// Del removes key.
+func (s *Store) Del(key string) error {
+	return s.Apply(Op{Kind: OpDel, Key: key})
+}
+
+// Get returns the value stored under key.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.kv[key]
+	return v, ok
+}
+
+// HSet stores value under field within hash.
+func (s *Store) HSet(hash, field string, value []byte) error {
+	return s.Apply(Op{Kind: OpHSet, Key: hash, Field: field, Value: value})
+}
+
+// HDel removes field from hash.
+func (s *Store) HDel(hash, field string) error {
+	return s.Apply(Op{Kind: OpHDel, Key: hash, Field: field})
+}
+
+// HGet returns the value of field within hash.
+func (s *Store) HGet(hash, field string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h, ok := s.hashes[hash]
+	if !ok {
+		return nil, false
+	}
+	v, ok := h[field]
+	return v, ok
+}
+
+// HGetAll returns a copy of all field → value pairs of hash.
+func (s *Store) HGetAll(hash string) map[string][]byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	h := s.hashes[hash]
+	out := make(map[string][]byte, len(h))
+	for k, v := range h {
+		out[k] = v
+	}
+	return out
+}
+
+// HLen returns the number of fields in hash.
+func (s *Store) HLen(hash string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.hashes[hash])
+}
+
+// Keys returns the number of plain keys (not hashes).
+func (s *Store) Keys() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.kv)
+}
+
+// DumpOps returns the mutation sequence that reconstructs the current
+// state, used for compaction and for bootstrapping a new replica.
+func (s *Store) DumpOps() []Op {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ops []Op
+	for k, v := range s.kv {
+		ops = append(ops, Op{Kind: OpSet, Key: k, Value: v})
+	}
+	for hash, fields := range s.hashes {
+		for f, v := range fields {
+			ops = append(ops, Op{Kind: OpHSet, Key: hash, Field: f, Value: v})
+		}
+	}
+	return ops
+}
+
+// Compact rewrites the AOF to contain only the live state.
+func (s *Store) Compact() error {
+	if s.log == nil {
+		return nil
+	}
+	ops := s.DumpOps()
+	recs := make([][]byte, len(ops))
+	for i := range ops {
+		recs[i] = ops[i].Marshal()
+	}
+	return s.log.Rewrite(recs)
+}
+
+// Close closes the AOF, if any.
+func (s *Store) Close() error {
+	if s.log == nil {
+		return nil
+	}
+	return s.log.Close()
+}
+
+// Replicated wraps a primary store and synchronously mirrors every mutation
+// to follower stores, giving the strongly consistent replication the paper's
+// deployment achieves with a Redis replica per control-plane node. A write
+// is acknowledged only after the primary's AOF append and every follower's
+// apply have succeeded.
+type Replicated struct {
+	mu        sync.Mutex
+	primary   *Store
+	followers []*Store
+}
+
+// NewReplicated returns a replicated store over primary and followers.
+func NewReplicated(primary *Store, followers ...*Store) *Replicated {
+	return &Replicated{primary: primary, followers: followers}
+}
+
+// Primary returns the primary store for reads.
+func (r *Replicated) Primary() *Store { return r.primary }
+
+// Apply persists the op on the primary and mirrors it to all followers.
+func (r *Replicated) Apply(op Op) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.primary.Apply(op); err != nil {
+		return err
+	}
+	var firstErr error
+	for _, f := range r.followers {
+		if err := f.Apply(op); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Set stores value under key on the primary and all followers.
+func (r *Replicated) Set(key string, value []byte) error {
+	return r.Apply(Op{Kind: OpSet, Key: key, Value: value})
+}
+
+// Del removes key everywhere.
+func (r *Replicated) Del(key string) error {
+	return r.Apply(Op{Kind: OpDel, Key: key})
+}
+
+// HSet stores value under hash/field everywhere.
+func (r *Replicated) HSet(hash, field string, value []byte) error {
+	return r.Apply(Op{Kind: OpHSet, Key: hash, Field: field, Value: value})
+}
+
+// HDel removes hash/field everywhere.
+func (r *Replicated) HDel(hash, field string) error {
+	return r.Apply(Op{Kind: OpHDel, Key: hash, Field: field})
+}
+
+// HGetAll reads hash from the primary.
+func (r *Replicated) HGetAll(hash string) map[string][]byte {
+	return r.primary.HGetAll(hash)
+}
+
+// Get reads key from the primary.
+func (r *Replicated) Get(key string) ([]byte, bool) {
+	return r.primary.Get(key)
+}
+
+// Sync brings a new follower up to date with the primary's current state
+// and adds it to the replication set.
+func (r *Replicated) Sync(follower *Store) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, op := range r.primary.DumpOps() {
+		if err := follower.Apply(op); err != nil {
+			return err
+		}
+	}
+	r.followers = append(r.followers, follower)
+	return nil
+}
+
+// ErrNotLeader is returned by store front-ends that refuse writes on
+// non-leader replicas.
+var ErrNotLeader = errors.New("store: not leader")

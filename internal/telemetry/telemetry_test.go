@@ -1,0 +1,241 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.ObserveMs(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if p := h.Percentile(50); math.Abs(p-50.5) > 1 {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := h.Percentile(99); math.Abs(p-99) > 1.5 {
+		t.Errorf("p99 = %v", p)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if m := h.Mean(); math.Abs(m-50.5) > 1e-9 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Percentile(50) != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.GeoMean() != 0 {
+		t.Errorf("empty histogram should return zeros")
+	}
+	if h.CDF(10) != nil {
+		t.Errorf("empty CDF should be nil")
+	}
+	if h.Summary() != "n=0" {
+		t.Errorf("Summary = %q", h.Summary())
+	}
+}
+
+func TestHistogramGeoMean(t *testing.T) {
+	h := NewHistogram()
+	h.ObserveMs(1)
+	h.ObserveMs(100)
+	if g := h.GeoMean(); math.Abs(g-10) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 10", g)
+	}
+	// Zero samples must not collapse the geometric mean to zero.
+	h2 := NewHistogram()
+	h2.ObserveMs(0)
+	h2.ObserveMs(100)
+	if g := h2.GeoMean(); g <= 0 {
+		t.Errorf("GeoMean with zero sample = %v", g)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1500 * time.Microsecond)
+	if p := h.Percentile(50); math.Abs(p-1.5) > 1e-9 {
+		t.Errorf("duration sample = %v ms", p)
+	}
+}
+
+// TestQuickPercentileBounds property-tests that percentiles stay within
+// the sample range and are monotonic in p.
+func TestQuickPercentileBounds(t *testing.T) {
+	f := func(values []float64) bool {
+		h := NewHistogram()
+		var min, max float64
+		n := 0
+		for _, v := range values {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			h.ObserveMs(v)
+			if n == 0 || v < min {
+				min = v
+			}
+			if n == 0 || v > max {
+				max = v
+			}
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for _, p := range []float64{0, 10, 25, 50, 75, 90, 99, 100} {
+			val := h.Percentile(p)
+			if val < min-1e-9 || val > max+1e-9 {
+				return false
+			}
+			if val < prev-1e-9 {
+				return false // non-monotonic
+			}
+			prev = val
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramCDF(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.ObserveMs(float64(i))
+	}
+	cdf := h.CDF(11)
+	if len(cdf) != 11 {
+		t.Fatalf("CDF has %d points", len(cdf))
+	}
+	if cdf[0].Value != 1 {
+		t.Errorf("CDF starts at %v", cdf[0].Value)
+	}
+	if cdf[len(cdf)-1].Value != 1000 || cdf[len(cdf)-1].Fraction != 1 {
+		t.Errorf("CDF ends at %+v", cdf[len(cdf)-1])
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction < cdf[i-1].Fraction {
+			t.Errorf("CDF not monotonic at %d", i)
+		}
+	}
+	table := FormatCDFTable("test", cdf)
+	if !strings.Contains(table, "# test") || !strings.Contains(table, "cdf") {
+		t.Errorf("FormatCDFTable output malformed: %q", table[:40])
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram()
+	b := NewHistogram()
+	a.ObserveMs(1)
+	b.ObserveMs(3)
+	a.Merge(b)
+	if a.Count() != 2 || a.Max() != 3 {
+		t.Errorf("merge failed: count=%d max=%v", a.Count(), a.Max())
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.ObserveMs(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Errorf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Counter = %d", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("Gauge = %d", g.Value())
+	}
+}
+
+func TestTimeSeriesBucketing(t *testing.T) {
+	ts := NewTimeSeries()
+	ts.Record(100*time.Millisecond, 1)
+	ts.Record(900*time.Millisecond, 1)
+	ts.Record(1100*time.Millisecond, 1)
+	ts.Record(2500*time.Millisecond, 2)
+	buckets := ts.BucketPerSecond()
+	want := []float64{2, 1, 2}
+	if len(buckets) != len(want) {
+		t.Fatalf("buckets = %v", buckets)
+	}
+	for i := range want {
+		if buckets[i] != want[i] {
+			t.Errorf("bucket %d = %v, want %v", i, buckets[i], want[i])
+		}
+	}
+	if ts.Len() != 4 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+}
+
+func TestTimeSeriesEmpty(t *testing.T) {
+	ts := NewTimeSeries()
+	if ts.BucketPerSecond() != nil {
+		t.Errorf("empty series should bucket to nil")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	st := ComputeStats([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if st.N != 10 || st.Avg != 5.5 || st.Max != 10 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.P50 < 5 || st.P50 > 6 {
+		t.Errorf("p50 = %v", st.P50)
+	}
+	if ComputeStats(nil).N != 0 {
+		t.Errorf("empty stats should be zero")
+	}
+	if s := st.String(); !strings.Contains(s, "n=10") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("a").Inc()
+	r.Gauge("b").Set(3)
+	r.Histogram("c").ObserveMs(1)
+	if r.Counter("a").Value() != 2 {
+		t.Errorf("counter identity not preserved")
+	}
+	dump := r.Dump()
+	for _, want := range []string{"a 2", "b 3", "c n=1"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Dump missing %q:\n%s", want, dump)
+		}
+	}
+}

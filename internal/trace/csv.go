@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// WriteCSV serializes the trace in the Azure Functions trace format: one
+// row per function with the function name, the median execution time in
+// milliseconds, the memory footprint, and per-minute invocation counts.
+// This is the interchange format between the generator, the experiment
+// harness, and any real trace slice a user wants to replay.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	minutes := int(tr.Duration / time.Minute)
+	if _, err := fmt.Fprintf(bw, "HashFunction,ExecMedianMs,MemoryMB"); err != nil {
+		return err
+	}
+	for m := 1; m <= minutes; m++ {
+		fmt.Fprintf(bw, ",%d", m)
+	}
+	fmt.Fprintln(bw)
+
+	counts := make(map[*FunctionSpec][]int, len(tr.Functions))
+	for _, fn := range tr.Functions {
+		counts[fn] = make([]int, minutes)
+	}
+	for _, inv := range tr.Invocations {
+		minute := int(inv.At / time.Minute)
+		if minute < minutes {
+			counts[inv.Function][minute]++
+		}
+	}
+	for _, fn := range tr.Functions {
+		fmt.Fprintf(bw, "%s,%.3f,%d", fn.Name, float64(fn.ExecMedian)/float64(time.Millisecond), fn.MemoryMB)
+		for _, c := range counts[fn] {
+			fmt.Fprintf(bw, ",%d", c)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ParseCSV reads a trace in the format written by WriteCSV. Invocations
+// within each minute are spread uniformly, matching how trace players
+// replay per-minute counts.
+func ParseCSV(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty CSV")
+	}
+	header := strings.Split(sc.Text(), ",")
+	if len(header) < 4 || header[0] != "HashFunction" {
+		return nil, fmt.Errorf("trace: unrecognized CSV header")
+	}
+	minutes := len(header) - 3
+	tr := &Trace{Duration: time.Duration(minutes) * time.Minute}
+	line := 1
+	for sc.Scan() {
+		line++
+		fields := strings.Split(sc.Text(), ",")
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("trace: line %d has %d fields, want %d", line, len(fields), len(header))
+		}
+		execMs, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || execMs < 0 || math.IsNaN(execMs) {
+			return nil, fmt.Errorf("trace: line %d: bad exec median %q", line, fields[1])
+		}
+		memMB, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad memory %q", line, fields[2])
+		}
+		fn := &FunctionSpec{
+			Name:       fields[0],
+			Class:      ClassPoisson,
+			ExecMedian: time.Duration(execMs * float64(time.Millisecond)),
+			ExecSigma:  0.5,
+			MemoryMB:   memMB,
+		}
+		total := 0
+		for m := 0; m < minutes; m++ {
+			count, err := strconv.Atoi(fields[3+m])
+			if err != nil || count < 0 {
+				return nil, fmt.Errorf("trace: line %d minute %d: bad count %q", line, m+1, fields[3+m])
+			}
+			total += count
+			for k := 0; k < count; k++ {
+				at := time.Duration(m)*time.Minute + time.Duration(k)*time.Minute/time.Duration(count)
+				tr.Invocations = append(tr.Invocations, Invocation{
+					At:       at,
+					Function: fn,
+					Exec:     fn.ExecMedian,
+				})
+			}
+		}
+		fn.RatePerMinute = float64(total) / float64(minutes)
+		tr.Functions = append(tr.Functions, fn)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read CSV: %w", err)
+	}
+	sortInvocations(tr)
+	return tr, nil
+}
+
+func sortInvocations(tr *Trace) {
+	sort.Slice(tr.Invocations, func(i, j int) bool {
+		return tr.Invocations[i].At < tr.Invocations[j].At
+	})
+}

@@ -1,0 +1,331 @@
+// Package trace models the Azure Functions production workload the paper
+// evaluates on (Shahrad et al., ATC'20: 70K functions over two weeks) and
+// provides the InVitro-style sampling the paper uses to fit a trace slice
+// onto a fixed-size cluster (§5.3). Because the original trace is not
+// distributed with this repository, NewAzureLike synthesizes a workload
+// with the same statistical structure the paper's analysis depends on:
+//
+//   - heavy-tailed per-function invocation rates (a few hot functions, a
+//     long tail of rarely invoked ones),
+//   - timer-driven functions that fire in unison with long periods, which
+//     produce the synchronized cold-start bursts the paper identifies as
+//     the tail-latency culprit (§5.3),
+//   - lognormal execution times with roughly half of all functions
+//     completing within a second (§2.1), and
+//   - bursty Poisson arrivals for interactive functions.
+//
+// The CSV reader/writer follows the Azure trace format (per-minute
+// invocation counts per function), so the real trace can be dropped in.
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Class labels the invocation pattern of a function.
+type Class uint8
+
+// Function classes.
+const (
+	// ClassTimer fires on a fixed period, aligned to the period boundary
+	// (cron-style triggers; the unison bursts in the paper).
+	ClassTimer Class = iota
+	// ClassPoisson arrives with exponential inter-arrival times.
+	ClassPoisson
+	// ClassBursty alternates idle gaps with short high-rate bursts.
+	ClassBursty
+	// ClassRare is invoked a handful of times over the whole trace.
+	ClassRare
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassTimer:
+		return "timer"
+	case ClassPoisson:
+		return "poisson"
+	case ClassBursty:
+		return "bursty"
+	case ClassRare:
+		return "rare"
+	default:
+		return "unknown"
+	}
+}
+
+// FunctionSpec describes one trace function.
+type FunctionSpec struct {
+	Name string
+	// Class is the arrival pattern.
+	Class Class
+	// RatePerMinute is the average invocation rate (Poisson/bursty).
+	RatePerMinute float64
+	// Period is the timer period (ClassTimer only).
+	Period time.Duration
+	// ExecMedian and ExecSigma parameterize the lognormal execution-time
+	// distribution.
+	ExecMedian time.Duration
+	ExecSigma  float64
+	// MemoryMB is the sandbox memory footprint.
+	MemoryMB int
+}
+
+// Invocation is one invocation event in a trace.
+type Invocation struct {
+	At       time.Duration
+	Function *FunctionSpec
+	Exec     time.Duration
+}
+
+// Trace is a workload: functions plus their materialized invocations.
+type Trace struct {
+	Functions []*FunctionSpec
+	Duration  time.Duration
+	// Invocations are sorted by arrival time.
+	Invocations []Invocation
+}
+
+// Config parameterizes synthetic trace generation.
+type Config struct {
+	// Functions is the number of functions to generate.
+	Functions int
+	// Duration is the trace length.
+	Duration time.Duration
+	// Seed makes generation reproducible.
+	Seed int64
+	// TimerFraction, BurstyFraction, RareFraction split the function
+	// population; the remainder is Poisson. Zero values select the
+	// Azure-like default mix (30% timer, 15% bursty, 25% rare).
+	TimerFraction  float64
+	BurstyFraction float64
+	RareFraction   float64
+	// HotFunctionBoost scales the rate of the hottest functions; the
+	// default produces the paper's heavy-tailed rate distribution.
+	HotFunctionBoost float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Functions == 0 {
+		c.Functions = 500
+	}
+	if c.Duration == 0 {
+		c.Duration = 30 * time.Minute
+	}
+	if c.TimerFraction == 0 {
+		c.TimerFraction = 0.30
+	}
+	if c.BurstyFraction == 0 {
+		c.BurstyFraction = 0.15
+	}
+	if c.RareFraction == 0 {
+		c.RareFraction = 0.25
+	}
+	if c.HotFunctionBoost == 0 {
+		c.HotFunctionBoost = 40
+	}
+	return c
+}
+
+// timerPeriods are the cron-style periods timer functions use. Long
+// periods let sandboxes expire between firings, creating synchronized
+// cold-start bursts.
+var timerPeriods = []time.Duration{
+	time.Minute, 2 * time.Minute, 5 * time.Minute, 10 * time.Minute, 15 * time.Minute,
+}
+
+// NewAzureLike generates a synthetic Azure-shaped trace.
+func NewAzureLike(cfg Config) *Trace {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tr := &Trace{Duration: cfg.Duration}
+
+	for i := 0; i < cfg.Functions; i++ {
+		spec := &FunctionSpec{
+			Name: "azure-fn-" + itoa(i),
+			// Half of all functions execute within a second (paper §2.1):
+			// lognormal medians centered near 300 ms with wide spread.
+			ExecMedian: lognormalDuration(rng, 300*time.Millisecond, 1.4, time.Millisecond, 30*time.Second),
+			ExecSigma:  0.4 + rng.Float64()*0.4,
+			MemoryMB:   []int{128, 128, 256, 256, 512, 1024}[rng.Intn(6)],
+		}
+		u := rng.Float64()
+		switch {
+		case u < cfg.TimerFraction:
+			spec.Class = ClassTimer
+			spec.Period = timerPeriods[rng.Intn(len(timerPeriods))]
+			spec.RatePerMinute = float64(time.Minute) / float64(spec.Period)
+		case u < cfg.TimerFraction+cfg.BurstyFraction:
+			spec.Class = ClassBursty
+			spec.RatePerMinute = heavyTailedRate(rng, cfg.HotFunctionBoost)
+		case u < cfg.TimerFraction+cfg.BurstyFraction+cfg.RareFraction:
+			spec.Class = ClassRare
+			spec.RatePerMinute = 0.05 + rng.Float64()*0.1
+		default:
+			spec.Class = ClassPoisson
+			spec.RatePerMinute = heavyTailedRate(rng, cfg.HotFunctionBoost)
+		}
+		tr.Functions = append(tr.Functions, spec)
+	}
+	tr.Invocations = materialize(tr, rng)
+	return tr
+}
+
+// heavyTailedRate draws a per-minute rate from a heavy-tailed distribution:
+// most functions are slow drips, a few are hot.
+func heavyTailedRate(rng *rand.Rand, boost float64) float64 {
+	base := math.Exp(rng.NormFloat64()*1.6 - 0.5) // lognormal around ~0.6/min
+	if rng.Float64() < 0.05 {
+		base *= boost // the hot tail
+	}
+	if base > 600 {
+		base = 600
+	}
+	if base < 0.02 {
+		base = 0.02
+	}
+	return base
+}
+
+func lognormalDuration(rng *rand.Rand, median time.Duration, sigma float64, min, max time.Duration) time.Duration {
+	d := time.Duration(float64(median) * math.Exp(sigma*rng.NormFloat64()))
+	if d < min {
+		d = min
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// materialize expands function specs into a time-sorted invocation list.
+func materialize(tr *Trace, rng *rand.Rand) []Invocation {
+	var out []Invocation
+	for _, fn := range tr.Functions {
+		exec := func() time.Duration {
+			return lognormalDuration(rng, fn.ExecMedian, fn.ExecSigma, 100*time.Microsecond, 5*time.Minute)
+		}
+		switch fn.Class {
+		case ClassTimer:
+			// Fire at each period boundary: all functions sharing a
+			// period fire in unison, as timer triggers do in production.
+			for at := fn.Period; at < tr.Duration; at += fn.Period {
+				out = append(out, Invocation{At: at, Function: fn, Exec: exec()})
+			}
+		case ClassPoisson, ClassRare:
+			ratePerNs := fn.RatePerMinute / float64(time.Minute)
+			at := time.Duration(0)
+			for {
+				gap := time.Duration(rng.ExpFloat64() / ratePerNs)
+				at += gap
+				if at >= tr.Duration {
+					break
+				}
+				out = append(out, Invocation{At: at, Function: fn, Exec: exec()})
+			}
+		case ClassBursty:
+			// Bursts of 5-50 invocations with idle gaps sized to hit the
+			// average rate.
+			at := time.Duration(0)
+			for at < tr.Duration {
+				burst := 5 + rng.Intn(46)
+				gap := time.Duration(float64(burst) / (fn.RatePerMinute / float64(time.Minute)))
+				at += time.Duration(rng.ExpFloat64() * float64(gap))
+				if at >= tr.Duration {
+					break
+				}
+				for b := 0; b < burst; b++ {
+					bat := at + time.Duration(rng.Int63n(int64(200*time.Millisecond)))
+					if bat < tr.Duration {
+						out = append(out, Invocation{At: bat, Function: fn, Exec: exec()})
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Sample selects n functions with stratified sampling over the invocation-
+// rate distribution, preserving the head/tail mix — the InVitro approach
+// the paper uses to shrink the 70K-function trace onto a 100-node cluster.
+// The returned trace reuses the parent's invocations for those functions.
+func (tr *Trace) Sample(n int, seed int64) *Trace {
+	if n >= len(tr.Functions) {
+		return tr
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sorted := append([]*FunctionSpec(nil), tr.Functions...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].RatePerMinute < sorted[j].RatePerMinute
+	})
+	// One pick per stratum of the rate distribution.
+	picked := make(map[*FunctionSpec]bool, n)
+	var fns []*FunctionSpec
+	for i := 0; i < n; i++ {
+		lo := i * len(sorted) / n
+		hi := (i + 1) * len(sorted) / n
+		if hi <= lo {
+			hi = lo + 1
+		}
+		f := sorted[lo+rng.Intn(hi-lo)]
+		if picked[f] {
+			continue
+		}
+		picked[f] = true
+		fns = append(fns, f)
+	}
+	out := &Trace{Functions: fns, Duration: tr.Duration}
+	for _, inv := range tr.Invocations {
+		if picked[inv.Function] {
+			out.Invocations = append(out.Invocations, inv)
+		}
+	}
+	return out
+}
+
+// TotalInvocations returns the number of materialized invocations.
+func (tr *Trace) TotalInvocations() int { return len(tr.Invocations) }
+
+// RateStats returns per-second invocation counts over the trace, for
+// workload characterization (paper Figure 3 reports the analogous sandbox
+// creation rate).
+func (tr *Trace) RateStats() []float64 {
+	if tr.Duration <= 0 {
+		return nil
+	}
+	buckets := make([]float64, int(tr.Duration/time.Second)+1)
+	for _, inv := range tr.Invocations {
+		idx := int(inv.At / time.Second)
+		if idx < len(buckets) {
+			buckets[idx]++
+		}
+	}
+	return buckets
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}

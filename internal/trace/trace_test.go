@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func azure(t *testing.T, n int, minutes int, seed int64) *Trace {
+	t.Helper()
+	return NewAzureLike(Config{
+		Functions: n,
+		Duration:  time.Duration(minutes) * time.Minute,
+		Seed:      seed,
+	})
+}
+
+func TestGenerateBasicShape(t *testing.T) {
+	tr := azure(t, 300, 10, 1)
+	if len(tr.Functions) != 300 {
+		t.Fatalf("functions = %d", len(tr.Functions))
+	}
+	if tr.TotalInvocations() == 0 {
+		t.Fatalf("no invocations generated")
+	}
+	// Invocations sorted and within the duration.
+	last := time.Duration(0)
+	for _, inv := range tr.Invocations {
+		if inv.At < last {
+			t.Fatalf("invocations not sorted")
+		}
+		if inv.At >= tr.Duration {
+			t.Fatalf("invocation at %v beyond duration %v", inv.At, tr.Duration)
+		}
+		if inv.Exec <= 0 {
+			t.Fatalf("non-positive exec time")
+		}
+		last = inv.At
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := azure(t, 100, 5, 7)
+	b := azure(t, 100, 5, 7)
+	if a.TotalInvocations() != b.TotalInvocations() {
+		t.Fatalf("same seed produced different invocation counts: %d vs %d",
+			a.TotalInvocations(), b.TotalInvocations())
+	}
+	for i := range a.Invocations {
+		if a.Invocations[i].At != b.Invocations[i].At {
+			t.Fatalf("same seed diverged at invocation %d", i)
+		}
+	}
+	c := azure(t, 100, 5, 8)
+	if c.TotalInvocations() == a.TotalInvocations() {
+		t.Logf("different seeds produced same count (possible but unlikely)")
+	}
+}
+
+func TestClassMix(t *testing.T) {
+	tr := azure(t, 2000, 5, 3)
+	counts := make(map[Class]int)
+	for _, fn := range tr.Functions {
+		counts[fn.Class]++
+	}
+	if counts[ClassTimer] == 0 || counts[ClassPoisson] == 0 || counts[ClassBursty] == 0 || counts[ClassRare] == 0 {
+		t.Errorf("class mix incomplete: %v", counts)
+	}
+	// Timer fraction should be near the default 30%.
+	frac := float64(counts[ClassTimer]) / float64(len(tr.Functions))
+	if frac < 0.2 || frac > 0.4 {
+		t.Errorf("timer fraction %.2f, want ~0.30", frac)
+	}
+}
+
+func TestTimerFunctionsFireInUnison(t *testing.T) {
+	tr := azure(t, 1000, 10, 5)
+	// Count invocations landing exactly on 5-minute boundaries: timer
+	// functions with the 5-minute period all fire at t=5m.
+	atBoundary := 0
+	for _, inv := range tr.Invocations {
+		if inv.At == 5*time.Minute {
+			atBoundary++
+		}
+	}
+	if atBoundary < 10 {
+		t.Errorf("only %d invocations at the 5-minute boundary; unison bursts missing", atBoundary)
+	}
+}
+
+func TestExecutionTimeDistribution(t *testing.T) {
+	tr := azure(t, 2000, 5, 9)
+	var medians []float64
+	for _, fn := range tr.Functions {
+		medians = append(medians, float64(fn.ExecMedian))
+	}
+	sort.Float64s(medians)
+	p50 := time.Duration(medians[len(medians)/2])
+	// Half of all functions should execute within ~a second (paper §2.1).
+	if p50 > time.Second {
+		t.Errorf("median function exec median %v, want <= 1s", p50)
+	}
+	if p50 < 10*time.Millisecond {
+		t.Errorf("median function exec median %v implausibly small", p50)
+	}
+}
+
+func TestHeavyTailedRates(t *testing.T) {
+	tr := azure(t, 3000, 5, 11)
+	var rates []float64
+	for _, fn := range tr.Functions {
+		rates = append(rates, fn.RatePerMinute)
+	}
+	sort.Float64s(rates)
+	mean := 0.0
+	for _, r := range rates {
+		mean += r
+	}
+	mean /= float64(len(rates))
+	median := rates[len(rates)/2]
+	if mean < 2*median {
+		t.Errorf("rate distribution not heavy-tailed: mean %.2f vs median %.2f", mean, median)
+	}
+}
+
+func TestSamplePreservesMix(t *testing.T) {
+	tr := azure(t, 2000, 5, 13)
+	s := tr.Sample(200, 1)
+	if len(s.Functions) > 200 || len(s.Functions) < 150 {
+		t.Fatalf("sample size %d, want ~200", len(s.Functions))
+	}
+	// Sampled invocations must reference sampled functions only.
+	picked := make(map[*FunctionSpec]bool)
+	for _, fn := range s.Functions {
+		picked[fn] = true
+	}
+	for _, inv := range s.Invocations {
+		if !picked[inv.Function] {
+			t.Fatalf("sampled trace references unsampled function")
+		}
+	}
+	// Stratified sampling keeps both slow and hot functions.
+	var minRate, maxRate float64 = math.Inf(1), 0
+	for _, fn := range s.Functions {
+		if fn.RatePerMinute < minRate {
+			minRate = fn.RatePerMinute
+		}
+		if fn.RatePerMinute > maxRate {
+			maxRate = fn.RatePerMinute
+		}
+	}
+	if maxRate < 10*minRate {
+		t.Errorf("sample lost the rate spread: [%f, %f]", minRate, maxRate)
+	}
+}
+
+func TestSampleNLargerThanTraceReturnsSame(t *testing.T) {
+	tr := azure(t, 50, 5, 1)
+	if got := tr.Sample(100, 1); got != tr {
+		t.Errorf("oversized sample should return the original trace")
+	}
+}
+
+func TestRateStats(t *testing.T) {
+	tr := azure(t, 500, 5, 15)
+	buckets := tr.RateStats()
+	if len(buckets) == 0 {
+		t.Fatalf("no rate buckets")
+	}
+	var total float64
+	for _, b := range buckets {
+		total += b
+	}
+	if int(total) != tr.TotalInvocations() {
+		t.Errorf("bucket sum %v != invocations %d", total, tr.TotalInvocations())
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tr := azure(t, 50, 5, 17)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := ParseCSV(&buf)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(got.Functions) != len(tr.Functions) {
+		t.Fatalf("functions = %d, want %d", len(got.Functions), len(tr.Functions))
+	}
+	if got.Duration != tr.Duration {
+		t.Errorf("duration = %v, want %v", got.Duration, tr.Duration)
+	}
+	// Per-minute counts survive exactly even though within-minute
+	// placement is resampled.
+	origPerMin := perMinuteCounts(tr)
+	gotPerMin := perMinuteCounts(got)
+	for name, counts := range origPerMin {
+		gc, ok := gotPerMin[name]
+		if !ok {
+			t.Fatalf("function %s missing after round trip", name)
+		}
+		for m := range counts {
+			if counts[m] != gc[m] {
+				t.Errorf("%s minute %d: %d != %d", name, m, counts[m], gc[m])
+			}
+		}
+	}
+}
+
+func perMinuteCounts(tr *Trace) map[string][]int {
+	out := make(map[string][]int)
+	minutes := int(tr.Duration / time.Minute)
+	for _, fn := range tr.Functions {
+		out[fn.Name] = make([]int, minutes)
+	}
+	for _, inv := range tr.Invocations {
+		m := int(inv.At / time.Minute)
+		if m < minutes {
+			out[inv.Function.Name][m]++
+		}
+	}
+	return out
+}
+
+func TestParseCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"bogus,header\n",
+		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,notanumber,128,1\n",
+		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,1.0,x,1\n",
+		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,1.0,128,-1\n",
+		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,1.0,128\n", // short row
+	}
+	for i, c := range cases {
+		if _, err := ParseCSV(bytes.NewReader([]byte(c))); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+// TestQuickClassString ensures the Class stringer is total.
+func TestQuickClassString(t *testing.T) {
+	f := func(c uint8) bool { return Class(c).String() != "" }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,389 @@
+package transport
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is a Transport over real sockets using length-prefixed binary frames.
+// Request frame:  id(8) | kind(1)=0 | methodLen(2) | method | payloadLen(4) | payload
+// Response frame: id(8) | kind(1)=1 | status(1) | bodyLen(4) | body
+// Clients keep one multiplexed connection per remote address.
+type TCP struct {
+	mu    sync.Mutex
+	conns map[string]*tcpClientConn
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+}
+
+// NewTCP returns a TCP transport with a 2-second dial timeout.
+func NewTCP() *TCP {
+	return &TCP{conns: make(map[string]*tcpClientConn), DialTimeout: 2 * time.Second}
+}
+
+const (
+	frameKindRequest  = 0
+	frameKindResponse = 1
+	respStatusOK      = 0
+	respStatusError   = 1
+	maxFramePayload   = 64 << 20
+)
+
+// Listen implements Transport.
+func (t *TCP) Listen(addr string, h HandlerFunc) (Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	srv := &tcpListener{ln: ln, handler: h, done: make(chan struct{})}
+	go srv.acceptLoop()
+	return srv, nil
+}
+
+type tcpListener struct {
+	ln      net.Listener
+	handler HandlerFunc
+	done    chan struct{}
+	wg      sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+func (s *tcpListener) Addr() string { return s.ln.Addr().String() }
+
+func (s *tcpListener) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	// Sever accepted connections so per-connection goroutines blocked in
+	// reads unblock; otherwise Close would wait on them forever.
+	s.connMu.Lock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.connMu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *tcpListener) track(conn net.Conn) bool {
+	s.connMu.Lock()
+	defer s.connMu.Unlock()
+	if s.closed {
+		return false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *tcpListener) untrack(conn net.Conn) {
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+}
+
+func (s *tcpListener) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			return
+		}
+		if !s.track(conn) {
+			conn.Close()
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(conn)
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *tcpListener) serveConn(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 1<<16)
+	var wmu sync.Mutex
+	w := bufio.NewWriterSize(conn, 1<<16)
+	for {
+		id, method, payload, err := readRequest(r)
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			body, herr := s.handler(method, payload)
+			status := byte(respStatusOK)
+			if herr != nil {
+				status = respStatusError
+				body = []byte(herr.Error())
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			if err := writeResponse(w, id, status, body); err != nil {
+				conn.Close()
+			}
+		}()
+	}
+}
+
+func readRequest(r *bufio.Reader) (id uint64, method string, payload []byte, err error) {
+	var header [11]byte
+	if _, err = io.ReadFull(r, header[:]); err != nil {
+		return 0, "", nil, err
+	}
+	id = binary.LittleEndian.Uint64(header[0:8])
+	if header[8] != frameKindRequest {
+		return 0, "", nil, errors.New("transport: unexpected frame kind")
+	}
+	mlen := int(binary.LittleEndian.Uint16(header[9:11]))
+	mbuf := make([]byte, mlen)
+	if _, err = io.ReadFull(r, mbuf); err != nil {
+		return 0, "", nil, err
+	}
+	var plenBuf [4]byte
+	if _, err = io.ReadFull(r, plenBuf[:]); err != nil {
+		return 0, "", nil, err
+	}
+	plen := binary.LittleEndian.Uint32(plenBuf[:])
+	if plen > maxFramePayload {
+		return 0, "", nil, errors.New("transport: frame too large")
+	}
+	payload = make([]byte, plen)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, "", nil, err
+	}
+	return id, string(mbuf), payload, nil
+}
+
+func writeResponse(w *bufio.Writer, id uint64, status byte, body []byte) error {
+	var header [14]byte
+	binary.LittleEndian.PutUint64(header[0:8], id)
+	header[8] = frameKindResponse
+	header[9] = status
+	binary.LittleEndian.PutUint32(header[10:14], uint32(len(body)))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(body); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+type tcpClientConn struct {
+	conn    net.Conn
+	wmu     sync.Mutex
+	w       *bufio.Writer
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan tcpResponse
+	closed  bool
+}
+
+type tcpResponse struct {
+	status byte
+	body   []byte
+	err    error
+}
+
+// Call implements Transport.
+func (t *TCP) Call(ctx context.Context, addr, method string, payload []byte) ([]byte, error) {
+	cc, err := t.getConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	respCh, id, err := cc.send(method, payload)
+	if err != nil {
+		t.dropConn(addr, cc)
+		return nil, err
+	}
+	select {
+	case resp := <-respCh:
+		if resp.err != nil {
+			t.dropConn(addr, cc)
+			return nil, resp.err
+		}
+		if resp.status == respStatusError {
+			return nil, &RemoteError{Msg: string(resp.body)}
+		}
+		return resp.body, nil
+	case <-ctx.Done():
+		cc.abandon(id)
+		return nil, ctx.Err()
+	}
+}
+
+func (t *TCP) getConn(addr string) (*tcpClientConn, error) {
+	t.mu.Lock()
+	cc, ok := t.conns[addr]
+	t.mu.Unlock()
+	if ok {
+		return cc, nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, t.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+	}
+	cc = &tcpClientConn{
+		conn:    conn,
+		w:       bufio.NewWriterSize(conn, 1<<16),
+		pending: make(map[uint64]chan tcpResponse),
+	}
+	t.mu.Lock()
+	if existing, ok := t.conns[addr]; ok {
+		t.mu.Unlock()
+		conn.Close()
+		return existing, nil
+	}
+	t.conns[addr] = cc
+	t.mu.Unlock()
+	go cc.readLoop()
+	return cc, nil
+}
+
+func (t *TCP) dropConn(addr string, cc *tcpClientConn) {
+	t.mu.Lock()
+	if cur, ok := t.conns[addr]; ok && cur == cc {
+		delete(t.conns, addr)
+	}
+	t.mu.Unlock()
+	cc.close(ErrUnreachable)
+}
+
+func (cc *tcpClientConn) send(method string, payload []byte) (chan tcpResponse, uint64, error) {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return nil, 0, ErrUnreachable
+	}
+	cc.nextID++
+	id := cc.nextID
+	ch := make(chan tcpResponse, 1)
+	cc.pending[id] = ch
+	cc.mu.Unlock()
+
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	var header [11]byte
+	binary.LittleEndian.PutUint64(header[0:8], id)
+	header[8] = frameKindRequest
+	binary.LittleEndian.PutUint16(header[9:11], uint16(len(method)))
+	if _, err := cc.w.Write(header[:]); err != nil {
+		cc.abandon(id)
+		return nil, 0, err
+	}
+	if _, err := cc.w.WriteString(method); err != nil {
+		cc.abandon(id)
+		return nil, 0, err
+	}
+	var plen [4]byte
+	binary.LittleEndian.PutUint32(plen[:], uint32(len(payload)))
+	if _, err := cc.w.Write(plen[:]); err != nil {
+		cc.abandon(id)
+		return nil, 0, err
+	}
+	if _, err := cc.w.Write(payload); err != nil {
+		cc.abandon(id)
+		return nil, 0, err
+	}
+	if err := cc.w.Flush(); err != nil {
+		cc.abandon(id)
+		return nil, 0, err
+	}
+	return ch, id, nil
+}
+
+func (cc *tcpClientConn) abandon(id uint64) {
+	cc.mu.Lock()
+	delete(cc.pending, id)
+	cc.mu.Unlock()
+}
+
+func (cc *tcpClientConn) readLoop() {
+	r := bufio.NewReaderSize(cc.conn, 1<<16)
+	for {
+		var header [14]byte
+		if _, err := io.ReadFull(r, header[:]); err != nil {
+			cc.close(err)
+			return
+		}
+		id := binary.LittleEndian.Uint64(header[0:8])
+		if header[8] != frameKindResponse {
+			cc.close(errors.New("transport: unexpected frame kind"))
+			return
+		}
+		status := header[9]
+		blen := binary.LittleEndian.Uint32(header[10:14])
+		if blen > maxFramePayload {
+			cc.close(errors.New("transport: frame too large"))
+			return
+		}
+		body := make([]byte, blen)
+		if _, err := io.ReadFull(r, body); err != nil {
+			cc.close(err)
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[id]
+		delete(cc.pending, id)
+		cc.mu.Unlock()
+		if ok {
+			ch <- tcpResponse{status: status, body: body}
+		}
+	}
+}
+
+func (cc *tcpClientConn) close(err error) {
+	cc.mu.Lock()
+	if cc.closed {
+		cc.mu.Unlock()
+		return
+	}
+	cc.closed = true
+	pending := cc.pending
+	cc.pending = map[uint64]chan tcpResponse{}
+	cc.mu.Unlock()
+	cc.conn.Close()
+	for _, ch := range pending {
+		ch <- tcpResponse{err: fmt.Errorf("transport: connection closed: %w", errOrUnreachable(err))}
+	}
+}
+
+func errOrUnreachable(err error) error {
+	if err == nil || errors.Is(err, io.EOF) {
+		return ErrUnreachable
+	}
+	return err
+}
+
+// Close tears down all client connections.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	conns := t.conns
+	t.conns = map[string]*tcpClientConn{}
+	t.mu.Unlock()
+	for _, cc := range conns {
+		cc.close(nil)
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+// Package versioning implements function versioning with partial traffic
+// steering — the Knative feature the paper lists as Dirigent's main
+// missing capability and sketches the implementation for (§4,
+// Limitations: "extending Function and Sandbox abstractions with a version
+// number and ... adding a versioning-aware load-balancing policy in the
+// data plane").
+//
+// Each version of a function is registered as its own Function (e.g.
+// "resize@v2"), giving it independent sandboxes, autoscaling, and
+// endpoints. The Router maps a logical function name to one of its
+// versions by consistent weighted hashing on the invocation key, so a
+// given client key always lands on the same version while aggregate
+// traffic follows the configured weights — canary releases, blue/green
+// cutovers, and instant rollbacks are weight updates.
+package versioning
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Version is one weighted target of a logical function.
+type Version struct {
+	// Function is the fully qualified registered function name.
+	Function string
+	// Weight is the relative share of traffic (> 0).
+	Weight int
+}
+
+// Errors returned by the Router.
+var (
+	ErrNoVersions    = errors.New("versioning: no versions given")
+	ErrBadWeight     = errors.New("versioning: weight must be positive")
+	ErrUnknownTarget = errors.New("versioning: unknown version")
+)
+
+// Router resolves logical function names to versioned targets. It is safe
+// for concurrent use and designed to sit in the front-end load balancer or
+// data plane, before endpoint selection.
+type Router struct {
+	mu     sync.RWMutex
+	splits map[string][]Version
+}
+
+// NewRouter returns an empty router; unknown functions resolve to
+// themselves, so the router is transparent until splits are configured.
+func NewRouter() *Router {
+	return &Router{splits: make(map[string][]Version)}
+}
+
+// SetSplit configures the traffic split for a logical function, replacing
+// any previous configuration.
+func (r *Router) SetSplit(function string, versions ...Version) error {
+	if len(versions) == 0 {
+		return ErrNoVersions
+	}
+	total := 0
+	for _, v := range versions {
+		if v.Weight <= 0 {
+			return fmt.Errorf("%w: %s=%d", ErrBadWeight, v.Function, v.Weight)
+		}
+		if v.Function == "" {
+			return fmt.Errorf("versioning: empty version function name")
+		}
+		total += v.Weight
+	}
+	_ = total
+	cp := append([]Version(nil), versions...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].Function < cp[j].Function })
+	r.mu.Lock()
+	r.splits[function] = cp
+	r.mu.Unlock()
+	return nil
+}
+
+// Promote routes 100% of the function's traffic to the given version.
+func (r *Router) Promote(function, version string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	split, ok := r.splits[function]
+	if ok {
+		found := false
+		for _, v := range split {
+			if v.Function == version {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: %s has no version %s", ErrUnknownTarget, function, version)
+		}
+	}
+	r.splits[function] = []Version{{Function: version, Weight: 1}}
+	return nil
+}
+
+// Remove drops the split; the logical name resolves to itself again.
+func (r *Router) Remove(function string) {
+	r.mu.Lock()
+	delete(r.splits, function)
+	r.mu.Unlock()
+}
+
+// Split returns the configured versions for a function (nil if none).
+func (r *Router) Split(function string) []Version {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]Version(nil), r.splits[function]...)
+}
+
+// Resolve maps a logical function name and invocation key to the versioned
+// function that should serve it. Resolution is deterministic per key —
+// repeated invocations with the same key stick to the same version — and
+// proportional to weights across keys.
+func (r *Router) Resolve(function string, key uint64) string {
+	r.mu.RLock()
+	split := r.splits[function]
+	r.mu.RUnlock()
+	if len(split) == 0 {
+		return function
+	}
+	total := 0
+	for _, v := range split {
+		total += v.Weight
+	}
+	h := fnv.New64a()
+	h.Write([]byte(function))
+	var kb [8]byte
+	for i := 0; i < 8; i++ {
+		kb[i] = byte(key >> (8 * i))
+	}
+	h.Write(kb[:])
+	point := int(h.Sum64() % uint64(total))
+	for _, v := range split {
+		point -= v.Weight
+		if point < 0 {
+			return v.Function
+		}
+	}
+	return split[len(split)-1].Function
+}

@@ -1,0 +1,156 @@
+package versioning
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTransparentWithoutSplit(t *testing.T) {
+	r := NewRouter()
+	if got := r.Resolve("fn", 42); got != "fn" {
+		t.Errorf("Resolve = %q, want passthrough", got)
+	}
+}
+
+func TestSetSplitValidation(t *testing.T) {
+	r := NewRouter()
+	if err := r.SetSplit("f"); !errors.Is(err, ErrNoVersions) {
+		t.Errorf("empty split: %v", err)
+	}
+	if err := r.SetSplit("f", Version{Function: "f@v1", Weight: 0}); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("zero weight: %v", err)
+	}
+	if err := r.SetSplit("f", Version{Function: "f@v1", Weight: -3}); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("negative weight: %v", err)
+	}
+	if err := r.SetSplit("f", Version{Function: "", Weight: 1}); err == nil {
+		t.Errorf("empty version name accepted")
+	}
+	if err := r.SetSplit("f", Version{Function: "f@v1", Weight: 1}); err != nil {
+		t.Errorf("valid split rejected: %v", err)
+	}
+}
+
+func TestResolveFollowsWeights(t *testing.T) {
+	r := NewRouter()
+	if err := r.SetSplit("f",
+		Version{Function: "f@v1", Weight: 90},
+		Version{Function: "f@v2", Weight: 10},
+	); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 20000
+	for key := uint64(0); key < n; key++ {
+		counts[r.Resolve("f", key)]++
+	}
+	fracV2 := float64(counts["f@v2"]) / n
+	if math.Abs(fracV2-0.10) > 0.02 {
+		t.Errorf("v2 share = %.3f, want ~0.10", fracV2)
+	}
+	if counts["f@v1"]+counts["f@v2"] != n {
+		t.Errorf("resolved outside the split: %v", counts)
+	}
+}
+
+func TestResolveStickyPerKey(t *testing.T) {
+	r := NewRouter()
+	r.SetSplit("f",
+		Version{Function: "f@v1", Weight: 1},
+		Version{Function: "f@v2", Weight: 1},
+	)
+	for key := uint64(0); key < 100; key++ {
+		first := r.Resolve("f", key)
+		for i := 0; i < 5; i++ {
+			if got := r.Resolve("f", key); got != first {
+				t.Fatalf("key %d flapped between versions", key)
+			}
+		}
+	}
+}
+
+func TestPromoteAndRollback(t *testing.T) {
+	r := NewRouter()
+	r.SetSplit("f",
+		Version{Function: "f@v1", Weight: 9},
+		Version{Function: "f@v2", Weight: 1},
+	)
+	if err := r.Promote("f", "f@v2"); err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 100; key++ {
+		if got := r.Resolve("f", key); got != "f@v2" {
+			t.Fatalf("after promote, key %d resolved to %q", key, got)
+		}
+	}
+	// Rollback = promote the old version.
+	if err := r.Promote("f", "f@v1"); err == nil {
+		t.Fatalf("promoting a version no longer in the split should fail")
+	}
+	r.SetSplit("f", Version{Function: "f@v1", Weight: 1})
+	if got := r.Resolve("f", 7); got != "f@v1" {
+		t.Errorf("rollback failed: %q", got)
+	}
+}
+
+func TestPromoteUnknownFunctionCreatesSplit(t *testing.T) {
+	r := NewRouter()
+	if err := r.Promote("fresh", "fresh@v1"); err != nil {
+		t.Fatalf("promote on unconfigured function: %v", err)
+	}
+	if got := r.Resolve("fresh", 1); got != "fresh@v1" {
+		t.Errorf("Resolve = %q", got)
+	}
+}
+
+func TestRemoveRestoresPassthrough(t *testing.T) {
+	r := NewRouter()
+	r.SetSplit("f", Version{Function: "f@v1", Weight: 1})
+	r.Remove("f")
+	if got := r.Resolve("f", 3); got != "f" {
+		t.Errorf("Resolve after Remove = %q", got)
+	}
+}
+
+func TestSplitAccessor(t *testing.T) {
+	r := NewRouter()
+	if r.Split("f") != nil && len(r.Split("f")) != 0 {
+		t.Errorf("Split of unknown function should be empty")
+	}
+	r.SetSplit("f", Version{Function: "f@v2", Weight: 2}, Version{Function: "f@v1", Weight: 1})
+	s := r.Split("f")
+	if len(s) != 2 || s[0].Function != "f@v1" {
+		t.Errorf("Split = %+v (should be sorted)", s)
+	}
+}
+
+// TestQuickResolveAlwaysInSplit property-tests that resolution never
+// escapes the configured version set and is deterministic.
+func TestQuickResolveAlwaysInSplit(t *testing.T) {
+	f := func(weights []uint8, key uint64) bool {
+		r := NewRouter()
+		var versions []Version
+		valid := make(map[string]bool)
+		for i, w := range weights {
+			if len(versions) == 8 {
+				break
+			}
+			name := "f@v" + string(rune('a'+i))
+			versions = append(versions, Version{Function: name, Weight: int(w%100) + 1})
+			valid[name] = true
+		}
+		if len(versions) == 0 {
+			return r.Resolve("f", key) == "f"
+		}
+		if err := r.SetSplit("f", versions...); err != nil {
+			return false
+		}
+		got := r.Resolve("f", key)
+		return valid[got] && r.Resolve("f", key) == got
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,255 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func openLog(t *testing.T, path string, replay func([]byte) error) *Log {
+	t.Helper()
+	l, err := Open(path, FsyncNever, replay)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return l
+}
+
+func TestAppendAndReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "test.wal")
+	l := openLog(t, path, nil)
+	records := [][]byte{[]byte("one"), []byte("two"), {}, []byte("four")}
+	for _, r := range records {
+		if err := l.Append(r); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	var replayed [][]byte
+	l2 := openLog(t, path, func(rec []byte) error {
+		replayed = append(replayed, append([]byte(nil), rec...))
+		return nil
+	})
+	defer l2.Close()
+	if len(replayed) != len(records) {
+		t.Fatalf("replayed %d records, want %d", len(replayed), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(replayed[i], records[i]) {
+			t.Errorf("record %d = %q, want %q", i, replayed[i], records[i])
+		}
+	}
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	l := openLog(t, path, nil)
+	if err := l.Append([]byte("intact")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Append([]byte("will-be-torn")); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Tear the final record: chop off its last 3 bytes.
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed [][]byte
+	l2 := openLog(t, path, func(rec []byte) error {
+		replayed = append(replayed, append([]byte(nil), rec...))
+		return nil
+	})
+	if len(replayed) != 1 || string(replayed[0]) != "intact" {
+		t.Fatalf("replayed %v, want just [intact]", replayed)
+	}
+	// The log must be appendable after truncating the torn tail.
+	if err := l2.Append([]byte("after-recovery")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var again []string
+	l3 := openLog(t, path, func(rec []byte) error {
+		again = append(again, string(rec))
+		return nil
+	})
+	defer l3.Close()
+	want := []string{"intact", "after-recovery"}
+	if len(again) != 2 || again[0] != want[0] || again[1] != want[1] {
+		t.Fatalf("after recovery replay = %v, want %v", again, want)
+	}
+}
+
+func TestCorruptTailIsDropped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.wal")
+	l := openLog(t, path, nil)
+	if err := l.Append([]byte("good")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("bad")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload bit in the last record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var replayed []string
+	l2 := openLog(t, path, func(rec []byte) error {
+		replayed = append(replayed, string(rec))
+		return nil
+	})
+	defer l2.Close()
+	if len(replayed) != 1 || replayed[0] != "good" {
+		t.Fatalf("replay = %v, want [good]", replayed)
+	}
+}
+
+func TestRewriteCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "compact.wal")
+	l := openLog(t, path, nil)
+	for i := 0; i < 100; i++ {
+		if err := l.Append(bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := l.Size()
+	if err := l.Rewrite([][]byte{[]byte("only-live-state")}); err != nil {
+		t.Fatalf("rewrite: %v", err)
+	}
+	if l.Size() >= before {
+		t.Errorf("size after rewrite %d, want < %d", l.Size(), before)
+	}
+	// Appends after rewrite must still work and replay correctly.
+	if err := l.Append([]byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var replayed []string
+	l2 := openLog(t, path, func(rec []byte) error {
+		replayed = append(replayed, string(rec))
+		return nil
+	})
+	defer l2.Close()
+	want := []string{"only-live-state", "tail"}
+	if len(replayed) != 2 || replayed[0] != want[0] || replayed[1] != want[1] {
+		t.Fatalf("replay = %v, want %v", replayed, want)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "closed.wal")
+	l := openLog(t, path, nil)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("x")); err == nil {
+		t.Errorf("append on closed log should fail")
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("double close should be a no-op, got %v", err)
+	}
+}
+
+func TestFsyncAlwaysDurability(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fsync.wal")
+	l, err := Open(path, FsyncAlways, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	// Without closing (simulating a crash), the data must already be on
+	// disk because every append synced.
+	var replayed int
+	l2 := openLog(t, path, func([]byte) error { replayed++; return nil })
+	defer l2.Close()
+	defer l.Close()
+	if replayed != 10 {
+		t.Errorf("replayed %d records, want 10", replayed)
+	}
+}
+
+// TestQuickReplayRoundTrip property-tests that arbitrary record sequences
+// replay exactly.
+func TestQuickReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	n := 0
+	f := func(records [][]byte) bool {
+		n++
+		path := filepath.Join(dir, "q", itoa(n))
+		os.MkdirAll(filepath.Dir(path), 0o755)
+		l, err := Open(path, FsyncNever, nil)
+		if err != nil {
+			return false
+		}
+		for _, r := range records {
+			if err := l.Append(r); err != nil {
+				l.Close()
+				return false
+			}
+		}
+		l.Close()
+		var got [][]byte
+		l2, err := Open(path, FsyncNever, func(rec []byte) error {
+			got = append(got, append([]byte(nil), rec...))
+			return nil
+		})
+		if err != nil {
+			return false
+		}
+		l2.Close()
+		if len(got) != len(records) {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], records[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

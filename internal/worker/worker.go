@@ -1,0 +1,430 @@
+// Package worker implements the Dirigent worker daemon. It registers the
+// node with the control plane, sends periodic heartbeats with resource
+// utilization, creates and tears down sandboxes on control-plane
+// instruction via the sandbox.Runtime three-call interface, issues health
+// probes to newly created sandboxes, notifies the control plane when a
+// sandbox becomes ready or crashes, and dispatches proxied invocations
+// into sandboxes (paper §3.1, §3.3, §4).
+package worker
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dirigent/internal/clock"
+	"dirigent/internal/core"
+	"dirigent/internal/cpclient"
+	"dirigent/internal/proto"
+	"dirigent/internal/sandbox"
+	"dirigent/internal/telemetry"
+	"dirigent/internal/transport"
+)
+
+// Handler is a function implementation: it receives the invocation payload
+// and returns the response body.
+type Handler func(payload []byte) ([]byte, error)
+
+// ImageRegistry maps container-image URLs to function implementations,
+// standing in for the user code baked into images. Images without a
+// registered handler echo their payload.
+type ImageRegistry struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+}
+
+// NewImageRegistry returns an empty registry.
+func NewImageRegistry() *ImageRegistry {
+	return &ImageRegistry{handlers: make(map[string]Handler)}
+}
+
+// Register associates image with handler.
+func (r *ImageRegistry) Register(image string, h Handler) {
+	r.mu.Lock()
+	r.handlers[image] = h
+	r.mu.Unlock()
+}
+
+// Lookup returns the handler for image, or an echo handler.
+func (r *ImageRegistry) Lookup(image string) Handler {
+	r.mu.RLock()
+	h := r.handlers[image]
+	r.mu.RUnlock()
+	if h == nil {
+		return func(p []byte) ([]byte, error) { return p, nil }
+	}
+	return h
+}
+
+// Config parameterizes a worker daemon.
+type Config struct {
+	// Node identifies this worker; Port/IP form its RPC address.
+	Node core.WorkerNode
+	// Addr is the transport address the daemon listens on.
+	Addr string
+	// Runtime is the sandbox runtime (containerd / firecracker).
+	Runtime sandbox.Runtime
+	// Transport carries RPCs.
+	Transport transport.Transport
+	// ControlPlanes are the CP replica addresses.
+	ControlPlanes []string
+	// Clock abstracts time; nil selects the wall clock.
+	Clock clock.Clock
+	// HeartbeatInterval is the WN → CP liveness period.
+	HeartbeatInterval time.Duration
+	// Images resolves function implementations; nil echoes payloads.
+	Images *ImageRegistry
+	// Metrics receives worker telemetry; nil creates a private registry.
+	Metrics *telemetry.Registry
+}
+
+// Worker is a running worker daemon.
+type Worker struct {
+	cfg      Config
+	clk      clock.Clock
+	cp       *cpclient.Client
+	listener transport.Listener
+	metrics  *telemetry.Registry
+
+	mu        sync.Mutex
+	ready     map[core.SandboxID]*readySandbox
+	creating  int
+	allocCPU  int
+	allocMem  int
+	inflight  map[core.SandboxID]int
+	functions map[core.SandboxID]core.Function
+
+	stopCh  chan struct{}
+	wg      sync.WaitGroup
+	stopped bool
+}
+
+type readySandbox struct {
+	inst    *sandbox.Instance
+	handler Handler
+}
+
+// New creates a worker daemon (call Start to register and serve).
+func New(cfg Config) *Worker {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.NewReal()
+	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if cfg.Images == nil {
+		cfg.Images = NewImageRegistry()
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = telemetry.NewRegistry()
+	}
+	return &Worker{
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		cp:        cpclient.New(cfg.Transport, cfg.ControlPlanes),
+		metrics:   cfg.Metrics,
+		ready:     make(map[core.SandboxID]*readySandbox),
+		inflight:  make(map[core.SandboxID]int),
+		functions: make(map[core.SandboxID]core.Function),
+		stopCh:    make(chan struct{}),
+	}
+}
+
+// Start listens for control-plane RPCs, registers the worker, and begins
+// heartbeating.
+func (w *Worker) Start() error {
+	ln, err := w.cfg.Transport.Listen(w.cfg.Addr, w.handleRPC)
+	if err != nil {
+		return fmt.Errorf("worker %s: %w", w.cfg.Node.Name, err)
+	}
+	w.listener = ln
+	req := proto.RegisterWorkerRequest{Worker: w.cfg.Node}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := w.cp.Call(ctx, proto.MethodRegisterWorker, req.Marshal()); err != nil {
+		ln.Close()
+		return fmt.Errorf("worker %s: register: %w", w.cfg.Node.Name, err)
+	}
+	w.wg.Add(1)
+	go w.heartbeatLoop()
+	return nil
+}
+
+// Stop simulates a daemon crash: it stops heartbeats and stops serving
+// RPCs without deregistering, so the control plane must detect the failure
+// by heartbeat timeout (paper §3.4.1, "Worker node fault tolerance").
+func (w *Worker) Stop() {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.stopped = true
+	w.mu.Unlock()
+	close(w.stopCh)
+	if w.listener != nil {
+		w.listener.Close()
+	}
+	w.wg.Wait()
+}
+
+// Addr returns the worker's RPC address.
+func (w *Worker) Addr() string { return w.cfg.Addr }
+
+// Node returns the worker's identity.
+func (w *Worker) Node() core.WorkerNode { return w.cfg.Node }
+
+// SandboxCount returns the number of ready sandboxes.
+func (w *Worker) SandboxCount() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.ready)
+}
+
+// ReadySandboxIDs returns the IDs of all ready sandboxes, used by tests
+// and failure-injection harnesses.
+func (w *Worker) ReadySandboxIDs() []core.SandboxID {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	ids := make([]core.SandboxID, 0, len(w.ready))
+	for id := range w.ready {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func (w *Worker) heartbeatLoop() {
+	defer w.wg.Done()
+	ticker := time.NewTicker(w.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-w.stopCh:
+			return
+		case <-ticker.C:
+			w.sendHeartbeat()
+		}
+	}
+}
+
+func (w *Worker) utilization() core.NodeUtilization {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return core.NodeUtilization{
+		Node:          w.cfg.Node.ID,
+		CPUMilliUsed:  w.allocCPU,
+		MemoryMBUsed:  w.allocMem,
+		SandboxCount:  len(w.ready),
+		CreationQueue: w.creating,
+	}
+}
+
+func (w *Worker) sendHeartbeat() {
+	hb := proto.WorkerHeartbeat{Node: w.cfg.Node.ID, Util: w.utilization()}
+	ctx, cancel := context.WithTimeout(context.Background(), w.cfg.HeartbeatInterval*4)
+	defer cancel()
+	// Best effort; a missed heartbeat is exactly what the CP's health
+	// monitor is designed to tolerate and detect.
+	_, _ = w.cp.Call(ctx, proto.MethodWorkerHeartbeat, hb.Marshal())
+}
+
+// handleRPC serves CP → WN and DP → WN calls.
+func (w *Worker) handleRPC(method string, payload []byte) ([]byte, error) {
+	switch method {
+	case proto.MethodCreateSandbox:
+		req, err := proto.UnmarshalCreateSandboxRequest(payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, w.createSandbox(req)
+	case proto.MethodKillSandbox:
+		d := struct{ ID core.SandboxID }{}
+		if len(payload) >= 8 {
+			var v uint64
+			for i := 0; i < 8; i++ {
+				v |= uint64(payload[i]) << (8 * i)
+			}
+			d.ID = core.SandboxID(v)
+		}
+		return nil, w.killSandbox(d.ID)
+	case proto.MethodListSandboxes:
+		return w.listSandboxes().Marshal(), nil
+	case proto.MethodInvokeSandbox:
+		req, err := proto.UnmarshalInvokeSandboxRequest(payload)
+		if err != nil {
+			return nil, err
+		}
+		return w.invokeSandbox(req)
+	default:
+		return nil, fmt.Errorf("worker: unknown method %q", method)
+	}
+}
+
+// createSandbox runs asynchronously: the RPC acks the instruction, and the
+// worker notifies the control plane once the sandbox passes health probes
+// (paper §3.3: "Once a sandbox is created, the worker daemon issues health
+// probes ... then notifies the control plane").
+func (w *Worker) createSandbox(req *proto.CreateSandboxRequest) error {
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return fmt.Errorf("worker %s: stopped", w.cfg.Node.Name)
+	}
+	w.creating++
+	w.allocCPU += req.Function.Scaling.CPUMilli
+	w.allocMem += req.Function.Scaling.MemoryMB
+	w.mu.Unlock()
+
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		w.doCreate(req)
+	}()
+	return nil
+}
+
+func (w *Worker) doCreate(req *proto.CreateSandboxRequest) {
+	start := w.clk.Now()
+	inst, err := w.cfg.Runtime.Create(context.Background(), sandbox.Spec{
+		ID:       req.SandboxID,
+		Function: req.Function,
+	})
+	w.mu.Lock()
+	w.creating--
+	w.mu.Unlock()
+	if err != nil {
+		w.releaseResources(&req.Function)
+		w.metrics.Counter("sandbox_create_errors").Inc()
+		return
+	}
+	// Health probing: wait out the boot delay, then probe.
+	if inst.BootDelay > 0 {
+		w.clk.Sleep(inst.BootDelay)
+	}
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	w.ready[inst.ID] = &readySandbox{
+		inst:    inst,
+		handler: w.cfg.Images.Lookup(req.Function.Image),
+	}
+	w.functions[inst.ID] = req.Function
+	w.mu.Unlock()
+	w.metrics.Counter("sandboxes_created").Inc()
+	w.metrics.Histogram("sandbox_creation_ms").Observe(w.clk.Since(start))
+
+	ev := proto.SandboxEvent{
+		SandboxID: inst.ID,
+		Function:  req.Function.Name,
+		Node:      w.cfg.Node.ID,
+		Addr:      w.cfg.Addr,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, _ = w.cp.Call(ctx, proto.MethodSandboxReady, ev.Marshal())
+}
+
+func (w *Worker) releaseResources(f *core.Function) {
+	w.mu.Lock()
+	w.allocCPU -= f.Scaling.CPUMilli
+	w.allocMem -= f.Scaling.MemoryMB
+	w.mu.Unlock()
+}
+
+func (w *Worker) killSandbox(id core.SandboxID) error {
+	w.mu.Lock()
+	rs, ok := w.ready[id]
+	var fn core.Function
+	if ok {
+		delete(w.ready, id)
+		fn = w.functions[id]
+		delete(w.functions, id)
+		delete(w.inflight, id)
+	}
+	w.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("worker %s: kill: unknown sandbox %d", w.cfg.Node.Name, id)
+	}
+	w.releaseResources(&fn)
+	w.metrics.Counter("sandboxes_killed").Inc()
+	return w.cfg.Runtime.Kill(rs.inst.ID)
+}
+
+func (w *Worker) listSandboxes() *proto.SandboxList {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	list := &proto.SandboxList{}
+	for id, rs := range w.ready {
+		list.Sandboxes = append(list.Sandboxes, proto.SandboxInfo{
+			ID:       id,
+			Function: rs.inst.Function,
+			Node:     w.cfg.Node.ID,
+			Addr:     w.cfg.Addr,
+			State:    core.SandboxReady,
+		})
+	}
+	return list
+}
+
+func (w *Worker) invokeSandbox(req *proto.InvokeSandboxRequest) ([]byte, error) {
+	w.mu.Lock()
+	rs, ok := w.ready[req.SandboxID]
+	if ok {
+		w.inflight[req.SandboxID]++
+	}
+	w.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("worker %s: invoke: no such sandbox %d", w.cfg.Node.Name, req.SandboxID)
+	}
+	defer func() {
+		w.mu.Lock()
+		w.inflight[req.SandboxID]--
+		w.mu.Unlock()
+	}()
+	w.metrics.Counter("invocations").Inc()
+	return rs.handler(req.Payload)
+}
+
+// CrashSandbox simulates a sandbox process crash: the sandbox disappears
+// and the worker notifies the control plane (paper §3.4.1: "The worker
+// node continuously monitors sandbox processes and notifies the control
+// plane of crashes").
+func (w *Worker) CrashSandbox(id core.SandboxID) error {
+	w.mu.Lock()
+	rs, ok := w.ready[id]
+	var fn core.Function
+	if ok {
+		delete(w.ready, id)
+		fn = w.functions[id]
+		delete(w.functions, id)
+	}
+	w.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("worker %s: crash: unknown sandbox %d", w.cfg.Node.Name, id)
+	}
+	w.releaseResources(&fn)
+	_ = w.cfg.Runtime.Kill(rs.inst.ID)
+	ev := proto.SandboxEvent{
+		SandboxID: id,
+		Function:  fn.Name,
+		Node:      w.cfg.Node.ID,
+		Addr:      w.cfg.Addr,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := w.cp.Call(ctx, proto.MethodSandboxCrashed, ev.Marshal())
+	return err
+}
+
+// EncodeSandboxID encodes a sandbox ID as the KillSandbox payload.
+func EncodeSandboxID(id core.SandboxID) []byte {
+	b := make([]byte, 8)
+	v := uint64(id)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	return b
+}

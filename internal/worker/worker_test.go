@@ -1,0 +1,265 @@
+package worker
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"dirigent/internal/core"
+	"dirigent/internal/proto"
+	"dirigent/internal/sandbox"
+	"dirigent/internal/transport"
+)
+
+// fakeCP records worker → control-plane calls.
+type fakeCP struct {
+	mu         sync.Mutex
+	registered []core.WorkerNode
+	heartbeats int
+	ready      []proto.SandboxEvent
+	crashed    []proto.SandboxEvent
+}
+
+func startFakeCP(t *testing.T, tr *transport.InProc, addr string) *fakeCP {
+	t.Helper()
+	cp := &fakeCP{}
+	ln, err := tr.Listen(addr, func(method string, payload []byte) ([]byte, error) {
+		cp.mu.Lock()
+		defer cp.mu.Unlock()
+		switch method {
+		case proto.MethodRegisterWorker:
+			req, err := proto.UnmarshalRegisterWorkerRequest(payload)
+			if err != nil {
+				return nil, err
+			}
+			cp.registered = append(cp.registered, req.Worker)
+		case proto.MethodWorkerHeartbeat:
+			cp.heartbeats++
+		case proto.MethodSandboxReady:
+			ev, err := proto.UnmarshalSandboxEvent(payload)
+			if err != nil {
+				return nil, err
+			}
+			cp.ready = append(cp.ready, *ev)
+		case proto.MethodSandboxCrashed:
+			ev, err := proto.UnmarshalSandboxEvent(payload)
+			if err != nil {
+				return nil, err
+			}
+			cp.crashed = append(cp.crashed, *ev)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	return cp
+}
+
+func testWorker(t *testing.T, tr *transport.InProc, cpAddr string) *Worker {
+	t.Helper()
+	images := NewImageRegistry()
+	images.Register("img", func(p []byte) ([]byte, error) {
+		return append([]byte("ran:"), p...), nil
+	})
+	w := New(Config{
+		Node: core.WorkerNode{
+			ID: 1, Name: "w1", IP: "10.0.0.1", Port: 9000,
+			CPUMilli: 10000, MemoryMB: 65536,
+		},
+		Addr:              "10.0.0.1:9000",
+		Runtime:           sandbox.NewContainerd(sandbox.Config{LatencyScale: 0, NodeIP: [4]byte{10, 0, 0, 1}, Seed: 1}),
+		Transport:         tr,
+		ControlPlanes:     []string{cpAddr},
+		HeartbeatInterval: 10 * time.Millisecond,
+		Images:            images,
+	})
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	return w
+}
+
+func testFn() core.Function {
+	return core.Function{
+		Name: "f", Image: "img", Port: 8080,
+		Scaling: core.DefaultScalingConfig(),
+	}
+}
+
+func awaitReady(t *testing.T, cp *fakeCP, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		cp.mu.Lock()
+		got := len(cp.ready)
+		cp.mu.Unlock()
+		if got >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("control plane never saw %d ready sandboxes", n)
+}
+
+func TestWorkerRegistersAndHeartbeats(t *testing.T) {
+	tr := transport.NewInProc()
+	cp := startFakeCP(t, tr, "cp")
+	testWorker(t, tr, "cp")
+	cp.mu.Lock()
+	if len(cp.registered) != 1 || cp.registered[0].Name != "w1" {
+		t.Errorf("registered = %+v", cp.registered)
+	}
+	cp.mu.Unlock()
+	time.Sleep(60 * time.Millisecond)
+	cp.mu.Lock()
+	hb := cp.heartbeats
+	cp.mu.Unlock()
+	if hb < 2 {
+		t.Errorf("heartbeats = %d, want several", hb)
+	}
+}
+
+func TestWorkerCreateInvokeKill(t *testing.T) {
+	tr := transport.NewInProc()
+	cp := startFakeCP(t, tr, "cp")
+	w := testWorker(t, tr, "cp")
+
+	req := proto.CreateSandboxRequest{SandboxID: 42, Function: testFn()}
+	ctx := context.Background()
+	if _, err := tr.Call(ctx, w.Addr(), proto.MethodCreateSandbox, req.Marshal()); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	awaitReady(t, cp, 1)
+	cp.mu.Lock()
+	ev := cp.ready[0]
+	cp.mu.Unlock()
+	if ev.SandboxID != 42 || ev.Function != "f" || ev.Addr != w.Addr() {
+		t.Errorf("ready event = %+v", ev)
+	}
+	if w.SandboxCount() != 1 {
+		t.Errorf("SandboxCount = %d", w.SandboxCount())
+	}
+
+	// Invoke through the proxy hop.
+	inv := proto.InvokeSandboxRequest{SandboxID: 42, Function: "f", Payload: []byte("x")}
+	respB, err := tr.Call(ctx, w.Addr(), proto.MethodInvokeSandbox, inv.Marshal())
+	if err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+	if !bytes.Equal(respB, []byte("ran:x")) {
+		t.Errorf("resp = %q", respB)
+	}
+
+	// List reflects the sandbox.
+	listB, err := tr.Call(ctx, w.Addr(), proto.MethodListSandboxes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, err := proto.UnmarshalSandboxList(listB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sandboxes) != 1 || list.Sandboxes[0].ID != 42 {
+		t.Errorf("list = %+v", list.Sandboxes)
+	}
+
+	// Kill removes it.
+	if _, err := tr.Call(ctx, w.Addr(), proto.MethodKillSandbox, EncodeSandboxID(42)); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	if w.SandboxCount() != 0 {
+		t.Errorf("SandboxCount after kill = %d", w.SandboxCount())
+	}
+	// Invoking a killed sandbox fails.
+	if _, err := tr.Call(ctx, w.Addr(), proto.MethodInvokeSandbox, inv.Marshal()); err == nil {
+		t.Errorf("invoke on killed sandbox should fail")
+	}
+}
+
+func TestWorkerResourceAccounting(t *testing.T) {
+	tr := transport.NewInProc()
+	cp := startFakeCP(t, tr, "cp")
+	w := testWorker(t, tr, "cp")
+	fn := testFn()
+	fn.Scaling.CPUMilli = 500
+	fn.Scaling.MemoryMB = 1024
+	ctx := context.Background()
+	for i := 1; i <= 3; i++ {
+		req := proto.CreateSandboxRequest{SandboxID: core.SandboxID(i), Function: fn}
+		if _, err := tr.Call(ctx, w.Addr(), proto.MethodCreateSandbox, req.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	awaitReady(t, cp, 3)
+	util := w.utilization()
+	if util.CPUMilliUsed != 1500 || util.MemoryMBUsed != 3072 {
+		t.Errorf("util = %+v, want cpu=1500 mem=3072", util)
+	}
+	if _, err := tr.Call(ctx, w.Addr(), proto.MethodKillSandbox, EncodeSandboxID(2)); err != nil {
+		t.Fatal(err)
+	}
+	util = w.utilization()
+	if util.CPUMilliUsed != 1000 || util.MemoryMBUsed != 2048 {
+		t.Errorf("util after kill = %+v", util)
+	}
+}
+
+func TestWorkerCrashSandboxNotifiesCP(t *testing.T) {
+	tr := transport.NewInProc()
+	cp := startFakeCP(t, tr, "cp")
+	w := testWorker(t, tr, "cp")
+	req := proto.CreateSandboxRequest{SandboxID: 7, Function: testFn()}
+	if _, err := tr.Call(context.Background(), w.Addr(), proto.MethodCreateSandbox, req.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	awaitReady(t, cp, 1)
+	if err := w.CrashSandbox(7); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if len(cp.crashed) != 1 || cp.crashed[0].SandboxID != 7 {
+		t.Errorf("crash events = %+v", cp.crashed)
+	}
+}
+
+func TestWorkerStopRejectsWork(t *testing.T) {
+	tr := transport.NewInProc()
+	startFakeCP(t, tr, "cp")
+	w := testWorker(t, tr, "cp")
+	w.Stop()
+	req := proto.CreateSandboxRequest{SandboxID: 1, Function: testFn()}
+	if _, err := tr.Call(context.Background(), w.Addr(), proto.MethodCreateSandbox, req.Marshal()); err == nil {
+		t.Errorf("create on stopped worker should fail (listener closed)")
+	}
+	// Double stop is a no-op.
+	w.Stop()
+}
+
+func TestWorkerUnknownMethod(t *testing.T) {
+	tr := transport.NewInProc()
+	startFakeCP(t, tr, "cp")
+	w := testWorker(t, tr, "cp")
+	if _, err := tr.Call(context.Background(), w.Addr(), "wn.Bogus", nil); err == nil {
+		t.Errorf("unknown method should fail")
+	}
+}
+
+func TestImageRegistryDefaultEcho(t *testing.T) {
+	r := NewImageRegistry()
+	h := r.Lookup("unregistered")
+	out, err := h([]byte("echo"))
+	if err != nil || !bytes.Equal(out, []byte("echo")) {
+		t.Errorf("default handler = %q, %v", out, err)
+	}
+	r.Register("img", func([]byte) ([]byte, error) { return []byte("custom"), nil })
+	out, _ = r.Lookup("img")(nil)
+	if !bytes.Equal(out, []byte("custom")) {
+		t.Errorf("registered handler not used")
+	}
+}

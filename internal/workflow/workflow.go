@@ -1,0 +1,264 @@
+// Package workflow implements function-workflow orchestration on top of
+// the data plane, the extension the paper names as the direction it is
+// actively exploring (§6: "how Dirigent's design generalizes to scheduling
+// function workflows by extending Dirigent data plane components to serve
+// as workflow orchestrators").
+//
+// A Workflow is a DAG of steps, each invoking one registered function.
+// The orchestrator runs steps as soon as all of their dependencies have
+// completed, fanning out independent branches concurrently, and feeds each
+// step the concatenated outputs of its dependencies (or the workflow input
+// for root steps). Failures propagate: dependent steps are skipped and the
+// execution returns the first error.
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Invoker abstracts the invocation fabric; *cluster.Cluster satisfies it
+// via an adapter, as does any client of the data plane API.
+type Invoker interface {
+	// Invoke synchronously executes function with payload.
+	Invoke(ctx context.Context, function string, payload []byte) ([]byte, error)
+}
+
+// Step is one node of the workflow DAG.
+type Step struct {
+	// Name identifies the step within the workflow.
+	Name string
+	// Function is the registered function the step invokes.
+	Function string
+	// After lists the names of steps that must complete first. Empty
+	// means the step is a root and receives the workflow input.
+	After []string
+}
+
+// Workflow is a named DAG of steps.
+type Workflow struct {
+	Name  string
+	Steps []Step
+}
+
+// Validation errors.
+var (
+	ErrEmptyWorkflow = errors.New("workflow: no steps")
+	ErrDuplicateStep = errors.New("workflow: duplicate step name")
+	ErrUnknownDep    = errors.New("workflow: dependency on unknown step")
+	ErrCycle         = errors.New("workflow: dependency cycle")
+	ErrStepFailed    = errors.New("workflow: step failed")
+	ErrMissingField  = errors.New("workflow: step missing name or function")
+)
+
+// Validate checks the workflow is a well-formed DAG.
+func (w *Workflow) Validate() error {
+	if len(w.Steps) == 0 {
+		return ErrEmptyWorkflow
+	}
+	byName := make(map[string]*Step, len(w.Steps))
+	for i := range w.Steps {
+		s := &w.Steps[i]
+		if s.Name == "" || s.Function == "" {
+			return fmt.Errorf("%w: %+v", ErrMissingField, s)
+		}
+		if _, dup := byName[s.Name]; dup {
+			return fmt.Errorf("%w: %q", ErrDuplicateStep, s.Name)
+		}
+		byName[s.Name] = s
+	}
+	for i := range w.Steps {
+		for _, dep := range w.Steps[i].After {
+			if _, ok := byName[dep]; !ok {
+				return fmt.Errorf("%w: %q -> %q", ErrUnknownDep, w.Steps[i].Name, dep)
+			}
+		}
+	}
+	// Cycle detection via iterative DFS coloring.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(w.Steps))
+	var visit func(name string) error
+	visit = func(name string) error {
+		switch color[name] {
+		case gray:
+			return fmt.Errorf("%w: through %q", ErrCycle, name)
+		case black:
+			return nil
+		}
+		color[name] = gray
+		for _, dep := range byName[name].After {
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		color[name] = black
+		return nil
+	}
+	for i := range w.Steps {
+		if err := visit(w.Steps[i].Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Result holds the outcome of one workflow execution.
+type Result struct {
+	// Outputs maps step name to its function's response body.
+	Outputs map[string][]byte
+	// Skipped lists steps not run because a dependency failed.
+	Skipped []string
+}
+
+// Orchestrator executes workflows over an Invoker. It is stateless and
+// safe for concurrent use; in a deployment it lives in the data plane,
+// reusing its queues, throttling, and load balancing per step.
+type Orchestrator struct {
+	invoker Invoker
+	// MaxConcurrency caps simultaneously running steps (0 = unlimited).
+	MaxConcurrency int
+}
+
+// NewOrchestrator returns an orchestrator over the given invoker.
+func NewOrchestrator(inv Invoker) *Orchestrator {
+	return &Orchestrator{invoker: inv}
+}
+
+// Execute runs the workflow with the given input and returns every step's
+// output. On step failure, execution cancels outstanding work, skips
+// dependents, and returns an error wrapping ErrStepFailed.
+func (o *Orchestrator) Execute(ctx context.Context, wf *Workflow, input []byte) (*Result, error) {
+	if err := wf.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type stepState struct {
+		step       *Step
+		remaining  int
+		dependents []string
+	}
+	states := make(map[string]*stepState, len(wf.Steps))
+	for i := range wf.Steps {
+		s := &wf.Steps[i]
+		states[s.Name] = &stepState{step: s, remaining: len(s.After)}
+	}
+	for i := range wf.Steps {
+		s := &wf.Steps[i]
+		for _, dep := range s.After {
+			states[dep].dependents = append(states[dep].dependents, s.Name)
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		outputs  = make(map[string][]byte, len(wf.Steps))
+		skipped  []string
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, maxInt(o.MaxConcurrency, len(wf.Steps)))
+
+	var launch func(name string)
+	markSkipped := func(name string) {
+		// Recursively mark dependents skipped (holding mu).
+		var rec func(n string)
+		seen := map[string]bool{}
+		rec = func(n string) {
+			if seen[n] {
+				return
+			}
+			seen[n] = true
+			skipped = append(skipped, n)
+			for _, d := range states[n].dependents {
+				rec(d)
+			}
+		}
+		rec(name)
+	}
+
+	launch = func(name string) {
+		st := states[name]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+
+			// Assemble the step payload: workflow input for roots, else
+			// the concatenation of dependency outputs in After order.
+			mu.Lock()
+			if firstErr != nil {
+				mu.Unlock()
+				return
+			}
+			var payload []byte
+			if len(st.step.After) == 0 {
+				payload = input
+			} else {
+				for _, dep := range st.step.After {
+					payload = append(payload, outputs[dep]...)
+				}
+			}
+			mu.Unlock()
+
+			out, err := o.invoker.Invoke(ctx, st.step.Function, payload)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%w: step %q (%s): %v", ErrStepFailed, st.step.Name, st.step.Function, err)
+					markSkipped(st.step.Name)
+					// Remove self from skipped (it ran and failed).
+					skipped = skipped[1:]
+					cancel()
+				}
+				return
+			}
+			outputs[st.step.Name] = out
+			for _, depName := range st.dependents {
+				d := states[depName]
+				d.remaining--
+				if d.remaining == 0 && firstErr == nil {
+					launch(depName)
+				}
+			}
+		}()
+	}
+
+	// Snapshot the roots before launching anything: once the first
+	// goroutine runs, it may decrement dependents' remaining counts (and
+	// launch them itself), so reading remaining here would race and could
+	// double-launch a step.
+	var roots []string
+	for i := range wf.Steps {
+		if states[wf.Steps[i].Name].remaining == 0 {
+			roots = append(roots, wf.Steps[i].Name)
+		}
+	}
+	for _, name := range roots {
+		launch(name)
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return &Result{Outputs: outputs, Skipped: skipped}, firstErr
+	}
+	return &Result{Outputs: outputs}, nil
+}
+
+func maxInt(a, b int) int {
+	if a <= 0 || a > b {
+		return b
+	}
+	return a
+}

@@ -1,0 +1,234 @@
+package workflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeInvoker runs steps in-process with per-function handlers and records
+// concurrency and invocation order.
+type fakeInvoker struct {
+	mu       sync.Mutex
+	handlers map[string]func([]byte) ([]byte, error)
+	order    []string
+	inflight int
+	maxSeen  int
+	delay    time.Duration
+}
+
+func newFakeInvoker() *fakeInvoker {
+	return &fakeInvoker{handlers: map[string]func([]byte) ([]byte, error){}}
+}
+
+func (f *fakeInvoker) on(fn string, h func([]byte) ([]byte, error)) { f.handlers[fn] = h }
+
+func (f *fakeInvoker) Invoke(ctx context.Context, fn string, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.order = append(f.order, fn)
+	f.inflight++
+	if f.inflight > f.maxSeen {
+		f.maxSeen = f.inflight
+	}
+	h := f.handlers[fn]
+	f.mu.Unlock()
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+	defer func() {
+		f.mu.Lock()
+		f.inflight--
+		f.mu.Unlock()
+	}()
+	if h == nil {
+		return nil, fmt.Errorf("no handler for %s", fn)
+	}
+	return h(payload)
+}
+
+func echo(prefix string) func([]byte) ([]byte, error) {
+	return func(p []byte) ([]byte, error) {
+		return append([]byte(prefix+"("), append(p, ')')...), nil
+	}
+}
+
+func TestLinearPipeline(t *testing.T) {
+	inv := newFakeInvoker()
+	inv.on("a", echo("a"))
+	inv.on("b", echo("b"))
+	inv.on("c", echo("c"))
+	wf := &Workflow{Name: "pipeline", Steps: []Step{
+		{Name: "s1", Function: "a"},
+		{Name: "s2", Function: "b", After: []string{"s1"}},
+		{Name: "s3", Function: "c", After: []string{"s2"}},
+	}}
+	o := NewOrchestrator(inv)
+	res, err := o.Execute(context.Background(), wf, []byte("in"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(res.Outputs["s3"]); got != "c(b(a(in)))" {
+		t.Errorf("s3 output = %q", got)
+	}
+	if len(res.Skipped) != 0 {
+		t.Errorf("skipped = %v", res.Skipped)
+	}
+}
+
+func TestDiamondJoinsOutputs(t *testing.T) {
+	inv := newFakeInvoker()
+	inv.on("root", func([]byte) ([]byte, error) { return []byte("R"), nil })
+	inv.on("left", func(p []byte) ([]byte, error) { return append(p, 'L'), nil })
+	inv.on("right", func(p []byte) ([]byte, error) { return append(p, 'r'), nil })
+	inv.on("join", func(p []byte) ([]byte, error) { return p, nil })
+	wf := &Workflow{Name: "diamond", Steps: []Step{
+		{Name: "root", Function: "root"},
+		{Name: "l", Function: "left", After: []string{"root"}},
+		{Name: "r", Function: "right", After: []string{"root"}},
+		{Name: "join", Function: "join", After: []string{"l", "r"}},
+	}}
+	res, err := NewOrchestrator(inv).Execute(context.Background(), wf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Join payload = concat of dependency outputs in After order.
+	if got := string(res.Outputs["join"]); got != "RLRr" {
+		t.Errorf("join output = %q, want RLRr", got)
+	}
+}
+
+func TestIndependentBranchesRunConcurrently(t *testing.T) {
+	inv := newFakeInvoker()
+	inv.delay = 50 * time.Millisecond
+	for _, fn := range []string{"a", "b", "c", "d"} {
+		inv.on(fn, echo(fn))
+	}
+	wf := &Workflow{Name: "fanout", Steps: []Step{
+		{Name: "s1", Function: "a"},
+		{Name: "s2", Function: "b"},
+		{Name: "s3", Function: "c"},
+		{Name: "s4", Function: "d"},
+	}}
+	start := time.Now()
+	if _, err := NewOrchestrator(inv).Execute(context.Background(), wf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Errorf("4 independent 50ms steps took %v; not parallel", elapsed)
+	}
+	if inv.maxSeen < 2 {
+		t.Errorf("max concurrency %d; fan-out not concurrent", inv.maxSeen)
+	}
+}
+
+func TestMaxConcurrencyCaps(t *testing.T) {
+	inv := newFakeInvoker()
+	inv.delay = 20 * time.Millisecond
+	for i := 0; i < 8; i++ {
+		inv.on(fmt.Sprintf("f%d", i), echo("x"))
+	}
+	wf := &Workflow{Name: "fanout"}
+	for i := 0; i < 8; i++ {
+		wf.Steps = append(wf.Steps, Step{Name: fmt.Sprintf("s%d", i), Function: fmt.Sprintf("f%d", i)})
+	}
+	o := NewOrchestrator(inv)
+	o.MaxConcurrency = 2
+	if _, err := o.Execute(context.Background(), wf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if inv.maxSeen > 2 {
+		t.Errorf("max concurrency %d, want <= 2", inv.maxSeen)
+	}
+}
+
+func TestFailurePropagatesAndSkips(t *testing.T) {
+	inv := newFakeInvoker()
+	inv.on("ok", echo("ok"))
+	inv.on("boom", func([]byte) ([]byte, error) { return nil, errors.New("exploded") })
+	inv.on("never", echo("never"))
+	wf := &Workflow{Name: "failing", Steps: []Step{
+		{Name: "a", Function: "ok"},
+		{Name: "b", Function: "boom", After: []string{"a"}},
+		{Name: "c", Function: "never", After: []string{"b"}},
+		{Name: "d", Function: "never", After: []string{"c"}},
+	}}
+	res, err := NewOrchestrator(inv).Execute(context.Background(), wf, nil)
+	if !errors.Is(err, ErrStepFailed) {
+		t.Fatalf("err = %v, want ErrStepFailed", err)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error should name the failing function: %v", err)
+	}
+	if len(res.Skipped) != 2 {
+		t.Errorf("skipped = %v, want [c d]", res.Skipped)
+	}
+	if _, ran := res.Outputs["c"]; ran {
+		t.Errorf("dependent of failed step ran")
+	}
+}
+
+func TestValidateRejectsBadWorkflows(t *testing.T) {
+	cases := []struct {
+		name string
+		wf   Workflow
+		want error
+	}{
+		{"empty", Workflow{}, ErrEmptyWorkflow},
+		{"missing fields", Workflow{Steps: []Step{{Name: "", Function: "f"}}}, ErrMissingField},
+		{"duplicate", Workflow{Steps: []Step{
+			{Name: "a", Function: "f"}, {Name: "a", Function: "g"},
+		}}, ErrDuplicateStep},
+		{"unknown dep", Workflow{Steps: []Step{
+			{Name: "a", Function: "f", After: []string{"ghost"}},
+		}}, ErrUnknownDep},
+		{"self cycle", Workflow{Steps: []Step{
+			{Name: "a", Function: "f", After: []string{"a"}},
+		}}, ErrCycle},
+		{"long cycle", Workflow{Steps: []Step{
+			{Name: "a", Function: "f", After: []string{"c"}},
+			{Name: "b", Function: "f", After: []string{"a"}},
+			{Name: "c", Function: "f", After: []string{"b"}},
+		}}, ErrCycle},
+	}
+	for _, tc := range cases {
+		if err := tc.wf.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	good := Workflow{Steps: []Step{
+		{Name: "a", Function: "f"},
+		{Name: "b", Function: "g", After: []string{"a"}},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid workflow rejected: %v", err)
+	}
+}
+
+func TestExecuteInvalidWorkflow(t *testing.T) {
+	if _, err := NewOrchestrator(newFakeInvoker()).Execute(context.Background(), &Workflow{}, nil); !errors.Is(err, ErrEmptyWorkflow) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	inv := newFakeInvoker()
+	inv.delay = 200 * time.Millisecond
+	inv.on("slow", echo("slow"))
+	wf := &Workflow{Name: "slow", Steps: []Step{
+		{Name: "a", Function: "slow"},
+		{Name: "b", Function: "slow", After: []string{"a"}},
+	}}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := NewOrchestrator(inv).Execute(ctx, wf, nil)
+	if err == nil {
+		t.Fatalf("expected cancellation error")
+	}
+}
