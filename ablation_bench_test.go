@@ -9,14 +9,17 @@ import (
 	"context"
 	"fmt"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"dirigent/internal/autoscaler"
 	"dirigent/internal/codec"
+	"dirigent/internal/controlplane"
 	"dirigent/internal/core"
 	"dirigent/internal/loadbalancer"
 	"dirigent/internal/placement"
+	"dirigent/internal/proto"
 	"dirigent/internal/store"
 	"dirigent/internal/trace"
 	"dirigent/internal/transport"
@@ -74,6 +77,162 @@ func BenchmarkAblationStoreWriteFsyncAlways(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := s.HSet("sandboxes", "sb", rec); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationStoreWriteFsyncGroup(b *testing.B) {
+	s, err := store.Open(filepath.Join(b.TempDir(), "group.aof"), wal.FsyncGroup)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	rec := make([]byte, core.SandboxRecordSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.HSet("sandboxes", "sb", rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationStoreWriteParallel is the group-commit ablation
+// proper: many concurrent writers, fsync per mutation vs one fsync per
+// batch. recs_per_fsync reports the mean group-commit batch size.
+func BenchmarkAblationStoreWriteParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		policy wal.FsyncPolicy
+	}{
+		{"fsync-always", wal.FsyncAlways},
+		{"fsync-group", wal.FsyncGroup},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s, err := store.Open(filepath.Join(b.TempDir(), "par.aof"), cfg.policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			rec := make([]byte, core.SandboxRecordSize)
+			var next atomic.Uint64
+			// Oversubscribe goroutines so concurrency forms even on
+			// few-core machines: writers blocked in fsync overlap with
+			// writers buffering the next batch.
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					field := fmt.Sprintf("sb-%d", next.Add(1)%256)
+					if err := s.HSet("sandboxes", field, rec); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			if rounds, records := s.SyncStats(); rounds > 0 {
+				b.ReportMetric(float64(records)/float64(rounds), "recs_per_fsync")
+			}
+		})
+	}
+}
+
+// --- Control plane state manager: sharded vs global lock ---
+
+// benchCPSandboxTransitions measures multi-function sandbox-transition
+// throughput through the full RPC path. StateShards=1 reproduces the
+// seed's single global mutex; PersistSandboxState puts one durable write
+// per transition on the path so the fsync policy matters too.
+func benchCPSandboxTransitions(b *testing.B, shards int, policy wal.FsyncPolicy, numFns int) {
+	b.Helper()
+	tr := transport.NewInProc()
+	db, err := store.Open(filepath.Join(b.TempDir(), "cp.aof"), policy)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	cp := controlplane.New(controlplane.Config{
+		Addr:        "cp-bench",
+		Transport:   tr,
+		DB:          db,
+		StateShards: shards,
+		// Loops parked: the benchmark drives transitions directly.
+		AutoscaleInterval:   time.Hour,
+		HeartbeatTimeout:    time.Hour,
+		PersistSandboxState: true,
+	})
+	if err := cp.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer cp.Stop()
+	ctx := context.Background()
+	payloads := make([][]byte, numFns)
+	for i := 0; i < numFns; i++ {
+		name := fmt.Sprintf("bench-fn-%d", i)
+		fn := core.Function{Name: name, Image: "img", Port: 80, Runtime: "proc", Scaling: core.DefaultScalingConfig()}
+		if _, err := tr.Call(ctx, "cp-bench", proto.MethodRegisterFunction, core.MarshalFunction(&fn)); err != nil {
+			b.Fatal(err)
+		}
+		ev := proto.SandboxEvent{SandboxID: core.SandboxID(i + 1), Function: name, Node: 1, Addr: "10.0.0.1:9000"}
+		payloads[i] = ev.Marshal()
+	}
+	var next atomic.Uint64
+	// Oversubscribe goroutines so transitions overlap even on few-core
+	// machines; each in-flight transition models one cold start.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p := payloads[next.Add(1)%uint64(numFns)]
+			if _, err := tr.Call(ctx, "cp-bench", proto.MethodSandboxReady, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	if rounds, records := db.SyncStats(); rounds > 0 {
+		b.ReportMetric(float64(records)/float64(rounds), "recs_per_fsync")
+	}
+	b.ReportMetric(float64(cp.Metrics().Counter("shard_lock_contended").Value())/float64(b.N), "contended_per_op")
+}
+
+// BenchmarkAblationCPSharding isolates the lock architecture: sandbox
+// transitions across 1/8/64 concurrent functions against a single global
+// lock (the seed design) vs the striped state manager. FsyncNever keeps
+// persistence off the path so only lock contention is measured.
+func BenchmarkAblationCPSharding(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"global", 1},
+		{"sharded", 0}, // default 32 shards
+	} {
+		for _, fns := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/fns-%d", cfg.name, fns), func(b *testing.B) {
+				benchCPSandboxTransitions(b, cfg.shards, wal.FsyncNever, fns)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationCPSandboxThroughput is the headline end-to-end
+// ablation: the seed configuration (global lock + fsync per mutation)
+// against the refactor (sharded state + group-committed fsyncs) on
+// multi-function sandbox-transition throughput.
+func BenchmarkAblationCPSandboxThroughput(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		shards int
+		policy wal.FsyncPolicy
+	}{
+		{"global-fsyncalways", 1, wal.FsyncAlways},
+		{"sharded-fsyncalways", 0, wal.FsyncAlways},
+		{"sharded-fsyncgroup", 0, wal.FsyncGroup},
+	} {
+		for _, fns := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/fns-%d", cfg.name, fns), func(b *testing.B) {
+				benchCPSandboxTransitions(b, cfg.shards, cfg.policy, fns)
+			})
 		}
 	}
 }

@@ -27,15 +27,24 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7000", "address to listen on")
 	peers := flag.String("peers", "", "comma-separated control plane replica addresses (including this one)")
 	dbPath := flag.String("db", "dirigent-cp.aof", "append-only store file")
-	fsync := flag.Bool("fsync", true, "fsync the store on every write (Redis appendfsync=always)")
+	fsync := flag.String("fsync", "group",
+		"fsync policy: group (coalesce concurrent writes into one fsync), always (Redis appendfsync=always, the paper's baseline), never")
+	shards := flag.Int("state-shards", 0, "locks striping the function state map (0 = default 32, 1 = single global lock ablation)")
 	autoscale := flag.Duration("autoscale-interval", 2*time.Second, "autoscaling loop period")
 	hbTimeout := flag.Duration("heartbeat-timeout", 2*time.Second, "worker heartbeat timeout")
 	persistAll := flag.Bool("persist-sandbox-state", false, "ablation: persist sandbox state on the critical path")
 	flag.Parse()
 
-	policy := wal.FsyncAlways
-	if !*fsync {
+	var policy wal.FsyncPolicy
+	switch *fsync {
+	case "group":
+		policy = wal.FsyncGroup
+	case "always":
+		policy = wal.FsyncAlways
+	case "never":
 		policy = wal.FsyncNever
+	default:
+		log.Fatalf("unknown -fsync policy %q (want group, always, or never)", *fsync)
 	}
 	db, err := store.Open(*dbPath, policy)
 	if err != nil {
@@ -53,6 +62,7 @@ func main() {
 		Peers:               peerList,
 		Transport:           transport.NewTCP(),
 		DB:                  db,
+		StateShards:         *shards,
 		AutoscaleInterval:   *autoscale,
 		HeartbeatTimeout:    *hbTimeout,
 		PersistSandboxState: *persistAll,

@@ -1,0 +1,3 @@
+module dirigent
+
+go 1.24

@@ -45,6 +45,9 @@ type Options struct {
 	LatencyScale float64
 	// PersistSandboxState enables the persist-everything ablation.
 	PersistSandboxState bool
+	// StateShards stripes the control plane's function state map
+	// (0 = default 32, 1 = the single-global-lock ablation).
+	StateShards int
 	// AutoscaleInterval, HeartbeatTimeout, MetricInterval, and
 	// NoDownscaleWindow tune the control loops (zero selects defaults
 	// suitable for tests: 50 ms autoscale, 500 ms heartbeat timeout,
@@ -163,6 +166,7 @@ func New(opts Options) (*Cluster, error) {
 			HeartbeatTimeout:    opts.HeartbeatTimeout,
 			NoDownscaleWindow:   opts.NoDownscaleWindow,
 			PersistSandboxState: opts.PersistSandboxState,
+			StateShards:         opts.StateShards,
 			Placer:              opts.Placer,
 			Metrics:             metrics,
 		})

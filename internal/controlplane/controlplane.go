@@ -3,6 +3,15 @@
 // autoscaler, and placer, exchanging information through in-memory
 // structures instead of RPCs between microservices (design principle 3).
 //
+// The state manager is sharded: function state lives in a striped map
+// (one lock per shard, see shards.go), the worker/data-plane registry
+// behind its own RWMutex with per-worker mutation locks, and cluster-wide
+// scalars (leadership, epoch, sandbox IDs) in atomics. Sandbox
+// transitions, heartbeats, scaling metrics and endpoint broadcasts for
+// unrelated functions therefore never contend on a global lock — the
+// property that lets sandbox-creation throughput scale with cores
+// (paper §5.2.1) instead of serializing behind one mutex.
+//
 // The control plane persists only the state required to recover from a
 // failure — Function registrations, DataPlane and WorkerNode records
 // (paper Table 3) — and keeps Sandbox state purely in memory (design
@@ -17,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dirigent/internal/autoscaler"
@@ -57,10 +67,16 @@ type Config struct {
 	Peers []string
 	// Transport carries all RPCs.
 	Transport transport.Transport
-	// DB is the replicated persistent store.
+	// DB is the replicated persistent store. Open it with
+	// wal.FsyncGroup to group-commit the control plane's durable writes,
+	// or wal.FsyncAlways for the paper's fsync-per-mutation baseline.
 	DB DB
 	// Clock abstracts time.
 	Clock clock.Clock
+	// StateShards is the number of locks striping the function state
+	// map. 0 selects the default (32); 1 degenerates to the seed's
+	// single global lock and exists for the sharding ablation.
+	StateShards int
 	// AutoscaleInterval is the period of the asynchronous autoscaling
 	// loop (Knative ticks every 2 s; tests compress this).
 	AutoscaleInterval time.Duration
@@ -90,6 +106,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Clock == nil {
 		c.Clock = clock.NewReal()
+	}
+	if c.StateShards <= 0 {
+		c.StateShards = defaultStateShards
 	}
 	if c.AutoscaleInterval == 0 {
 		c.AutoscaleInterval = 2 * time.Second
@@ -125,14 +144,25 @@ type sandboxState struct {
 	createdAt  time.Time
 }
 
+// functionState is all per-function control plane state. It is guarded by
+// the lock of the shard the function hashes to.
 type functionState struct {
 	fn        core.Function
 	scaler    *autoscaler.FunctionAutoscaler
 	sandboxes map[core.SandboxID]*sandboxState
 	// epSeq numbers this function's endpoint broadcasts so that data
 	// planes can discard reordered updates. Combined with the leadership
-	// epoch into the update's Version.
+	// epoch into the update's Version. Sequencing is per function, so
+	// broadcasts for unrelated functions never contend.
 	epSeq uint64
+}
+
+func newFunctionState(fn core.Function) *functionState {
+	return &functionState{
+		fn:        fn,
+		scaler:    autoscaler.New(fn.Scaling),
+		sandboxes: make(map[core.SandboxID]*sandboxState),
+	}
 }
 
 func (fs *functionState) counts() (ready, creating int) {
@@ -146,9 +176,14 @@ func (fs *functionState) counts() (ready, creating int) {
 	return ready, creating
 }
 
+// workerState is one worker's registry entry. node and addr are immutable
+// after registration; the mutable health/utilization fields are guarded
+// by mu so concurrent heartbeats from different workers never contend.
 type workerState struct {
-	node    core.WorkerNode
-	addr    string
+	node core.WorkerNode
+	addr string
+
+	mu      sync.Mutex
 	util    core.NodeUtilization
 	lastHB  time.Time
 	healthy bool
@@ -163,18 +198,31 @@ type ControlPlane struct {
 	raftNode *raft.Node // nil in single-node mode
 	listener transport.Listener
 
-	mu            sync.Mutex
-	isLeader      bool
-	functions     map[string]*functionState
-	workers       map[core.NodeID]*workerState
-	dataplanes    map[core.DataPlaneID]core.DataPlane
-	nextSandboxID core.SandboxID
-	recoveredAt   time.Time // when this replica last became leader
-	epoch         uint64
+	// Function state, striped across shards (see shards.go).
+	shards []*functionShard
 
+	// Worker / data plane registry. regMu guards the maps; per-worker
+	// mutable state is guarded by workerState.mu.
+	regMu      sync.RWMutex
+	workers    map[core.NodeID]*workerState
+	dataplanes map[core.DataPlaneID]core.DataPlane
+
+	// Cluster-wide scalars, off any lock.
+	nextSandboxID atomic.Uint64
+	epoch         atomic.Uint64
+	leader        atomic.Bool
+	recoveredAt   atomic.Pointer[time.Time] // when this replica last became leader
+
+	lifeMu  sync.Mutex // guards stopped and leadership transitions
+	stopped bool
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
-	stopped bool
+
+	// Hot-path metric handles, resolved once so sandbox transitions skip
+	// the registry's name-lookup lock.
+	mSandboxReady   *telemetry.Histogram
+	mShardWait      *telemetry.Histogram
+	mShardContended *telemetry.Counter
 }
 
 // New creates a control plane replica; call Start to serve.
@@ -184,11 +232,14 @@ func New(cfg Config) *ControlPlane {
 		cfg:        cfg,
 		clk:        cfg.Clock,
 		metrics:    cfg.Metrics,
-		functions:  make(map[string]*functionState),
+		shards:     newShards(cfg.StateShards),
 		workers:    make(map[core.NodeID]*workerState),
 		dataplanes: make(map[core.DataPlaneID]core.DataPlane),
 		stopCh:     make(chan struct{}),
 	}
+	cp.mSandboxReady = cp.metrics.Histogram("sandbox_ready_ms")
+	cp.mShardWait = cp.metrics.Histogram("shard_lock_wait_ms")
+	cp.mShardContended = cp.metrics.Counter("shard_lock_contended")
 	return cp
 }
 
@@ -223,14 +274,14 @@ func (cp *ControlPlane) Start() error {
 // Stop simulates a control plane crash: RPCs stop being served and the
 // replica leaves the Raft group without notice.
 func (cp *ControlPlane) Stop() {
-	cp.mu.Lock()
+	cp.lifeMu.Lock()
 	if cp.stopped {
-		cp.mu.Unlock()
+		cp.lifeMu.Unlock()
 		return
 	}
 	cp.stopped = true
-	cp.isLeader = false
-	cp.mu.Unlock()
+	cp.leader.Store(false)
+	cp.lifeMu.Unlock()
 	close(cp.stopCh)
 	if cp.raftNode != nil {
 		cp.raftNode.Stop()
@@ -243,9 +294,7 @@ func (cp *ControlPlane) Stop() {
 
 // IsLeader reports whether this replica currently leads.
 func (cp *ControlPlane) IsLeader() bool {
-	cp.mu.Lock()
-	defer cp.mu.Unlock()
-	return cp.isLeader
+	return cp.leader.Load()
 }
 
 // Addr returns the replica's RPC address.
@@ -256,19 +305,20 @@ func (cp *ControlPlane) Addr() string { return cp.cfg.Addr }
 // connections, reload Functions, update data plane caches, then merge
 // sandbox reports from workers asynchronously).
 func (cp *ControlPlane) onLeaderChange(isLeader bool, _ uint64) {
-	cp.mu.Lock()
+	cp.lifeMu.Lock()
 	if cp.stopped {
-		cp.mu.Unlock()
+		cp.lifeMu.Unlock()
 		return
 	}
-	wasLeader := cp.isLeader
-	cp.isLeader = isLeader
+	wasLeader := cp.leader.Load()
+	cp.leader.Store(isLeader)
 	if !isLeader || wasLeader {
-		cp.mu.Unlock()
+		cp.lifeMu.Unlock()
 		return
 	}
-	cp.recoveredAt = cp.clk.Now()
-	cp.mu.Unlock()
+	now := cp.clk.Now()
+	cp.recoveredAt.Store(&now)
+	cp.lifeMu.Unlock()
 	cp.recover()
 }
 
@@ -296,26 +346,24 @@ func (cp *ControlPlane) nextEpoch() uint64 {
 
 func (cp *ControlPlane) recover() {
 	start := cp.clk.Now()
-	epoch := cp.nextEpoch()
-	cp.mu.Lock()
-	cp.epoch = epoch
-	cp.mu.Unlock()
+	cp.epoch.Store(cp.nextEpoch())
+
 	// 1. Reload persisted state: functions, workers, data planes.
-	cp.mu.Lock()
-	cp.functions = make(map[string]*functionState)
-	cp.workers = make(map[core.NodeID]*workerState)
-	cp.dataplanes = make(map[core.DataPlaneID]core.DataPlane)
+	cp.forEachShard(func(sh *functionShard) {
+		sh.fns = make(map[string]*functionState)
+	})
 	for _, b := range cp.cfg.DB.HGetAll(hashFunctions) {
 		if f, err := core.UnmarshalFunction(b); err == nil {
-			cp.functions[f.Name] = &functionState{
-				fn:        *f,
-				scaler:    autoscaler.New(f.Scaling),
-				sandboxes: make(map[core.SandboxID]*sandboxState),
-			}
+			sh := cp.shardFor(f.Name)
+			cp.lockShard(sh)
+			sh.fns[f.Name] = newFunctionState(*f)
+			sh.mu.Unlock()
 		}
 	}
 	now := cp.clk.Now()
-	var maxNode core.NodeID
+	cp.regMu.Lock()
+	cp.workers = make(map[core.NodeID]*workerState)
+	cp.dataplanes = make(map[core.DataPlaneID]core.DataPlane)
 	for _, b := range cp.cfg.DB.HGetAll(hashWorkers) {
 		if w, err := core.UnmarshalWorkerNode(b); err == nil {
 			cp.workers[w.ID] = &workerState{
@@ -323,9 +371,6 @@ func (cp *ControlPlane) recover() {
 				addr:    workerAddr(w),
 				lastHB:  now,
 				healthy: true,
-			}
-			if w.ID > maxNode {
-				maxNode = w.ID
 			}
 		}
 	}
@@ -338,7 +383,7 @@ func (cp *ControlPlane) recover() {
 	for _, w := range cp.workers {
 		workers = append(workers, w)
 	}
-	cp.mu.Unlock()
+	cp.regMu.Unlock()
 
 	// 2. Refresh data plane caches with the function list.
 	cp.broadcastFunctions()
@@ -366,6 +411,20 @@ func workerAddr(w *core.WorkerNode) string {
 	return fmt.Sprintf("%s:%d", w.IP, w.Port)
 }
 
+// observeSandboxID raises the sandbox ID high-water mark to at least
+// id+1, so IDs minted after recovery never collide with merged ones.
+func (cp *ControlPlane) observeSandboxID(id core.SandboxID) {
+	for {
+		cur := cp.nextSandboxID.Load()
+		if uint64(id) < cur {
+			return
+		}
+		if cp.nextSandboxID.CompareAndSwap(cur, uint64(id)+1) {
+			return
+		}
+	}
+}
+
 func (cp *ControlPlane) mergeWorkerSandboxes(w *workerState) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
@@ -378,26 +437,24 @@ func (cp *ControlPlane) mergeWorkerSandboxes(w *workerState) {
 		return
 	}
 	touched := make(map[string]bool)
-	cp.mu.Lock()
 	for _, sb := range list.Sandboxes {
-		fs, ok := cp.functions[sb.Function]
-		if !ok {
+		sb := sb
+		merged := cp.withFunction(sb.Function, func(fs *functionState) {
+			fs.sandboxes[sb.ID] = &sandboxState{
+				id:         sb.ID,
+				function:   sb.Function,
+				node:       sb.Node,
+				workerAddr: sb.Addr,
+				phase:      phaseReady,
+				createdAt:  cp.clk.Now(),
+			}
+		})
+		if !merged {
 			continue // function deregistered while we were down
 		}
-		fs.sandboxes[sb.ID] = &sandboxState{
-			id:         sb.ID,
-			function:   sb.Function,
-			node:       sb.Node,
-			workerAddr: sb.Addr,
-			phase:      phaseReady,
-			createdAt:  cp.clk.Now(),
-		}
-		if sb.ID >= cp.nextSandboxID {
-			cp.nextSandboxID = sb.ID + 1
-		}
+		cp.observeSandboxID(sb.ID)
 		touched[sb.Function] = true
 	}
-	cp.mu.Unlock()
 	for fn := range touched {
 		cp.broadcastEndpoints(fn)
 	}
@@ -459,17 +516,14 @@ func (cp *ControlPlane) handleRegisterFunction(payload []byte) ([]byte, error) {
 	if err := cp.cfg.DB.HSet(hashFunctions, f.Name, core.MarshalFunction(f)); err != nil {
 		return nil, fmt.Errorf("register function %s: persist: %w", f.Name, err)
 	}
-	cp.mu.Lock()
-	if _, exists := cp.functions[f.Name]; !exists {
-		cp.functions[f.Name] = &functionState{
-			fn:        *f,
-			scaler:    autoscaler.New(f.Scaling),
-			sandboxes: make(map[core.SandboxID]*sandboxState),
-		}
+	sh := cp.shardFor(f.Name)
+	cp.lockShard(sh)
+	if fs, exists := sh.fns[f.Name]; !exists {
+		sh.fns[f.Name] = newFunctionState(*f)
 	} else {
-		cp.functions[f.Name].fn = *f
+		fs.fn = *f
 	}
-	cp.mu.Unlock()
+	sh.mu.Unlock()
 	cp.broadcastFunctions()
 	cp.metrics.Counter("functions_registered").Inc()
 	return nil, nil
@@ -483,16 +537,17 @@ func (cp *ControlPlane) handleDeregisterFunction(payload []byte) ([]byte, error)
 	if err := cp.cfg.DB.HDel(hashFunctions, f.Name); err != nil {
 		return nil, err
 	}
-	cp.mu.Lock()
-	fs := cp.functions[f.Name]
-	delete(cp.functions, f.Name)
+	sh := cp.shardFor(f.Name)
+	cp.lockShard(sh)
+	fs := sh.fns[f.Name]
+	delete(sh.fns, f.Name)
 	var kills []*sandboxState
 	if fs != nil {
 		for _, sb := range fs.sandboxes {
 			kills = append(kills, sb)
 		}
 	}
-	cp.mu.Unlock()
+	sh.mu.Unlock()
 	for _, sb := range kills {
 		cp.killSandbox(sb)
 	}
@@ -510,14 +565,14 @@ func (cp *ControlPlane) handleRegisterWorker(payload []byte) ([]byte, error) {
 	if err := cp.cfg.DB.HSet(hashWorkers, w.Name, core.MarshalWorkerNode(&w)); err != nil {
 		return nil, fmt.Errorf("register worker %s: persist: %w", w.Name, err)
 	}
-	cp.mu.Lock()
+	cp.regMu.Lock()
 	cp.workers[w.ID] = &workerState{
 		node:    w,
 		addr:    workerAddr(&w),
 		lastHB:  cp.clk.Now(),
 		healthy: true,
 	}
-	cp.mu.Unlock()
+	cp.regMu.Unlock()
 	cp.metrics.Counter("workers_registered").Inc()
 	return nil, nil
 }
@@ -534,18 +589,25 @@ func (cp *ControlPlane) handleDeregisterWorker(payload []byte) ([]byte, error) {
 	return nil, nil
 }
 
+// handleWorkerHeartbeat refreshes one worker's liveness and utilization.
+// It takes only the registry read lock plus that worker's own mutex, so
+// a large fleet's heartbeats don't serialize — and never touch function
+// shard locks at all.
 func (cp *ControlPlane) handleWorkerHeartbeat(payload []byte) ([]byte, error) {
 	hb, err := proto.UnmarshalWorkerHeartbeat(payload)
 	if err != nil {
 		return nil, err
 	}
-	cp.mu.Lock()
-	if w, ok := cp.workers[hb.Node]; ok {
+	cp.regMu.RLock()
+	w := cp.workers[hb.Node]
+	cp.regMu.RUnlock()
+	if w != nil {
+		w.mu.Lock()
 		w.lastHB = cp.clk.Now()
 		w.util = hb.Util
 		w.healthy = true
+		w.mu.Unlock()
 	}
-	cp.mu.Unlock()
 	return nil, nil
 }
 
@@ -558,10 +620,10 @@ func (cp *ControlPlane) handleRegisterDataPlane(payload []byte) ([]byte, error) 
 	if err := cp.cfg.DB.HSet(hashDataPlanes, fmt.Sprintf("%d", p.ID), core.MarshalDataPlane(&p)); err != nil {
 		return nil, fmt.Errorf("register data plane %d: persist: %w", p.ID, err)
 	}
-	cp.mu.Lock()
+	cp.regMu.Lock()
 	cp.dataplanes[p.ID] = p
-	fns := cp.functionNamesLocked()
-	cp.mu.Unlock()
+	cp.regMu.Unlock()
+	fns := cp.functionNames()
 	// Warm the new data plane's caches: functions, then endpoints.
 	cp.sendFunctionsTo(dataPlaneAddr(&p))
 	for _, fn := range fns {
@@ -578,35 +640,37 @@ func (cp *ControlPlane) handleDeregisterDataPlane(payload []byte) ([]byte, error
 	if err := cp.cfg.DB.HDel(hashDataPlanes, fmt.Sprintf("%d", req.DataPlane.ID)); err != nil {
 		return nil, err
 	}
-	cp.mu.Lock()
+	cp.regMu.Lock()
 	delete(cp.dataplanes, req.DataPlane.ID)
-	cp.mu.Unlock()
+	cp.regMu.Unlock()
 	return nil, nil
 }
 
 func (cp *ControlPlane) handleListFunctions() ([]byte, error) {
-	cp.mu.Lock()
-	list := proto.FunctionList{}
-	for _, fs := range cp.functions {
-		list.Functions = append(list.Functions, fs.fn)
-	}
-	cp.mu.Unlock()
+	list := proto.FunctionList{Functions: cp.snapshotFunctions()}
 	return list.Marshal(), nil
 }
 
+// handleScalingMetric feeds data plane concurrency reports into the
+// per-function autoscalers. Only the shard of each reported function is
+// locked, and only long enough to look up the scaler.
 func (cp *ControlPlane) handleScalingMetric(payload []byte) ([]byte, error) {
 	report, err := proto.UnmarshalScalingMetricReport(payload)
 	if err != nil {
 		return nil, err
 	}
 	now := cp.clk.Now()
-	cp.mu.Lock()
 	for _, m := range report.Metrics {
-		if fs, ok := cp.functions[m.Function]; ok {
-			fs.scaler.Record(now, float64(m.InFlight+m.QueueDepth))
+		var scaler *autoscaler.FunctionAutoscaler
+		cp.withFunction(m.Function, func(fs *functionState) {
+			scaler = fs.scaler
+		})
+		if scaler != nil {
+			// The scaler is internally synchronized; recording outside
+			// the shard lock keeps metric floods off the sandbox paths.
+			scaler.Record(now, float64(m.InFlight+m.QueueDepth))
 		}
 	}
-	cp.mu.Unlock()
 	return nil, nil
 }
 
@@ -615,9 +679,7 @@ func (cp *ControlPlane) handleSandboxReady(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	cp.mu.Lock()
-	fs, ok := cp.functions[ev.Function]
-	if ok {
+	ok := cp.withFunction(ev.Function, func(fs *functionState) {
 		sb, exists := fs.sandboxes[ev.SandboxID]
 		if !exists {
 			sb = &sandboxState{
@@ -630,9 +692,8 @@ func (cp *ControlPlane) handleSandboxReady(payload []byte) ([]byte, error) {
 		}
 		sb.phase = phaseReady
 		sb.workerAddr = ev.Addr
-		cp.metrics.Histogram("sandbox_ready_ms").Observe(cp.clk.Since(sb.createdAt))
-	}
-	cp.mu.Unlock()
+		cp.mSandboxReady.Observe(cp.clk.Since(sb.createdAt))
+	})
 	if !ok {
 		return nil, fmt.Errorf("sandbox ready for unknown function %q", ev.Function)
 	}
@@ -648,11 +709,9 @@ func (cp *ControlPlane) handleSandboxCrashed(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	cp.mu.Lock()
-	if fs, ok := cp.functions[ev.Function]; ok {
+	cp.withFunction(ev.Function, func(fs *functionState) {
 		delete(fs.sandboxes, ev.SandboxID)
-	}
-	cp.mu.Unlock()
+	})
 	if cp.cfg.PersistSandboxState {
 		_ = cp.cfg.DB.HDel(hashSandboxes, fmt.Sprintf("%d", ev.SandboxID))
 	}
@@ -662,25 +721,37 @@ func (cp *ControlPlane) handleSandboxCrashed(payload []byte) ([]byte, error) {
 }
 
 func (cp *ControlPlane) handleClusterStatus() ([]byte, error) {
-	cp.mu.Lock()
-	defer cp.mu.Unlock()
+	type fnStatus struct {
+		name            string
+		ready, creating int
+	}
+	var fns []fnStatus
+	cp.forEachShard(func(sh *functionShard) {
+		for name, fs := range sh.fns {
+			ready, creating := fs.counts()
+			fns = append(fns, fnStatus{name: name, ready: ready, creating: creating})
+		}
+	})
+	sort.Slice(fns, func(i, j int) bool { return fns[i].name < fns[j].name })
+	cp.regMu.RLock()
+	workers, dataplanes := len(cp.workers), len(cp.dataplanes)
+	cp.regMu.RUnlock()
 	var b []byte
 	b = fmt.Appendf(b, "leader=%s epoch=%d functions=%d workers=%d dataplanes=%d\n",
-		cp.cfg.Addr, cp.epoch, len(cp.functions), len(cp.workers), len(cp.dataplanes))
-	names := cp.functionNamesLocked()
-	for _, name := range names {
-		fs := cp.functions[name]
-		ready, creating := fs.counts()
-		b = fmt.Appendf(b, "function %s ready=%d creating=%d\n", name, ready, creating)
+		cp.cfg.Addr, cp.epoch.Load(), len(fns), workers, dataplanes)
+	for _, f := range fns {
+		b = fmt.Appendf(b, "function %s ready=%d creating=%d\n", f.name, f.ready, f.creating)
 	}
 	return b, nil
 }
 
-func (cp *ControlPlane) functionNamesLocked() []string {
-	names := make([]string, 0, len(cp.functions))
-	for name := range cp.functions {
-		names = append(names, name)
-	}
+func (cp *ControlPlane) functionNames() []string {
+	var names []string
+	cp.forEachShard(func(sh *functionShard) {
+		for name := range sh.fns {
+			names = append(names, name)
+		}
+	})
 	sort.Strings(names)
 	return names
 }

@@ -34,6 +34,11 @@ func (cp *ControlPlane) autoscaleLoop() {
 // Reconcile runs one autoscaling pass. It is exported so that tests and
 // the experiment harness can drive scaling deterministically instead of
 // waiting for ticker periods.
+//
+// The sweep iterates shard by shard, holding only one shard's lock while
+// it snapshots that shard's scaling decisions; sandbox transitions and
+// metric reports for functions in other shards proceed concurrently with
+// the pass instead of stalling behind a global lock for the whole sweep.
 func (cp *ControlPlane) Reconcile() {
 	now := cp.clk.Now()
 	type action struct {
@@ -43,37 +48,40 @@ func (cp *ControlPlane) Reconcile() {
 	}
 	var actions []action
 
-	cp.mu.Lock()
-	suppressDownscale := now.Sub(cp.recoveredAt) < cp.cfg.NoDownscaleWindow
-	for _, fs := range cp.functions {
-		ready, creating := fs.counts()
-		current := ready + creating
-		desired := fs.scaler.Desired(now, current)
-		switch {
-		case desired > current:
-			actions = append(actions, action{create: desired - current, fn: fs.fn})
-		case desired < current && !suppressDownscale:
-			// Tear down surplus sandboxes, preferring ready ones last so
-			// that in-flight creations are cancelled first conceptually;
-			// since creations cannot be cancelled mid-flight, we kill
-			// ready sandboxes beyond the desired count.
-			surplus := current - desired
-			var victims []*sandboxState
-			for _, sb := range fs.sandboxes {
-				if len(victims) == surplus {
-					break
-				}
-				if sb.phase == phaseReady {
-					victims = append(victims, sb)
-				}
-			}
-			for _, sb := range victims {
-				delete(fs.sandboxes, sb.id)
-			}
-			actions = append(actions, action{kills: victims, fn: fs.fn})
-		}
+	suppressDownscale := false
+	if at := cp.recoveredAt.Load(); at != nil {
+		suppressDownscale = now.Sub(*at) < cp.cfg.NoDownscaleWindow
 	}
-	cp.mu.Unlock()
+	cp.forEachShard(func(sh *functionShard) {
+		for _, fs := range sh.fns {
+			ready, creating := fs.counts()
+			current := ready + creating
+			desired := fs.scaler.Desired(now, current)
+			switch {
+			case desired > current:
+				actions = append(actions, action{create: desired - current, fn: fs.fn})
+			case desired < current && !suppressDownscale:
+				// Tear down surplus sandboxes, preferring ready ones last so
+				// that in-flight creations are cancelled first conceptually;
+				// since creations cannot be cancelled mid-flight, we kill
+				// ready sandboxes beyond the desired count.
+				surplus := current - desired
+				var victims []*sandboxState
+				for _, sb := range fs.sandboxes {
+					if len(victims) == surplus {
+						break
+					}
+					if sb.phase == phaseReady {
+						victims = append(victims, sb)
+					}
+				}
+				for _, sb := range victims {
+					delete(fs.sandboxes, sb.id)
+				}
+				actions = append(actions, action{kills: victims, fn: fs.fn})
+			}
+		}
+	})
 
 	for _, a := range actions {
 		for i := 0; i < a.create; i++ {
@@ -90,16 +98,20 @@ func (cp *ControlPlane) Reconcile() {
 
 // createSandbox places and requests one new sandbox for fn. This is the
 // latency-critical cold-start path: note the absence of any persistent
-// state update (design principle 2).
+// state update (design principle 2) and of any global lock — the path
+// takes the registry read lock, one worker's mutex, and one function
+// shard, so cold starts for unrelated functions proceed in parallel.
 func (cp *ControlPlane) createSandbox(fn core.Function) {
-	cp.mu.Lock()
+	cp.regMu.RLock()
 	candidates := make([]placement.NodeStatus, 0, len(cp.workers))
 	for _, w := range cp.workers {
+		w.mu.Lock()
 		if w.healthy {
 			candidates = append(candidates, placement.NodeStatus{Node: w.node, Util: w.util})
 		}
+		w.mu.Unlock()
 	}
-	cp.mu.Unlock()
+	cp.regMu.RUnlock()
 	req := placement.Requirements{CPUMilli: fn.Scaling.CPUMilli, MemoryMB: fn.Scaling.MemoryMB}
 	nodeID, err := cp.cfg.Placer.Place(candidates, req)
 	if err != nil {
@@ -107,34 +119,44 @@ func (cp *ControlPlane) createSandbox(fn core.Function) {
 		return
 	}
 
-	cp.mu.Lock()
-	w, ok := cp.workers[nodeID]
-	if !ok || !w.healthy {
-		cp.mu.Unlock()
+	cp.regMu.RLock()
+	w := cp.workers[nodeID]
+	cp.regMu.RUnlock()
+	if w == nil {
 		return
 	}
-	fs, ok := cp.functions[fn.Name]
-	if !ok {
-		cp.mu.Unlock()
-		return
-	}
-	cp.nextSandboxID++
-	id := cp.nextSandboxID
-	sb := &sandboxState{
-		id:         id,
-		function:   fn.Name,
-		node:       nodeID,
-		workerAddr: w.addr,
-		phase:      phaseCreating,
-		createdAt:  cp.clk.Now(),
-	}
-	fs.sandboxes[id] = sb
 	// Optimistically account the sandbox on the worker so that the placer
 	// sees the pending allocation before the next heartbeat refresh.
+	w.mu.Lock()
+	if !w.healthy {
+		w.mu.Unlock()
+		return
+	}
 	w.util.CPUMilliUsed += fn.Scaling.CPUMilli
 	w.util.MemoryMBUsed += fn.Scaling.MemoryMB
 	addr := w.addr
-	cp.mu.Unlock()
+	w.mu.Unlock()
+
+	id := core.SandboxID(cp.nextSandboxID.Add(1))
+	placed := cp.withFunction(fn.Name, func(fs *functionState) {
+		fs.sandboxes[id] = &sandboxState{
+			id:         id,
+			function:   fn.Name,
+			node:       nodeID,
+			workerAddr: addr,
+			phase:      phaseCreating,
+			createdAt:  cp.clk.Now(),
+		}
+	})
+	if !placed {
+		// Function deregistered while we were placing: return the
+		// optimistic utilization we charged above.
+		w.mu.Lock()
+		w.util.CPUMilliUsed -= fn.Scaling.CPUMilli
+		w.util.MemoryMBUsed -= fn.Scaling.MemoryMB
+		w.mu.Unlock()
+		return
+	}
 
 	createReq := proto.CreateSandboxRequest{SandboxID: id, Function: fn}
 	payload := createReq.Marshal()
@@ -144,11 +166,9 @@ func (cp *ControlPlane) createSandbox(fn core.Function) {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if _, err := cp.cfg.Transport.Call(ctx, addr, proto.MethodCreateSandbox, payload); err != nil {
-			cp.mu.Lock()
-			if fs, ok := cp.functions[fn.Name]; ok {
+			cp.withFunction(fn.Name, func(fs *functionState) {
 				delete(fs.sandboxes, id)
-			}
-			cp.mu.Unlock()
+			})
 			cp.metrics.Counter("sandbox_create_rpc_errors").Inc()
 		}
 	}()
@@ -175,7 +195,8 @@ func (cp *ControlPlane) killSandbox(sb *sandboxState) {
 // healthLoop watches worker heartbeats and fails workers that go silent
 // (paper §3.4.1: "Once the control plane detects no heartbeats, it
 // notifies data plane components not to route requests to sandboxes on the
-// affected worker node" and re-runs autoscaling).
+// affected worker node" and re-runs autoscaling). The scan takes only the
+// registry read lock and each worker's own mutex.
 func (cp *ControlPlane) healthLoop() {
 	defer cp.wg.Done()
 	interval := cp.cfg.HeartbeatTimeout / 4
@@ -194,13 +215,15 @@ func (cp *ControlPlane) healthLoop() {
 			}
 			now := cp.clk.Now()
 			var failed []core.NodeID
-			cp.mu.Lock()
+			cp.regMu.RLock()
 			for id, w := range cp.workers {
+				w.mu.Lock()
 				if w.healthy && now.Sub(w.lastHB) > cp.cfg.HeartbeatTimeout {
 					failed = append(failed, id)
 				}
+				w.mu.Unlock()
 			}
-			cp.mu.Unlock()
+			cp.regMu.RUnlock()
 			for _, id := range failed {
 				cp.failWorker(id)
 			}
@@ -210,25 +233,32 @@ func (cp *ControlPlane) healthLoop() {
 
 // failWorker removes a worker from scheduling and drains its sandboxes
 // from the cluster state, then reconciles so the autoscaler re-creates
-// capacity on healthy nodes.
+// capacity on healthy nodes. Draining sweeps the shards one at a time.
 func (cp *ControlPlane) failWorker(id core.NodeID) {
-	cp.mu.Lock()
-	w, ok := cp.workers[id]
-	if !ok || !w.healthy {
-		cp.mu.Unlock()
+	cp.regMu.RLock()
+	w := cp.workers[id]
+	cp.regMu.RUnlock()
+	if w == nil {
+		return
+	}
+	w.mu.Lock()
+	if !w.healthy {
+		w.mu.Unlock()
 		return
 	}
 	w.healthy = false
+	w.mu.Unlock()
 	touched := make(map[string]bool)
-	for name, fs := range cp.functions {
-		for sid, sb := range fs.sandboxes {
-			if sb.node == id {
-				delete(fs.sandboxes, sid)
-				touched[name] = true
+	cp.forEachShard(func(sh *functionShard) {
+		for name, fs := range sh.fns {
+			for sid, sb := range fs.sandboxes {
+				if sb.node == id {
+					delete(fs.sandboxes, sid)
+					touched[name] = true
+				}
 			}
 		}
-	}
-	cp.mu.Unlock()
+	})
 	cp.metrics.Counter("worker_failures_detected").Inc()
 	for fn := range touched {
 		cp.broadcastEndpoints(fn)
@@ -241,15 +271,14 @@ func (cp *ControlPlane) failWorker(id core.NodeID) {
 // broadcastFunctions pushes the registered function list to every data
 // plane.
 func (cp *ControlPlane) broadcastFunctions() {
-	cp.mu.Lock()
-	addrs := cp.dataPlaneAddrsLocked()
-	cp.mu.Unlock()
-	for _, addr := range addrs {
+	for _, addr := range cp.dataPlaneAddrs() {
 		cp.sendFunctionsTo(addr)
 	}
 }
 
-func (cp *ControlPlane) dataPlaneAddrsLocked() []string {
+func (cp *ControlPlane) dataPlaneAddrs() []string {
+	cp.regMu.RLock()
+	defer cp.regMu.RUnlock()
 	addrs := make([]string, 0, len(cp.dataplanes))
 	for _, p := range cp.dataplanes {
 		p := p
@@ -263,12 +292,7 @@ func dataPlaneAddr(p *core.DataPlane) string {
 }
 
 func (cp *ControlPlane) sendFunctionsTo(addr string) {
-	cp.mu.Lock()
-	list := proto.FunctionList{}
-	for _, fs := range cp.functions {
-		list.Functions = append(list.Functions, fs.fn)
-	}
-	cp.mu.Unlock()
+	list := proto.FunctionList{Functions: cp.snapshotFunctions()}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	_, _ = cp.cfg.Transport.Call(ctx, addr, proto.MethodAddFunction, list.Marshal())
@@ -283,15 +307,16 @@ func (cp *ControlPlane) sendEndpointsTo(addr, function string) {
 	_, _ = cp.cfg.Transport.Call(ctx, addr, proto.MethodUpdateEndpoints, payload)
 }
 
+// endpointUpdate builds the versioned ready-endpoint set for one
+// function. Sequencing is per function under its shard lock, so
+// broadcasts for unrelated functions never serialize against each other.
 func (cp *ControlPlane) endpointUpdate(function string) *proto.EndpointUpdate {
-	cp.mu.Lock()
-	defer cp.mu.Unlock()
 	update := &proto.EndpointUpdate{Function: function}
-	if fs, ok := cp.functions[function]; ok {
+	cp.withFunction(function, func(fs *functionState) {
 		fs.epSeq++
 		// Leadership epoch in the high bits keeps versions monotonic
 		// across failovers, where per-function sequences restart.
-		update.Version = cp.epoch<<32 | fs.epSeq
+		update.Version = cp.epoch.Load()<<32 | fs.epSeq
 		for _, sb := range fs.sandboxes {
 			if sb.phase == phaseReady {
 				update.Endpoints = append(update.Endpoints, proto.SandboxInfo{
@@ -303,7 +328,7 @@ func (cp *ControlPlane) endpointUpdate(function string) *proto.EndpointUpdate {
 				})
 			}
 		}
-	}
+	})
 	return update
 }
 
@@ -312,9 +337,10 @@ func (cp *ControlPlane) endpointUpdate(function string) *proto.EndpointUpdate {
 // carries the full endpoint list for the function, making it idempotent.
 func (cp *ControlPlane) broadcastEndpoints(function string) {
 	update := cp.endpointUpdate(function)
-	cp.mu.Lock()
-	addrs := cp.dataPlaneAddrsLocked()
-	cp.mu.Unlock()
+	addrs := cp.dataPlaneAddrs()
+	if len(addrs) == 0 {
+		return
+	}
 	payload := update.Marshal()
 	for _, addr := range addrs {
 		addr := addr
@@ -331,23 +357,23 @@ func (cp *ControlPlane) broadcastEndpoints(function string) {
 // FunctionScale reports (ready, creating) sandbox counts for a function,
 // used by tests and the experiment harness.
 func (cp *ControlPlane) FunctionScale(name string) (ready, creating int) {
-	cp.mu.Lock()
-	defer cp.mu.Unlock()
-	if fs, ok := cp.functions[name]; ok {
-		return fs.counts()
-	}
-	return 0, 0
+	cp.withFunction(name, func(fs *functionState) {
+		ready, creating = fs.counts()
+	})
+	return ready, creating
 }
 
 // WorkerCount reports the number of healthy workers.
 func (cp *ControlPlane) WorkerCount() int {
-	cp.mu.Lock()
-	defer cp.mu.Unlock()
+	cp.regMu.RLock()
+	defer cp.regMu.RUnlock()
 	n := 0
 	for _, w := range cp.workers {
+		w.mu.Lock()
 		if w.healthy {
 			n++
 		}
+		w.mu.Unlock()
 	}
 	return n
 }

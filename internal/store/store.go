@@ -125,17 +125,66 @@ func (s *Store) applyLocked(op Op) {
 	}
 }
 
-// Apply executes the mutation, persisting it first when an AOF is attached.
+// Apply executes the mutation, persisting it first when an AOF is
+// attached. Under wal.FsyncGroup the record is buffered and the memory
+// state mutated under the store lock (so log order always matches apply
+// order) while the durability wait happens outside it — concurrent
+// Applys ride the same fsync instead of queueing one fsync each behind
+// the store lock. Other policies complete the whole append under the
+// lock, exactly like the seed.
 func (s *Store) Apply(op Op) error {
+	seq, err := s.applyBuffered(op)
+	if err != nil {
+		return err
+	}
+	return s.waitDurable(seq)
+}
+
+// applyBuffered persists and mutates under the store lock, returning the
+// WAL sequence to pass to waitDurable (0 when nothing remains to wait
+// for). Under FsyncNever/FsyncAlways the full append — including the
+// per-mutation fsync — completes here, preserving the seed's atomicity:
+// an append error leaves the in-memory state untouched. Under
+// wal.FsyncGroup only the buffered write happens under the lock and the
+// caller waits for the covering group fsync outside it; a group-fsync
+// failure then poisons the log, so the store fails stop (every later
+// mutation errors) rather than silently diverging memory from disk.
+func (s *Store) applyBuffered(op Op) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	var seq uint64
 	if s.log != nil {
-		if err := s.log.Append(op.Marshal()); err != nil {
-			return err
+		var err error
+		if s.log.Policy() == wal.FsyncGroup {
+			seq, err = s.log.Write(op.Marshal())
+		} else {
+			err = s.log.Append(op.Marshal())
+		}
+		if err != nil {
+			return 0, err
 		}
 	}
 	s.applyLocked(op)
-	return nil
+	return seq, nil
+}
+
+// waitDurable blocks until the record with the given sequence is as
+// durable as the store's fsync policy demands.
+func (s *Store) waitDurable(seq uint64) error {
+	if seq == 0 || s.log == nil {
+		return nil
+	}
+	return s.log.Sync(seq)
+}
+
+// SyncStats reports the backing log's fsync rounds and records covered
+// (both zero for a volatile store); records/rounds is the mean
+// group-commit batch size.
+func (s *Store) SyncStats() (rounds, records uint64) {
+	if s.log == nil {
+		return 0, 0
+	}
+	return s.log.SyncStats()
 }
 
 // Set stores value under key.
@@ -262,15 +311,37 @@ func NewReplicated(primary *Store, followers ...*Store) *Replicated {
 func (r *Replicated) Primary() *Store { return r.primary }
 
 // Apply persists the op on the primary and mirrors it to all followers.
+// The replication mutex orders ops identically everywhere but is released
+// before any group-commit durability wait (primary's and followers'), so
+// concurrent Applys on every replica share group-committed fsyncs
+// instead of serializing behind each other's.
 func (r *Replicated) Apply(op Op) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if err := r.primary.Apply(op); err != nil {
-		return err
+	type wait struct {
+		s   *Store
+		seq uint64
 	}
 	var firstErr error
+	r.mu.Lock()
+	pseq, err := r.primary.applyBuffered(op)
+	if err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	waits := make([]wait, 0, 1+len(r.followers))
+	waits = append(waits, wait{r.primary, pseq})
 	for _, f := range r.followers {
-		if err := f.Apply(op); err != nil && firstErr == nil {
+		seq, err := f.applyBuffered(op)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		waits = append(waits, wait{f, seq})
+	}
+	r.mu.Unlock()
+	for _, w := range waits {
+		if err := w.s.waitDurable(w.seq); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

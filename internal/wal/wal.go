@@ -2,7 +2,9 @@
 // store. Records are CRC-framed so that a torn tail write (e.g. a crash
 // mid-append) is detected and truncated on replay rather than corrupting
 // recovery. The paper's Dirigent deployment runs Redis in append-only mode
-// with fsync on every query (§5.1); FsyncAlways reproduces that policy.
+// with fsync on every query (§5.1); FsyncAlways reproduces that policy,
+// and FsyncGroup keeps its durability while group-committing concurrent
+// appends into a single fsync.
 package wal
 
 import (
@@ -14,6 +16,7 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
 )
 
 // FsyncPolicy controls when appended records are flushed to stable storage.
@@ -26,6 +29,13 @@ const (
 	// FsyncNever leaves syncing to the OS; used by tests and by the
 	// persist-everything ablation to isolate serialization cost.
 	FsyncNever
+	// FsyncGroup coalesces concurrent appends into a single fsync (group
+	// commit): one appender becomes the sync leader and flushes the whole
+	// buffered batch to disk, the rest wait for the covering sync. Every
+	// append is still acknowledged only after its record is durable, so
+	// FsyncGroup keeps FsyncAlways' durability while amortizing the fsync
+	// across all concurrent writers.
+	FsyncGroup
 )
 
 // ErrCorrupt reports a framing or checksum failure in the middle of the
@@ -36,12 +46,28 @@ const headerSize = 8 // length(4) + crc32(4)
 
 // Log is an append-only record log. It is safe for concurrent appends.
 type Log struct {
-	mu     sync.Mutex
-	f      *os.File
-	w      *bufio.Writer
-	policy FsyncPolicy
-	size   int64
-	path   string
+	mu         sync.Mutex // guards f, w, size, writtenSeq
+	f          *os.File
+	w          *bufio.Writer
+	policy     FsyncPolicy
+	size       int64
+	path       string
+	writtenSeq uint64 // records buffered into w so far
+
+	// Group-commit state. syncedSeq is the highest record sequence known
+	// durable; syncing is true while a leader's fsync is in flight. A
+	// failed group fsync poisons the log: after fsync failure the kernel
+	// may have dropped the dirty pages, so no later "successful" fsync
+	// can be trusted to have made earlier records durable — every
+	// subsequent Sync fails with the original error.
+	syncMu    sync.Mutex
+	syncCond  *sync.Cond
+	syncing   bool
+	syncedSeq uint64
+	poisoned  error // first group-fsync failure; sticky
+
+	syncRounds  atomic.Uint64 // fsync invocations
+	syncRecords atomic.Uint64 // records covered by those fsyncs
 }
 
 // Open opens (creating if necessary) the log at path and replays existing
@@ -65,13 +91,15 @@ func Open(path string, policy FsyncPolicy, replay func(rec []byte) error) (*Log,
 		f.Close()
 		return nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	return &Log{
+	l := &Log{
 		f:      f,
 		w:      bufio.NewWriterSize(f, 1<<16),
 		policy: policy,
 		size:   validSize,
 		path:   path,
-	}, nil
+	}
+	l.syncCond = sync.NewCond(&l.syncMu)
+	return l, nil
 }
 
 // scan iterates records from the start of f, invoking replay on each,
@@ -110,33 +138,147 @@ func scan(f *os.File, replay func([]byte) error) (int64, error) {
 	}
 }
 
-// Append writes one record and, under FsyncAlways, syncs it to disk.
+var errClosed = errors.New("wal: closed")
+
+// Append writes one record and makes it as durable as the policy demands
+// before returning: flushed (FsyncNever), individually fsynced
+// (FsyncAlways), or covered by a group fsync (FsyncGroup).
 func (l *Log) Append(rec []byte) error {
+	seq, err := l.Write(rec)
+	if err != nil {
+		return err
+	}
+	return l.Sync(seq)
+}
+
+// Write buffers one record and returns its sequence number for a later
+// Sync. Callers that interleave writes with in-memory state updates (the
+// store does) buffer under their own lock and wait for durability outside
+// it, which is what lets concurrent mutations share one fsync.
+func (l *Log) Write(rec []byte) (uint64, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.f == nil {
-		return errors.New("wal: closed")
+		return 0, errClosed
 	}
 	var header [headerSize]byte
 	binary.LittleEndian.PutUint32(header[0:4], uint32(len(rec)))
 	binary.LittleEndian.PutUint32(header[4:8], crc32.ChecksumIEEE(rec))
 	if _, err := l.w.Write(header[:]); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return 0, fmt.Errorf("wal: append: %w", err)
 	}
 	if _, err := l.w.Write(rec); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return 0, fmt.Errorf("wal: append: %w", err)
 	}
-	if err := l.w.Flush(); err != nil {
-		return fmt.Errorf("wal: flush: %w", err)
-	}
-	if l.policy == FsyncAlways {
+	l.size += int64(headerSize) + int64(len(rec))
+	l.writtenSeq++
+	return l.writtenSeq, nil
+}
+
+// Sync makes the record with the given sequence number (and everything
+// before it) as durable as the policy demands.
+func (l *Log) Sync(seq uint64) error {
+	switch l.policy {
+	case FsyncNever:
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.f == nil {
+			return errClosed
+		}
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("wal: flush: %w", err)
+		}
+		return nil
+	case FsyncAlways:
+		// One fsync per record, deliberately uncoalesced: this is the
+		// Redis appendfsync=always baseline the paper ablates against.
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if l.f == nil {
+			return errClosed
+		}
+		if err := l.w.Flush(); err != nil {
+			return fmt.Errorf("wal: flush: %w", err)
+		}
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
+		l.syncRounds.Add(1)
+		l.syncRecords.Add(1)
+		return nil
+	default:
+		return l.groupSync(seq)
 	}
-	l.size += int64(headerSize) + int64(len(rec))
+}
+
+// groupSync waits until a sync covers seq, electing this goroutine as the
+// sync leader when no covering sync is in flight. The leader flushes and
+// fsyncs everything buffered so far, committing the whole group at once.
+func (l *Log) groupSync(seq uint64) error {
+	l.syncMu.Lock()
+	for l.syncedSeq < seq && l.syncing && l.poisoned == nil {
+		l.syncCond.Wait()
+	}
+	if l.poisoned != nil {
+		err := l.poisoned
+		l.syncMu.Unlock()
+		return fmt.Errorf("wal: log poisoned by earlier fsync failure: %w", err)
+	}
+	if l.syncedSeq >= seq {
+		// A leader's successful sync covered us while we waited.
+		l.syncMu.Unlock()
+		return nil
+	}
+	l.syncing = true
+	l.syncMu.Unlock()
+
+	// Flush the buffer under the write lock, then fsync WITHOUT it: the
+	// whole point of group commit is that writers keep buffering the next
+	// batch while this one is on its way to disk.
+	l.mu.Lock()
+	covered := l.writtenSeq
+	var err error
+	f := l.f
+	if f == nil {
+		err = errClosed
+	} else {
+		err = l.w.Flush()
+	}
+	l.mu.Unlock()
+	if err == nil {
+		err = f.Sync()
+	}
+
+	l.syncMu.Lock()
+	if err != nil {
+		// A Close racing this leader flushes and fsyncs everything
+		// itself (and records the outcome), so losing the race to it is
+		// not a durability failure — don't poison for it.
+		if l.poisoned == nil && !errors.Is(err, errClosed) && !errors.Is(err, os.ErrClosed) {
+			l.poisoned = err
+		}
+	} else if covered > l.syncedSeq {
+		l.syncRounds.Add(1)
+		l.syncRecords.Add(covered - l.syncedSeq)
+		l.syncedSeq = covered
+	}
+	l.syncing = false
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("wal: group fsync: %w", err)
+	}
 	return nil
 }
+
+// SyncStats reports how many fsync rounds have run and how many records
+// they covered; records/rounds is the mean group-commit batch size.
+func (l *Log) SyncStats() (rounds, records uint64) {
+	return l.syncRounds.Load(), l.syncRecords.Load()
+}
+
+// Policy returns the log's fsync policy.
+func (l *Log) Policy() FsyncPolicy { return l.policy }
 
 // Size returns the current byte size of the log.
 func (l *Log) Size() int64 {
@@ -201,11 +343,13 @@ func (l *Log) Rewrite(records [][]byte) error {
 	return nil
 }
 
-// Close flushes and closes the log.
+// Close flushes, fsyncs and closes the log. Group-commit waiters whose
+// records Close flushed observe the close's outcome rather than a
+// spurious "closed" error.
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.f == nil {
+		l.mu.Unlock()
 		return nil
 	}
 	err := l.w.Flush()
@@ -216,5 +360,18 @@ func (l *Log) Close() error {
 		err = cerr
 	}
 	l.f = nil
+	covered := l.writtenSeq
+	l.mu.Unlock()
+
+	l.syncMu.Lock()
+	if err != nil {
+		if l.poisoned == nil {
+			l.poisoned = err
+		}
+	} else if covered > l.syncedSeq {
+		l.syncedSeq = covered
+	}
+	l.syncCond.Broadcast()
+	l.syncMu.Unlock()
 	return err
 }
