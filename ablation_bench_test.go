@@ -17,6 +17,7 @@ import (
 	"dirigent/internal/codec"
 	"dirigent/internal/controlplane"
 	"dirigent/internal/core"
+	"dirigent/internal/dataplane"
 	"dirigent/internal/loadbalancer"
 	"dirigent/internal/placement"
 	"dirigent/internal/proto"
@@ -232,6 +233,111 @@ func BenchmarkAblationCPSandboxThroughput(b *testing.B) {
 		for _, fns := range []int{1, 8, 64} {
 			b.Run(fmt.Sprintf("%s/fns-%d", cfg.name, fns), func(b *testing.B) {
 				benchCPSandboxTransitions(b, cfg.shards, cfg.policy, fns)
+			})
+		}
+	}
+}
+
+// --- Data plane invoke path: per-function runtimes vs global lock ---
+
+// benchDPInvoke measures multi-function warm-start throughput through
+// the full RPC path (client → data plane → pick → throttle → proxy →
+// worker and back). InvokeShards=1 reproduces the seed's single data
+// plane mutex with a candidate slice built per pick; the default
+// configuration resolves functions through the sharded registry and
+// picks lock-free from copy-on-write endpoint snapshots.
+func benchDPInvoke(b *testing.B, shards, numFns int) {
+	b.Helper()
+	tr := transport.NewInProc()
+	if _, err := tr.Listen("cp-dp-bench", func(string, []byte) ([]byte, error) { return nil, nil }); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tr.Listen("w-dp-bench:9000", func(_ string, p []byte) ([]byte, error) { return p, nil }); err != nil {
+		b.Fatal(err)
+	}
+	dp := dataplane.New(dataplane.Config{
+		ID:            1,
+		Addr:          "dp-bench:8000",
+		Transport:     tr,
+		ControlPlanes: []string{"cp-dp-bench"},
+		InvokeShards:  shards,
+		// Park the metric loop: the benchmark measures the invoke path.
+		MetricInterval: time.Hour,
+		QueueTimeout:   10 * time.Second,
+	})
+	if err := dp.Start(); err != nil {
+		b.Fatal(err)
+	}
+	defer dp.Stop()
+	ctx := context.Background()
+	scaling := core.DefaultScalingConfig()
+	scaling.TargetConcurrency = 256 // warm slots never saturate
+	list := proto.FunctionList{}
+	for i := 0; i < numFns; i++ {
+		list.Functions = append(list.Functions, core.Function{
+			Name: fmt.Sprintf("dp-bench-fn-%d", i), Image: "img", Port: 80, Scaling: scaling,
+		})
+	}
+	if _, err := tr.Call(ctx, "dp-bench:8000", proto.MethodAddFunction, list.Marshal()); err != nil {
+		b.Fatal(err)
+	}
+	payloads := make([][]byte, numFns)
+	for i := 0; i < numFns; i++ {
+		name := list.Functions[i].Name
+		update := proto.EndpointUpdate{Function: name}
+		for e := 0; e < 4; e++ {
+			update.Endpoints = append(update.Endpoints, proto.SandboxInfo{
+				ID: core.SandboxID(i*4 + e + 1), Function: name, Node: 1,
+				Addr: "w-dp-bench:9000", State: core.SandboxReady,
+			})
+		}
+		if _, err := tr.Call(ctx, "dp-bench:8000", proto.MethodUpdateEndpoints, update.Marshal()); err != nil {
+			b.Fatal(err)
+		}
+		req := proto.InvokeRequest{Function: name, Payload: []byte("x")}
+		payloads[i] = req.Marshal()
+	}
+	var next atomic.Uint64
+	var callErr atomic.Pointer[error]
+	// Oversubscribe goroutines so invocations overlap even on few-core
+	// machines; each in-flight request models one warm start.
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p := payloads[next.Add(1)%uint64(numFns)]
+			if _, err := tr.Call(ctx, "dp-bench:8000", proto.MethodInvoke, p); err != nil {
+				// Fatal must not be called from RunParallel workers;
+				// surface the error after the barrier.
+				callErr.Store(&err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if errp := callErr.Load(); errp != nil {
+		b.Fatal(*errp)
+	}
+	b.ReportMetric(float64(dp.Metrics().Counter("invoke_lock_contended").Value())/float64(b.N), "contended_per_op")
+}
+
+// BenchmarkAblationDPInvokeSharding isolates the data plane's lock
+// architecture: parallel warm invokes across 1/8/64 functions against
+// the seed's global invoke lock vs per-function runtimes with lock-free
+// endpoint snapshots. Pair with BenchmarkAblationDPInvokeWarmPick (in
+// internal/dataplane) for the -benchmem proof that the snapshot pick
+// path is allocation-free.
+func BenchmarkAblationDPInvokeSharding(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"global", 1},
+		{"sharded", 0}, // default 32 registry stripes
+	} {
+		for _, fns := range []int{1, 8, 64} {
+			b.Run(fmt.Sprintf("%s/fns-%d", cfg.name, fns), func(b *testing.B) {
+				benchDPInvoke(b, cfg.shards, fns)
 			})
 		}
 	}

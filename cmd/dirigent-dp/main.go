@@ -28,6 +28,7 @@ func main() {
 	metricInterval := flag.Duration("metric-interval", 250*time.Millisecond, "scaling metric report period")
 	queueTimeout := flag.Duration("queue-timeout", 60*time.Second, "cold-start queue timeout")
 	policy := flag.String("lb-policy", "least-loaded", "load balancing policy: least-loaded | round-robin | random | ch-rlu")
+	shards := flag.Int("invoke-shards", 0, "stripes in the function registry (0 = default 32, 1 = single global invoke lock ablation)")
 	flag.Parse()
 
 	var balancer loadbalancer.Policy
@@ -52,15 +53,20 @@ func main() {
 		Balancer:       balancer,
 		MetricInterval: *metricInterval,
 		QueueTimeout:   *queueTimeout,
+		InvokeShards:   *shards,
 	})
 	if err := dp.Start(); err != nil {
 		log.Fatalf("start data plane: %v", err)
 	}
-	fmt.Printf("dirigent-dp %d listening on %s (policy: %s)\n", *id, *addr, *policy)
+	fmt.Printf("dirigent-dp %d listening on %s (policy: %s, invoke-shards: %d)\n",
+		*id, *addr, *policy, *shards)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("shutting down")
 	dp.Stop()
+	// Surface invoke-path telemetry (lock contention, warm/cold starts,
+	// snapshot rebuilds, async queue health) for post-mortem inspection.
+	fmt.Print(dp.Metrics().Dump())
 }

@@ -82,4 +82,7 @@ func main() {
 	<-sig
 	fmt.Println("shutting down")
 	w.Stop()
+	// Surface dispatch-path telemetry (invocations, sandbox churn,
+	// creation latencies) for post-mortem inspection.
+	fmt.Print(w.Metrics().Dump())
 }

@@ -14,6 +14,13 @@
 // Buffering requests in the data plane instead of per-sandbox sidecars is
 // what removes sidecar creation from the cold-start critical path
 // (paper §5.2.1, "Cold start latency breakdown").
+//
+// The request path is sharded, not globally locked: functions resolve
+// through a striped copy-on-write registry, each function's cold-start
+// queue sits behind its own mutex, and warm starts pick from an immutable
+// per-function endpoint snapshot with CAS-based concurrency slots — no
+// lock and no allocation on the steady-state warm path. InvokeShards=1
+// restores the seed's single global invoke lock for ablation.
 package dataplane
 
 import (
@@ -21,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dirigent/internal/clock"
@@ -59,6 +67,12 @@ type Config struct {
 	// invocations so they survive data plane crashes (the "persistent
 	// queue" of paper §3.4.2). Nil keeps the queue in memory only.
 	AsyncStore *store.Store
+	// InvokeShards is the number of stripes in the function registry.
+	// 0 selects the default (32). 1 is the global-lock ablation: every
+	// function shares one invoke mutex and warm-start picks rebuild the
+	// candidate slice under it, reproducing the seed data plane
+	// (mirroring the control plane's -state-shards 1).
+	InvokeShards int
 	// Metrics receives data plane telemetry.
 	Metrics *telemetry.Registry
 }
@@ -79,16 +93,23 @@ func (c Config) withDefaults() Config {
 	if c.AsyncRetries == 0 {
 		c.AsyncRetries = 3
 	}
+	if c.InvokeShards <= 0 {
+		c.InvokeShards = defaultInvokeShards
+	}
 	if c.Metrics == nil {
 		c.Metrics = telemetry.NewRegistry()
 	}
 	return c
 }
 
+// endpointState is one cached ready sandbox. info and capacity are
+// guarded by the owning runtime's mu and copied into snapshots on
+// rebuild; inFlight is shared with every snapshot referencing this
+// endpoint and is mutated CAS-style by the concurrency throttler.
 type endpointState struct {
 	info     proto.SandboxInfo
-	inFlight int
 	capacity int
+	inFlight atomic.Int64
 }
 
 type pending struct {
@@ -104,13 +125,28 @@ type invokeResult struct {
 	coldStart bool
 }
 
+// functionRuntime is one function's slice of the data plane. The mutex
+// guards only this function's queue and endpoint table (it is the shared
+// global mutex in the InvokeShards=1 ablation); the warm-start path reads
+// the published snapshot and the atomic counters without taking it.
 type functionRuntime struct {
+	name string
+	mu   *sync.Mutex
+
+	// Guarded by mu:
 	fn        core.Function
 	endpoints map[core.SandboxID]*endpointState
 	queue     []*pending
 	// epVersion is the version of the last applied endpoint update;
 	// broadcasts that arrive out of order are discarded.
 	epVersion uint64
+	// dead marks a runtime unpublished from the registry; stragglers
+	// holding a stale pointer must not enqueue into it.
+	dead bool
+
+	// Lock-free:
+	queued atomic.Int32 // len(queue) mirror, read by slot release
+	snap   atomic.Pointer[endpointSnapshot]
 }
 
 // DataPlane is one data plane replica.
@@ -121,15 +157,36 @@ type DataPlane struct {
 	metrics  *telemetry.Registry
 	listener transport.Listener
 
-	mu        sync.Mutex
-	functions map[string]*functionRuntime
-	invokeSeq uint64
+	shards []*invokeShard
+	// snapshotPicks is false in the -invoke-shards 1 ablation: warm
+	// picks take the (global) runtime lock and rebuild the candidate
+	// slice per invocation, as the seed did.
+	snapshotPicks bool
+	// globalMu, when non-nil, is the mutex every runtime shares in the
+	// ablation.
+	globalMu *sync.Mutex
+	// snapPolicy is the balancer's allocation-free fast path, nil when
+	// the policy only implements Pick.
+	snapPolicy loadbalancer.SnapshotPolicy
+
+	invokeSeq atomic.Uint64
+
+	// Hot-path telemetry, resolved once so the warm path never touches
+	// the registry mutex.
+	mInvocations     *telemetry.Counter
+	mWarmStarts      *telemetry.Counter
+	mColdStarts      *telemetry.Counter
+	mInvokeErrors    *telemetry.Counter
+	mStaleDropped    *telemetry.Counter
+	mPickRaces       *telemetry.Counter
+	mInvokeWait      *telemetry.Histogram
+	mInvokeContended *telemetry.Counter
 
 	asyncCh chan asyncTask
 
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
-	stopped bool
+	stopped atomic.Bool
 }
 
 type asyncTask struct {
@@ -144,15 +201,45 @@ type asyncTask struct {
 // New creates a data plane replica; call Start to register and serve.
 func New(cfg Config) *DataPlane {
 	cfg = cfg.withDefaults()
-	return &DataPlane{
-		cfg:       cfg,
-		clk:       cfg.Clock,
-		cp:        cpclient.New(cfg.Transport, cfg.ControlPlanes),
-		metrics:   cfg.Metrics,
-		functions: make(map[string]*functionRuntime),
-		asyncCh:   make(chan asyncTask, 4096),
-		stopCh:    make(chan struct{}),
+	dp := &DataPlane{
+		cfg:           cfg,
+		clk:           cfg.Clock,
+		cp:            cpclient.New(cfg.Transport, cfg.ControlPlanes),
+		metrics:       cfg.Metrics,
+		shards:        newInvokeShards(cfg.InvokeShards),
+		snapshotPicks: cfg.InvokeShards > 1,
+		asyncCh:       make(chan asyncTask, 4096),
+		stopCh:        make(chan struct{}),
 	}
+	if !dp.snapshotPicks {
+		dp.globalMu = new(sync.Mutex)
+	}
+	dp.snapPolicy, _ = cfg.Balancer.(loadbalancer.SnapshotPolicy)
+	dp.mInvocations = dp.metrics.Counter("invocations")
+	dp.mWarmStarts = dp.metrics.Counter("warm_starts")
+	dp.mColdStarts = dp.metrics.Counter("cold_starts")
+	dp.mInvokeErrors = dp.metrics.Counter("invocation_errors")
+	dp.mStaleDropped = dp.metrics.Counter("stale_endpoints_dropped")
+	dp.mPickRaces = dp.metrics.Counter("warm_pick_races")
+	dp.mInvokeWait = dp.metrics.Histogram("invoke_lock_wait_ms")
+	dp.mInvokeContended = dp.metrics.Counter("invoke_lock_contended")
+	return dp
+}
+
+// newRuntime builds an empty runtime shell for name. Registry insertion
+// is the caller's job (getOrCreate).
+func (dp *DataPlane) newRuntime(name string) *functionRuntime {
+	fr := &functionRuntime{
+		name:      name,
+		mu:        dp.globalMu,
+		fn:        core.Function{Name: name},
+		endpoints: make(map[core.SandboxID]*endpointState),
+	}
+	if fr.mu == nil {
+		fr.mu = new(sync.Mutex)
+	}
+	fr.snap.Store(emptySnapshot)
+	return fr
 }
 
 // Start listens, registers with the control plane (which pushes function
@@ -203,20 +290,22 @@ func splitAddr(addr string) (string, uint16) {
 // Stop simulates a data plane crash: in-flight requests fail as their
 // client connections are severed (paper §3.4.2).
 func (dp *DataPlane) Stop() {
-	dp.mu.Lock()
-	if dp.stopped {
-		dp.mu.Unlock()
+	if !dp.stopped.CompareAndSwap(false, true) {
 		return
 	}
-	dp.stopped = true
 	// Fail everything queued.
-	for _, fr := range dp.functions {
-		for _, p := range fr.queue {
-			p.resultCh <- invokeResult{err: errors.New("data plane: shutting down")}
+	for _, sh := range dp.shards {
+		for _, fr := range sh.fns.load() {
+			dp.lockRuntime(fr)
+			queue := fr.queue
+			fr.queue = nil
+			fr.queued.Store(0)
+			fr.mu.Unlock()
+			for _, p := range queue {
+				p.resultCh <- invokeResult{err: errors.New("data plane: shutting down")}
+			}
 		}
-		fr.queue = nil
 	}
-	dp.mu.Unlock()
 	close(dp.stopCh)
 	if dp.listener != nil {
 		dp.listener.Close()
@@ -229,6 +318,10 @@ func (dp *DataPlane) Addr() string { return dp.cfg.Addr }
 
 // ID returns the replica's identity.
 func (dp *DataPlane) ID() core.DataPlaneID { return dp.cfg.ID }
+
+// Metrics returns the replica's telemetry registry (invoke-lock
+// contention, warm/cold starts, snapshot rebuilds, async counters).
+func (dp *DataPlane) Metrics() *telemetry.Registry { return dp.metrics }
 
 func (dp *DataPlane) handleRPC(method string, payload []byte) ([]byte, error) {
 	switch method {
@@ -245,35 +338,50 @@ func (dp *DataPlane) handleRPC(method string, payload []byte) ([]byte, error) {
 	}
 }
 
+func deregisteredErr(name string) error {
+	return fmt.Errorf("function %q deregistered", name)
+}
+
 // handleAddFunctions replaces/extends the function cache (CP pushes the
-// full list; the update is idempotent).
+// full list; the update is idempotent). Updated specs propagate to the
+// per-endpoint concurrency capacities, so a raised TargetConcurrency
+// takes effect on live endpoints instead of waiting for them to churn.
 func (dp *DataPlane) handleAddFunctions(payload []byte) ([]byte, error) {
 	list, err := proto.UnmarshalFunctionList(payload)
 	if err != nil {
 		return nil, err
 	}
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
 	seen := make(map[string]bool, len(list.Functions))
 	for _, f := range list.Functions {
 		seen[f.Name] = true
-		fr, ok := dp.functions[f.Name]
-		if !ok {
-			dp.functions[f.Name] = &functionRuntime{
-				fn:        f,
-				endpoints: make(map[core.SandboxID]*endpointState),
-			}
-		} else {
-			fr.fn = f
+		fr := dp.lockLive(f.Name)
+		if fr == nil {
+			continue
 		}
+		fr.fn = f
+		capacity := sandboxCapacity(&f)
+		changed := false
+		for _, st := range fr.endpoints {
+			if st.capacity != capacity {
+				st.capacity = capacity
+				changed = true
+			}
+		}
+		var work []dispatchWork
+		if changed {
+			dp.rebuildSnapshotLocked(fr)
+			// A raised capacity may free slots for buffered requests.
+			work = dp.pumpLocked(fr)
+		}
+		fr.mu.Unlock()
+		dp.runDispatches(work)
 	}
 	// Drop functions no longer registered.
-	for name, fr := range dp.functions {
-		if !seen[name] {
-			for _, p := range fr.queue {
-				p.resultCh <- invokeResult{err: fmt.Errorf("function %q deregistered", name)}
+	for _, sh := range dp.shards {
+		for name := range sh.fns.load() {
+			if !seen[name] {
+				dp.removeFunction(name)
 			}
-			delete(dp.functions, name)
 		}
 	}
 	return nil, nil
@@ -284,63 +392,48 @@ func (dp *DataPlane) handleRemoveFunction(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	dp.mu.Lock()
-	fr := dp.functions[f.Name]
-	delete(dp.functions, f.Name)
-	dp.mu.Unlock()
-	if fr != nil {
-		for _, p := range fr.queue {
-			p.resultCh <- invokeResult{err: fmt.Errorf("function %q deregistered", f.Name)}
-		}
-	}
+	dp.removeFunction(f.Name)
 	return nil, nil
 }
 
 // handleUpdateEndpoints reconciles a function's endpoint cache with the
-// control plane's broadcast, then pumps the request queue: newly added
-// sandboxes immediately absorb buffered cold-start invocations.
+// control plane's broadcast, republishes the pick snapshot, then pumps
+// the request queue: newly added sandboxes immediately absorb buffered
+// cold-start invocations.
 func (dp *DataPlane) handleUpdateEndpoints(payload []byte) ([]byte, error) {
 	update, err := proto.UnmarshalEndpointUpdate(payload)
 	if err != nil {
 		return nil, err
 	}
-	dp.mu.Lock()
-	fr, ok := dp.functions[update.Function]
-	if !ok {
-		// Endpoint update racing function registration: create a shell
-		// entry; the function push will fill in the spec.
-		fr = &functionRuntime{
-			fn:        core.Function{Name: update.Function},
-			endpoints: make(map[core.SandboxID]*endpointState),
-		}
-		dp.functions[update.Function] = fr
+	fr := dp.lockLive(update.Function)
+	if fr == nil {
+		return nil, nil
 	}
 	// Broadcasts travel on independent goroutines and can reorder; an
 	// older full-list update must not regress a newer cache.
 	if update.Version != 0 && update.Version <= fr.epVersion {
-		dp.mu.Unlock()
+		fr.mu.Unlock()
 		dp.metrics.Counter("endpoint_updates_stale").Inc()
 		return nil, nil
 	}
 	fr.epVersion = update.Version
 	next := make(map[core.SandboxID]*endpointState, len(update.Endpoints))
+	capacity := sandboxCapacity(&fr.fn)
 	for _, info := range update.Endpoints {
 		if prev, ok := fr.endpoints[info.ID]; ok {
 			prev.info = info
+			prev.capacity = capacity
 			next[info.ID] = prev
 		} else {
-			next[info.ID] = &endpointState{
-				info:     info,
-				capacity: sandboxCapacity(&fr.fn),
-			}
+			st := &endpointState{info: info, capacity: capacity}
+			next[info.ID] = st
 		}
 	}
 	fr.endpoints = next
-	dispatches := dp.pumpLocked(fr)
-	dp.mu.Unlock()
-	for _, d := range dispatches {
-		go dp.dispatch(d.function, d.info, d.p)
-	}
+	dp.rebuildSnapshotLocked(fr)
+	work := dp.pumpLocked(fr)
+	fr.mu.Unlock()
+	dp.runDispatches(work)
 	return nil, nil
 }
 

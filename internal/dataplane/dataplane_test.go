@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"dirigent/internal/clock"
 	"dirigent/internal/core"
 	"dirigent/internal/proto"
 	"dirigent/internal/transport"
@@ -481,4 +482,168 @@ func TestSplitAddr(t *testing.T) {
 			t.Errorf("splitAddr(%q) = %q,%d want %q,%d", tc.in, ip, port, tc.ip, tc.port)
 		}
 	}
+}
+
+// TestFunctionUpdateRecomputesCapacity covers the stale-capacity fix: a
+// function push with a raised TargetConcurrency must recompute the
+// concurrency capacity of endpoints that already exist, not just of
+// endpoints created afterwards.
+func TestFunctionUpdateRecomputesCapacity(t *testing.T) {
+	tr := transport.NewInProc()
+	startFakeCP(t, tr, "cp")
+	host := startSandboxHost(t, tr, "w1:9000", 30*time.Millisecond)
+	dp := testDP(t, tr)
+	pushFunction(t, tr, dp.Addr(), "f") // TargetConcurrency 1
+	pushEndpoints(t, tr, dp.Addr(), "f", []core.SandboxID{1}, "w1:9000")
+
+	// Raise the limit on the already-registered function.
+	scaling := core.DefaultScalingConfig()
+	scaling.TargetConcurrency = 4
+	list := proto.FunctionList{Functions: []core.Function{{
+		Name: "f", Image: "img", Port: 80, Scaling: scaling,
+	}}}
+	if _, err := tr.Call(context.Background(), dp.Addr(), proto.MethodAddFunction, list.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+
+	fr := dp.lookup("f")
+	if fr == nil {
+		t.Fatal("function missing after update")
+	}
+	snap := fr.snap.Load()
+	if len(snap.eps) != 1 || snap.eps[0].Capacity != 4 {
+		t.Fatalf("existing endpoint capacity not recomputed: %+v", snap.eps)
+	}
+
+	// Behavioral check: the single sandbox now absorbs >1 concurrent
+	// request instead of queueing at capacity 1.
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := invoke(tr, dp.Addr(), "f", nil); err != nil {
+				t.Errorf("invoke: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	host.mu.Lock()
+	maxSeen := host.maxSeen
+	host.mu.Unlock()
+	if maxSeen < 2 {
+		t.Errorf("max concurrent requests = %d, want >= 2 after capacity raise", maxSeen)
+	}
+	if maxSeen > 4 {
+		t.Errorf("max concurrent requests = %d, want <= 4 (throttled)", maxSeen)
+	}
+}
+
+// TestQueueTimeoutVirtualClock locks in that the cold-start queue
+// timeout is driven by the injected clock: with a virtual clock, a
+// 30-second timeout fires from one Advance call instead of wall time.
+func TestQueueTimeoutVirtualClock(t *testing.T) {
+	tr := transport.NewInProc()
+	startFakeCP(t, tr, "cp")
+	vclk := clock.NewVirtual(time.Unix(1000, 0))
+	dp := New(Config{
+		ID:             1,
+		Addr:           "dp0:8000",
+		Transport:      tr,
+		ControlPlanes:  []string{"cp"},
+		Clock:          vclk,
+		MetricInterval: time.Hour,
+		QueueTimeout:   30 * time.Second,
+	})
+	if err := dp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Stop()
+	pushFunction(t, tr, dp.Addr(), "f")
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := invoke(tr, dp.Addr(), "f", nil)
+		errCh <- err
+	}()
+	// Wait for the invocation to queue and register its timeout timer
+	// (the metric loop holds the other pending timer).
+	deadline := time.Now().Add(2 * time.Second)
+	for (dp.QueueDepth("f") == 0 || vclk.PendingTimers() < 2) && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if dp.QueueDepth("f") != 1 || vclk.PendingTimers() < 2 {
+		t.Fatalf("queue depth = %d, pending timers = %d; invocation never armed its timeout",
+			dp.QueueDepth("f"), vclk.PendingTimers())
+	}
+	vclk.Advance(31 * time.Second)
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("expected queue timeout error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued invocation did not time out after clock advance")
+	}
+	if dp.QueueDepth("f") != 0 {
+		t.Errorf("queue not cleaned after timeout: %d", dp.QueueDepth("f"))
+	}
+}
+
+// TestAsyncRetryBackoffNotStranded covers the async-overflow fix: a
+// retry that finds the async channel full must be re-enqueued with
+// backoff and eventually settle, instead of being dropped until restart.
+func TestAsyncRetryBackoffNotStranded(t *testing.T) {
+	tr := transport.NewInProc()
+	startFakeCP(t, tr, "cp")
+	dp := New(Config{
+		ID:             1,
+		Addr:           "dp0:8000",
+		Transport:      tr,
+		ControlPlanes:  []string{"cp"},
+		MetricInterval: 10 * time.Millisecond,
+		QueueTimeout:   20 * time.Millisecond, // sync attempts fail fast
+		AsyncRetries:   2,
+	})
+	// Shrink the queue so a retry colliding with one accepted task
+	// overflows deterministically.
+	dp.asyncCh = make(chan asyncTask, 1)
+	if err := dp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Stop()
+	pushFunction(t, tr, dp.Addr(), "f") // no endpoints: every attempt times out
+
+	accept := func() {
+		req := proto.InvokeRequest{Function: "f", Async: true}
+		if _, err := tr.Call(context.Background(), dp.Addr(), proto.MethodInvoke, req.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	accept()
+	// Wait until the async loop picked task A up, then fill the queue
+	// with task B so A's failed attempt overflows on re-enqueue.
+	deadline := time.Now().Add(2 * time.Second)
+	for dp.PendingAsync() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	accept()
+
+	deadline = time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if dp.metrics.Counter("async_failed").Value() >= 2 {
+			if dp.metrics.Counter("async_backoff").Value() < 1 {
+				t.Errorf("overflowed retry never took the backoff path")
+			}
+			if dp.metrics.Counter("async_requeued").Value() < 1 {
+				t.Errorf("overflowed retry never re-enqueued")
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("async tasks stranded: failed=%d backoff=%d requeued=%d",
+		dp.metrics.Counter("async_failed").Value(),
+		dp.metrics.Counter("async_backoff").Value(),
+		dp.metrics.Counter("async_requeued").Value())
 }

@@ -13,6 +13,17 @@ import (
 	"dirigent/internal/transport"
 )
 
+const (
+	// maxStaleRetries bounds how many dead cached endpoints one
+	// invocation may burn through before falling back to the cold-start
+	// queue and waiting for a fresh broadcast.
+	maxStaleRetries = 5
+	// maxPickRetries bounds re-picks when a CAS slot acquisition loses
+	// to a concurrent invocation between the snapshot pick and the
+	// increment.
+	maxPickRetries = 8
+)
+
 // handleInvoke is the life of a request inside the data plane (paper §3.3):
 // warm starts are proxied immediately through the concurrency throttler;
 // cold starts wait in the per-function request queue until the control
@@ -30,46 +41,35 @@ func (dp *DataPlane) handleInvoke(payload []byte) ([]byte, error) {
 
 func (dp *DataPlane) invokeSync(function string, payload []byte) ([]byte, error) {
 	arrival := dp.clk.Now()
-	dp.metrics.Counter("invocations").Inc()
+	dp.mInvocations.Inc()
 
-	staleRetries := 0
-	for {
-		dp.mu.Lock()
-		fr, ok := dp.functions[function]
+	fr := dp.lookup(function)
+	if fr == nil {
+		dp.metrics.Counter("invocations_unknown_function").Inc()
+		return nil, fmt.Errorf("data plane: unknown function %q", function)
+	}
+	for staleRetries := 0; staleRetries < maxStaleRetries; {
+		st, info, ok := dp.acquireWarm(fr)
 		if !ok {
-			dp.mu.Unlock()
-			dp.metrics.Counter("invocations_unknown_function").Inc()
-			return nil, fmt.Errorf("data plane: unknown function %q", function)
-		}
-		dp.invokeSeq++
-		key := dp.invokeSeq
-		var ep *endpointState
-		if staleRetries < 5 {
-			ep = dp.pickLocked(fr, key)
-		}
-		if ep == nil {
-			// No free (or trustworthy) slot: buffer as a cold start and
-			// wait for the control plane to provide capacity.
+			// No free (or trustworthy) slot: buffer as a cold start
+			// and wait for the control plane to provide capacity.
 			break
 		}
 		// Warm start: a sandbox with a free slot exists right now.
-		ep.inFlight++
-		info := ep.info
-		dp.mu.Unlock()
 		body, err := dp.proxy(&info, function, payload)
-		dp.releaseSlot(function, info.ID)
+		dp.releaseSlot(fr, st)
 		if err != nil {
 			if isStaleEndpointErr(err) {
 				// The sandbox (or its worker) is gone but the control
 				// plane's drain broadcast has not landed yet. Dirigent
 				// favors availability (paper §3.4.1): drop the endpoint
 				// locally and retry instead of failing the client.
-				dp.dropEndpoint(function, info.ID)
-				dp.metrics.Counter("stale_endpoints_dropped").Inc()
+				dp.dropEndpoint(fr, info.ID)
+				dp.mStaleDropped.Inc()
 				staleRetries++
 				continue
 			}
-			dp.metrics.Counter("invocation_errors").Inc()
+			dp.mInvokeErrors.Inc()
 			return nil, err
 		}
 		resp := proto.InvokeResponse{
@@ -77,25 +77,44 @@ func (dp *DataPlane) invokeSync(function string, payload []byte) ([]byte, error)
 			SchedulingLatencyUs: dp.clk.Since(arrival).Microseconds() - execHintUs(body),
 			Body:                body,
 		}
-		dp.metrics.Counter("warm_starts").Inc()
+		dp.mWarmStarts.Inc()
 		return resp.Marshal(), nil
 	}
 
-	// Cold start: buffer in the per-function request queue. (dp.mu held.)
-	fr := dp.functions[function]
+	// Cold start: buffer in the per-function request queue.
 	p := &pending{
 		payload:    payload,
 		enqueuedAt: arrival,
 		resultCh:   make(chan invokeResult, 1),
 	}
+	for {
+		dp.lockRuntime(fr)
+		if !fr.dead {
+			break
+		}
+		// The runtime died under us; re-resolve so an invocation racing
+		// a remove+re-register lands in the live runtime instead of
+		// failing against the stale one.
+		fr.mu.Unlock()
+		if fr = dp.lookup(function); fr == nil {
+			dp.metrics.Counter("invocations_unknown_function").Inc()
+			return nil, fmt.Errorf("data plane: unknown function %q", function)
+		}
+	}
 	fr.queue = append(fr.queue, p)
-	dp.metrics.Counter("cold_starts").Inc()
-	dp.mu.Unlock()
+	fr.queued.Add(1)
+	// Re-pump under the lock: a slot may have freed between the failed
+	// warm pick and the enqueue, and that release may have observed an
+	// empty queue (lost-wakeup guard).
+	work := dp.pumpLocked(fr)
+	fr.mu.Unlock()
+	dp.mColdStarts.Inc()
+	dp.runDispatches(work)
 
 	select {
 	case res := <-p.resultCh:
 		if res.err != nil {
-			dp.metrics.Counter("invocation_errors").Inc()
+			dp.mInvokeErrors.Inc()
 			return nil, res.err
 		}
 		resp := proto.InvokeResponse{
@@ -104,7 +123,7 @@ func (dp *DataPlane) invokeSync(function string, payload []byte) ([]byte, error)
 			Body:                res.body,
 		}
 		return resp.Marshal(), nil
-	case <-time.After(dp.cfg.QueueTimeout):
+	case <-dp.clk.After(dp.cfg.QueueTimeout):
 		dp.abandon(function, p)
 		dp.metrics.Counter("invocation_timeouts").Inc()
 		return nil, fmt.Errorf("data plane: invocation of %q timed out waiting for a sandbox", function)
@@ -121,26 +140,91 @@ func (dp *DataPlane) invokeSync(function string, payload []byte) ([]byte, error)
 // experiment harness measures execution separately).
 func execHintUs([]byte) int64 { return 0 }
 
-// pickLocked runs the load-balancing policy over the function's endpoint
-// snapshot. Callers hold dp.mu.
-func (dp *DataPlane) pickLocked(fr *functionRuntime, key uint64) *endpointState {
-	if len(fr.endpoints) == 0 {
-		return nil
+// acquireWarm claims a concurrency slot on one of fr's ready endpoints,
+// returning the endpoint's state (for the later release) and its
+// dispatch info. In the sharded configuration this is the lock-free,
+// allocation-free hot path: load the snapshot, pick, CAS the slot.
+func (dp *DataPlane) acquireWarm(fr *functionRuntime) (*endpointState, proto.SandboxInfo, bool) {
+	if !dp.snapshotPicks {
+		return dp.acquireWarmGlobal(fr)
 	}
-	eps := make([]loadbalancer.Endpoint, 0, len(fr.endpoints))
-	for _, ep := range fr.endpoints {
-		eps = append(eps, loadbalancer.Endpoint{
-			SandboxID: ep.info.ID,
-			Addr:      ep.info.Addr,
-			InFlight:  ep.inFlight,
-			Capacity:  ep.capacity,
-		})
+	snap := fr.snap.Load()
+	idx := dp.tryAcquireSnapshot(fr.name, snap)
+	if idx < 0 {
+		return nil, proto.SandboxInfo{}, false
 	}
-	chosen := dp.cfg.Balancer.Pick(fr.fn.Name, key, eps)
+	return snap.states[idx], snap.infos[idx], true
+}
+
+// tryAcquireSnapshot picks an endpoint from snap and CAS-claims one of
+// its concurrency slots, re-picking when it loses the slot to a
+// concurrent invocation between the pick and the CAS. Returns the chosen
+// index, or -1 when the snapshot is empty, saturated, or too contended.
+func (dp *DataPlane) tryAcquireSnapshot(name string, snap *endpointSnapshot) int {
+	if len(snap.eps) == 0 {
+		return -1
+	}
+	for attempt := 0; attempt < maxPickRetries; attempt++ {
+		idx := dp.pickIndex(name, dp.invokeSeq.Add(1), snap)
+		if idx < 0 {
+			return -1
+		}
+		if snap.eps[idx].TryAcquire() {
+			return idx
+		}
+		dp.mPickRaces.Inc()
+	}
+	return -1
+}
+
+// acquireWarmGlobal is the InvokeShards=1 ablation: the seed's design,
+// with the pick serialized under the (global) runtime mutex and a fresh
+// candidate slice built per invocation.
+func (dp *DataPlane) acquireWarmGlobal(fr *functionRuntime) (*endpointState, proto.SandboxInfo, bool) {
+	dp.lockRuntime(fr)
+	defer fr.mu.Unlock()
+	snap := fr.snap.Load()
+	idx := dp.tryAcquireSnapshot(fr.name, snap)
+	if idx < 0 {
+		return nil, proto.SandboxInfo{}, false
+	}
+	return snap.states[idx], snap.infos[idx], true
+}
+
+// pickIndex runs the load-balancing policy over an endpoint snapshot and
+// returns the chosen index, or -1 when every endpoint is saturated.
+func (dp *DataPlane) pickIndex(function string, key uint64, snap *endpointSnapshot) int {
+	if dp.snapPolicy != nil && dp.snapshotPicks {
+		return dp.snapPolicy.PickIndex(function, key, snap.eps)
+	}
+	return dp.pickAllocating(function, key, snap)
+}
+
+// pickAllocating adapts snapshot picks to policies that only implement
+// Pick (e.g. CH-RLU): it copies the snapshot into a fresh []Endpoint —
+// one allocation per pick, which is also exactly what the global-lock
+// ablation is meant to measure.
+func (dp *DataPlane) pickAllocating(function string, key uint64, snap *endpointSnapshot) int {
+	eps := make([]loadbalancer.Endpoint, len(snap.eps))
+	for i := range snap.eps {
+		se := &snap.eps[i]
+		eps[i] = loadbalancer.Endpoint{
+			SandboxID: se.SandboxID,
+			Addr:      se.Addr,
+			InFlight:  int(se.InFlight.Load()),
+			Capacity:  se.Capacity,
+		}
+	}
+	chosen := dp.cfg.Balancer.Pick(function, key, eps)
 	if chosen == nil {
-		return nil
+		return -1
 	}
-	return fr.endpoints[chosen.SandboxID]
+	for i := range snap.eps {
+		if snap.eps[i].SandboxID == chosen.SandboxID {
+			return i
+		}
+	}
+	return -1
 }
 
 // proxy forwards the invocation to the worker hosting the sandbox; this is
@@ -156,66 +240,87 @@ func (dp *DataPlane) proxy(info *proto.SandboxInfo, function string, payload []b
 	return dp.cfg.Transport.Call(ctx, info.Addr, proto.MethodInvokeSandbox, req.Marshal())
 }
 
-// releaseSlot frees a concurrency slot and pumps the queue.
-func (dp *DataPlane) releaseSlot(function string, id core.SandboxID) {
-	dp.mu.Lock()
-	fr, ok := dp.functions[function]
-	if !ok {
-		dp.mu.Unlock()
+// releaseSlot frees a concurrency slot and, only when cold starts are
+// actually waiting, pumps the queue. The warm steady state is a single
+// atomic decrement plus one atomic load.
+func (dp *DataPlane) releaseSlot(fr *functionRuntime, st *endpointState) {
+	st.inFlight.Add(-1)
+	// Seq-cst atomics make this safe against a concurrent enqueue: the
+	// enqueuer increments queued before re-checking slots, we decrement
+	// the slot before checking queued, so at least one side sees the
+	// other (no lost wakeup). The ablation skips the shortcut: the seed
+	// locked and pumped on every release, so the global-lock baseline
+	// must too.
+	if dp.snapshotPicks && fr.queued.Load() == 0 {
 		return
 	}
-	if ep, ok := fr.endpoints[id]; ok && ep.inFlight > 0 {
-		ep.inFlight--
-	}
-	dispatches := dp.pumpLocked(fr)
-	dp.mu.Unlock()
-	for _, d := range dispatches {
-		go dp.dispatch(d.function, d.info, d.p)
-	}
+	dp.pumpRuntime(fr)
+}
+
+// pumpRuntime locks fr and dispatches whatever queued invocations its
+// current endpoint snapshot can absorb.
+func (dp *DataPlane) pumpRuntime(fr *functionRuntime) {
+	dp.lockRuntime(fr)
+	work := dp.pumpLocked(fr)
+	fr.mu.Unlock()
+	dp.runDispatches(work)
 }
 
 type dispatchWork struct {
-	function string
-	info     proto.SandboxInfo
-	p        *pending
+	fr   *functionRuntime
+	info proto.SandboxInfo
+	st   *endpointState
+	p    *pending
 }
 
 // pumpLocked matches queued invocations with free endpoint slots.
-// Callers hold dp.mu; the returned work must be executed off-lock, which
-// is why each item carries a snapshot of the endpoint info taken under
-// the lock (endpoint updates may rewrite it concurrently).
+// Callers hold fr.mu; the returned work must be executed off-lock, which
+// is why each item carries the endpoint info snapshot taken here
+// (endpoint updates may republish concurrently).
 func (dp *DataPlane) pumpLocked(fr *functionRuntime) []dispatchWork {
 	var work []dispatchWork
 	for len(fr.queue) > 0 {
-		dp.invokeSeq++
-		ep := dp.pickLocked(fr, dp.invokeSeq)
-		if ep == nil {
+		snap := fr.snap.Load()
+		idx := dp.tryAcquireSnapshot(fr.name, snap)
+		if idx < 0 {
 			break
 		}
 		p := fr.queue[0]
 		fr.queue = fr.queue[1:]
-		ep.inFlight++
-		work = append(work, dispatchWork{function: fr.fn.Name, info: ep.info, p: p})
+		fr.queued.Add(-1)
+		work = append(work, dispatchWork{fr: fr, info: snap.infos[idx], st: snap.states[idx], p: p})
 	}
 	return work
+}
+
+func (dp *DataPlane) runDispatches(work []dispatchWork) {
+	for _, d := range work {
+		go dp.dispatch(d)
+	}
 }
 
 // dispatch executes one dequeued cold-start invocation. If the chosen
 // endpoint turns out to be stale (sandbox or worker gone before the drain
 // broadcast arrived), the endpoint is dropped and the invocation requeued
 // rather than failed.
-func (dp *DataPlane) dispatch(function string, info proto.SandboxInfo, p *pending) {
+func (dp *DataPlane) dispatch(d dispatchWork) {
 	dispatchedAt := dp.clk.Now()
-	body, err := dp.proxy(&info, function, p.payload)
+	body, err := dp.proxy(&d.info, d.fr.name, d.p.payload)
 	if err != nil && isStaleEndpointErr(err) {
-		dp.dropEndpoint(function, info.ID)
-		dp.metrics.Counter("stale_endpoints_dropped").Inc()
-		dp.requeue(function, p)
-		dp.releaseSlot(function, info.ID)
+		dp.dropEndpoint(d.fr, d.info.ID)
+		dp.mStaleDropped.Inc()
+		// requeue may land the pending in a re-registered successor
+		// runtime; pump the runtime that actually holds it, after the
+		// slot release so the pump sees the freed capacity.
+		target := dp.requeue(d.fr, d.p)
+		d.st.inFlight.Add(-1)
+		if target != nil {
+			dp.pumpRuntime(target)
+		}
 		return
 	}
-	dp.releaseSlot(function, info.ID)
-	p.resultCh <- invokeResult{
+	dp.releaseSlot(d.fr, d.st)
+	d.p.resultCh <- invokeResult{
 		body:      body,
 		err:       err,
 		dispatch:  dispatchedAt,
@@ -238,40 +343,56 @@ func isStaleEndpointErr(err error) bool {
 	return false
 }
 
-// dropEndpoint removes a stale endpoint from the local cache; the next
-// control-plane broadcast re-synchronizes the authoritative view.
-func (dp *DataPlane) dropEndpoint(function string, id core.SandboxID) {
-	dp.mu.Lock()
-	if fr, ok := dp.functions[function]; ok {
+// dropEndpoint removes a stale endpoint from the local cache and
+// republishes the snapshot; the next control-plane broadcast
+// re-synchronizes the authoritative view.
+func (dp *DataPlane) dropEndpoint(fr *functionRuntime, id core.SandboxID) {
+	dp.lockRuntime(fr)
+	if _, ok := fr.endpoints[id]; ok {
 		delete(fr.endpoints, id)
+		dp.rebuildSnapshotLocked(fr)
 	}
-	dp.mu.Unlock()
+	fr.mu.Unlock()
 }
 
 // requeue puts a pending invocation back at the head of the function's
-// queue so a subsequent endpoint can absorb it.
-func (dp *DataPlane) requeue(function string, p *pending) {
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
-	fr, ok := dp.functions[function]
-	if !ok {
-		p.resultCh <- invokeResult{err: fmt.Errorf("function %q deregistered", function)}
-		return
+// queue so a subsequent endpoint can absorb it, re-resolving the runtime
+// if it was deregistered (and possibly re-registered) in the meantime.
+// It returns the runtime that holds the pending, or nil when the
+// function is gone and the pending was failed.
+func (dp *DataPlane) requeue(fr *functionRuntime, p *pending) *functionRuntime {
+	name := fr.name
+	for {
+		dp.lockRuntime(fr)
+		if !fr.dead {
+			break
+		}
+		fr.mu.Unlock()
+		if fr = dp.lookup(name); fr == nil {
+			p.resultCh <- invokeResult{err: deregisteredErr(name)}
+			return nil
+		}
 	}
+	defer fr.mu.Unlock()
 	fr.queue = append([]*pending{p}, fr.queue...)
+	fr.queued.Add(1)
+	return fr
 }
 
-// abandon removes a timed-out pending invocation from the queue.
+// abandon removes a timed-out pending invocation from the queue. It
+// resolves by name so it finds the pending even if requeue migrated it
+// into a re-registered successor runtime.
 func (dp *DataPlane) abandon(function string, p *pending) {
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
-	fr, ok := dp.functions[function]
-	if !ok {
+	fr := dp.lookup(function)
+	if fr == nil {
 		return
 	}
+	dp.lockRuntime(fr)
+	defer fr.mu.Unlock()
 	for i, q := range fr.queue {
 		if q == p {
 			fr.queue = append(fr.queue[:i], fr.queue[i+1:]...)
+			fr.queued.Add(-1)
 			return
 		}
 	}
@@ -316,9 +437,12 @@ func (dp *DataPlane) asyncLoop() {
 					select {
 					case dp.asyncCh <- task:
 					default:
-						// Queue overflow: keep the durable record so a
-						// restart retries the task.
-						dp.metrics.Counter("async_dropped").Inc()
+						// Queue overflow: hold the retry back and
+						// re-enqueue with backoff instead of stranding
+						// it until the next restart.
+						dp.metrics.Counter("async_backoff").Inc()
+						dp.wg.Add(1)
+						go dp.requeueAsync(task)
 					}
 				} else {
 					dp.settleAsync(task.storeKey)
@@ -332,39 +456,67 @@ func (dp *DataPlane) asyncLoop() {
 	}
 }
 
-// metricLoop periodically reports per-function scaling metrics (in-flight
-// plus queued requests) to the control plane (paper Table 2).
-func (dp *DataPlane) metricLoop() {
+// requeueAsync retries handing an overflowed async retry back to the
+// queue with exponential backoff, keeping at-least-once semantics
+// without a restart. The durable record stays in place until the task
+// settles, so a crash during the backoff still recovers it.
+func (dp *DataPlane) requeueAsync(task asyncTask) {
 	defer dp.wg.Done()
-	ticker := time.NewTicker(dp.cfg.MetricInterval)
-	defer ticker.Stop()
+	backoff := 10 * time.Millisecond
 	for {
 		select {
 		case <-dp.stopCh:
 			return
-		case <-ticker.C:
+		case <-dp.clk.After(backoff):
+		}
+		select {
+		case dp.asyncCh <- task:
+			dp.metrics.Counter("async_requeued").Inc()
+			return
+		default:
+			if backoff < time.Second {
+				backoff *= 2
+			}
+		}
+	}
+}
+
+// metricLoop periodically reports per-function scaling metrics to the
+// control plane (paper Table 2). The period is driven by the injected
+// clock so simulated-time tests don't burn wall time.
+func (dp *DataPlane) metricLoop() {
+	defer dp.wg.Done()
+	for {
+		select {
+		case <-dp.stopCh:
+			return
+		case <-dp.clk.After(dp.cfg.MetricInterval):
 			dp.reportMetrics()
 		}
 	}
 }
 
+// reportMetrics collects in-flight plus queued requests per function.
+// It reads only published snapshots and atomic counters — a report never
+// stalls the invoke path.
 func (dp *DataPlane) reportMetrics() {
 	now := dp.clk.Now()
 	report := proto.ScalingMetricReport{DataPlane: dp.cfg.ID}
-	dp.mu.Lock()
-	for name, fr := range dp.functions {
-		inFlight := 0
-		for _, ep := range fr.endpoints {
-			inFlight += ep.inFlight
+	for _, sh := range dp.shards {
+		for name, fr := range sh.fns.load() {
+			snap := fr.snap.Load()
+			inFlight := 0
+			for i := range snap.eps {
+				inFlight += int(snap.eps[i].InFlight.Load())
+			}
+			report.Metrics = append(report.Metrics, core.ScalingMetric{
+				Function:   name,
+				InFlight:   inFlight,
+				QueueDepth: int(fr.queued.Load()),
+				At:         now,
+			})
 		}
-		report.Metrics = append(report.Metrics, core.ScalingMetric{
-			Function:   name,
-			InFlight:   inFlight,
-			QueueDepth: len(fr.queue),
-			At:         now,
-		})
 	}
-	dp.mu.Unlock()
 	if len(report.Metrics) == 0 {
 		return
 	}
@@ -376,10 +528,8 @@ func (dp *DataPlane) reportMetrics() {
 
 // QueueDepth reports the number of buffered invocations for a function.
 func (dp *DataPlane) QueueDepth(function string) int {
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
-	if fr, ok := dp.functions[function]; ok {
-		return len(fr.queue)
+	if fr := dp.lookup(function); fr != nil {
+		return int(fr.queued.Load())
 	}
 	return 0
 }
@@ -387,10 +537,8 @@ func (dp *DataPlane) QueueDepth(function string) int {
 // EndpointCount reports the number of cached ready endpoints for a
 // function.
 func (dp *DataPlane) EndpointCount(function string) int {
-	dp.mu.Lock()
-	defer dp.mu.Unlock()
-	if fr, ok := dp.functions[function]; ok {
-		return len(fr.endpoints)
+	if fr := dp.lookup(function); fr != nil {
+		return len(fr.snap.Load().eps)
 	}
 	return 0
 }

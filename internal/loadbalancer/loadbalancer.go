@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"dirigent/internal/core"
 )
@@ -33,6 +34,58 @@ type Policy interface {
 	Pick(function string, key uint64, eps []Endpoint) *Endpoint
 	// Name identifies the policy.
 	Name() string
+}
+
+// SnapshotEndpoint is one candidate in an immutable, copy-on-write
+// endpoint snapshot. The data plane rebuilds the snapshot only when the
+// endpoint set changes; between rebuilds, instantaneous load is read
+// through InFlight, the per-endpoint counter shared with the concurrency
+// throttler, so no per-pick slice of load copies needs to be built.
+type SnapshotEndpoint struct {
+	SandboxID core.SandboxID
+	Addr      string
+	// InFlight points at the live in-flight counter for the sandbox.
+	InFlight *atomic.Int64
+	// Capacity is the sandbox's concurrency limit.
+	Capacity int
+}
+
+// TryAcquire CAS-claims one concurrency slot, failing when the endpoint
+// is saturated. This is the data plane's lock-free throttler.
+func (e *SnapshotEndpoint) TryAcquire() bool {
+	for {
+		cur := e.InFlight.Load()
+		if cur >= int64(e.Capacity) {
+			return false
+		}
+		if e.InFlight.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// SnapshotPolicy is the optional warm-start fast path: PickIndex returns
+// the index into eps of the chosen endpoint, or -1 when every endpoint
+// is saturated. Implementations must be safe for concurrent use, must
+// not retain eps, and must not allocate or take policy-global locks —
+// this runs on the data plane's invoke hot path for every warm start.
+type SnapshotPolicy interface {
+	Policy
+	PickIndex(function string, key uint64, eps []SnapshotEndpoint) int
+}
+
+// splitmix64 is a stateless mixer used for allocation-free, lock-free
+// pseudo-random decisions on the snapshot hot path, seeded from the
+// invocation key (the seeded-rng state in Pick would be a cross-function
+// serialization point).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // LeastLoaded picks the endpoint with the fewest in-flight requests that
@@ -78,10 +131,43 @@ func (p *LeastLoaded) Pick(_ string, _ uint64, eps []Endpoint) *Endpoint {
 	return &eps[best]
 }
 
+// PickIndex implements SnapshotPolicy. Ties break pseudo-randomly from
+// the invocation key instead of the shared rng, keeping the hot path
+// free of the policy mutex.
+func (p *LeastLoaded) PickIndex(_ string, key uint64, eps []SnapshotEndpoint) int {
+	r := splitmix64(key)
+	best := -1
+	var bestLoad int64
+	ties := 0
+	for i := range eps {
+		e := &eps[i]
+		load := e.InFlight.Load()
+		if load >= int64(e.Capacity) {
+			continue
+		}
+		switch {
+		case best < 0 || load < bestLoad:
+			best = i
+			bestLoad = load
+			ties = 1
+		case load == bestLoad:
+			ties++
+			r = splitmix64(r)
+			if r%uint64(ties) == 0 {
+				best = i
+			}
+		}
+	}
+	return best
+}
+
 // RoundRobin cycles through endpoints with free slots, per function.
 type RoundRobin struct {
 	mu   sync.Mutex
 	next map[string]int
+	// cursors carries the per-function position for the lock-free
+	// snapshot fast path (Pick and PickIndex keep independent cursors).
+	cursors sync.Map // string -> *atomic.Uint64
 }
 
 // NewRoundRobin returns a round-robin policy.
@@ -108,6 +194,26 @@ func (p *RoundRobin) Pick(function string, _ uint64, eps []Endpoint) *Endpoint {
 		}
 	}
 	return nil
+}
+
+// PickIndex implements SnapshotPolicy via a per-function atomic cursor.
+func (p *RoundRobin) PickIndex(function string, _ uint64, eps []SnapshotEndpoint) int {
+	if len(eps) == 0 {
+		return -1
+	}
+	cv, ok := p.cursors.Load(function)
+	if !ok {
+		cv, _ = p.cursors.LoadOrStore(function, new(atomic.Uint64))
+	}
+	start := int(cv.(*atomic.Uint64).Add(1) % uint64(len(eps)))
+	for i := 0; i < len(eps); i++ {
+		idx := (start + i) % len(eps)
+		e := &eps[idx]
+		if e.InFlight.Load() < int64(e.Capacity) {
+			return idx
+		}
+	}
+	return -1
 }
 
 // Random picks a uniformly random endpoint with a free slot.
@@ -145,10 +251,32 @@ func (p *Random) Pick(_ string, _ uint64, eps []Endpoint) *Endpoint {
 	return &eps[chosen]
 }
 
+// PickIndex implements SnapshotPolicy with key-seeded reservoir
+// sampling, so the hot path never touches the shared rng.
+func (p *Random) PickIndex(_ string, key uint64, eps []SnapshotEndpoint) int {
+	r := splitmix64(key)
+	chosen := -1
+	n := 0
+	for i := range eps {
+		e := &eps[i]
+		if e.InFlight.Load() >= int64(e.Capacity) {
+			continue
+		}
+		n++
+		r = splitmix64(r)
+		if r%uint64(n) == 0 {
+			chosen = i
+		}
+	}
+	return chosen
+}
+
 // CHRLU is a CH-RLU-style policy: consistent hashing on the invocation key
 // for locality, with bounded-load forwarding — if the hashed sandbox is
 // overloaded, the request walks the ring to the next sandbox with spare
 // capacity, spreading load while preserving locality for warm caches.
+// CHRLU builds its hash ring per pick and therefore does not implement
+// SnapshotPolicy; the data plane falls back to the allocating Pick path.
 type CHRLU struct {
 	// LoadBound is the multiple of average load beyond which the hashed
 	// endpoint is skipped (classic bounded-load consistent hashing uses

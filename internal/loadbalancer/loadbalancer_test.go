@@ -1,6 +1,7 @@
 package loadbalancer
 
 import (
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -213,5 +214,124 @@ func TestPolicyNames(t *testing.T) {
 		if tc.p.Name() != tc.want {
 			t.Errorf("Name = %q, want %q", tc.p.Name(), tc.want)
 		}
+	}
+}
+
+// snapEps builds a snapshot with the given in-flight counts and a shared
+// capacity, mirroring epsWithCapacity for the fast path.
+func snapEps(capacity int, inflight ...int) []SnapshotEndpoint {
+	eps := make([]SnapshotEndpoint, len(inflight))
+	for i, n := range inflight {
+		ctr := new(atomic.Int64)
+		ctr.Store(int64(n))
+		eps[i] = SnapshotEndpoint{
+			SandboxID: core.SandboxID(i + 1),
+			Addr:      "w:9000",
+			InFlight:  ctr,
+			Capacity:  capacity,
+		}
+	}
+	return eps
+}
+
+func TestPickIndexMatchesPickSemantics(t *testing.T) {
+	for _, p := range []SnapshotPolicy{
+		NewLeastLoaded(1), NewRoundRobin(), NewRandom(1),
+	} {
+		t.Run(p.Name(), func(t *testing.T) {
+			// Least-loaded free slot must win; saturated must be skipped.
+			eps := snapEps(2, 2, 0, 2, 1)
+			for key := uint64(0); key < 50; key++ {
+				idx := p.PickIndex("f", key, eps)
+				if idx < 0 {
+					t.Fatalf("key %d: no pick despite free slots", key)
+				}
+				if eps[idx].InFlight.Load() >= int64(eps[idx].Capacity) {
+					t.Fatalf("key %d: picked saturated endpoint %d", key, idx)
+				}
+			}
+			// Fully saturated: -1.
+			if idx := p.PickIndex("f", 1, snapEps(1, 1, 1, 1)); idx != -1 {
+				t.Errorf("saturated PickIndex = %d, want -1", idx)
+			}
+			// Empty: -1.
+			if idx := p.PickIndex("f", 1, nil); idx != -1 {
+				t.Errorf("empty PickIndex = %d, want -1", idx)
+			}
+		})
+	}
+}
+
+func TestPickIndexLeastLoadedPrefersIdle(t *testing.T) {
+	p := NewLeastLoaded(1)
+	eps := snapEps(4, 3, 0, 2, 3)
+	for key := uint64(0); key < 20; key++ {
+		if idx := p.PickIndex("f", key, eps); idx != 1 {
+			t.Fatalf("key %d: PickIndex = %d, want 1 (idle)", key, idx)
+		}
+	}
+}
+
+func TestPickIndexTieBreakSpreads(t *testing.T) {
+	p := NewLeastLoaded(11)
+	eps := snapEps(4, 0, 0, 0)
+	seen := make(map[int]bool)
+	for key := uint64(0); key < 200; key++ {
+		seen[p.PickIndex("f", key, eps)] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("key-seeded tie-break always picked the same endpoint")
+	}
+}
+
+func TestPickIndexRoundRobinCycles(t *testing.T) {
+	p := NewRoundRobin()
+	eps := snapEps(1, 0, 0, 0)
+	seen := make(map[int]int)
+	for key := uint64(0); key < 30; key++ {
+		seen[p.PickIndex("f", key, eps)]++
+	}
+	for i := 0; i < 3; i++ {
+		if seen[i] == 0 {
+			t.Errorf("round-robin cursor never reached endpoint %d: %v", i, seen)
+		}
+	}
+}
+
+func TestTryAcquireThrottles(t *testing.T) {
+	eps := snapEps(2, 0)
+	e := &eps[0]
+	if !e.TryAcquire() || !e.TryAcquire() {
+		t.Fatal("acquire failed with free slots")
+	}
+	if e.TryAcquire() {
+		t.Fatal("acquire succeeded beyond capacity")
+	}
+	e.InFlight.Add(-1)
+	if !e.TryAcquire() {
+		t.Fatal("acquire failed after release")
+	}
+}
+
+// TestPickIndexAllocationFree pins the contract that matters to the data
+// plane: the snapshot fast path performs zero allocations per pick.
+func TestPickIndexAllocationFree(t *testing.T) {
+	eps := snapEps(2, 1, 0, 1, 0, 1, 0, 1, 0)
+	for _, p := range []SnapshotPolicy{
+		NewLeastLoaded(1), NewRoundRobin(), NewRandom(1),
+	} {
+		t.Run(p.Name(), func(t *testing.T) {
+			p.PickIndex("f", 1, eps) // warm per-function state (RR cursor)
+			key := uint64(0)
+			allocs := testing.AllocsPerRun(1000, func() {
+				key++
+				if p.PickIndex("f", key, eps) < 0 {
+					t.Fatal("no pick")
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("PickIndex allocates %.1f per op, want 0", allocs)
+			}
+		})
 	}
 }

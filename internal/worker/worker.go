@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dirigent/internal/clock"
@@ -87,12 +88,16 @@ type Worker struct {
 	listener transport.Listener
 	metrics  *telemetry.Registry
 
+	// mu guards registry mutations and resource accounting. The
+	// invocation dispatch path never takes it: the ready map is
+	// published copy-on-write through ready, mirroring the data plane's
+	// endpoint snapshots, and per-sandbox in-flight counts are atomics
+	// on the readySandbox itself.
 	mu        sync.Mutex
-	ready     map[core.SandboxID]*readySandbox
+	ready     atomic.Pointer[map[core.SandboxID]*readySandbox]
 	creating  int
 	allocCPU  int
 	allocMem  int
-	inflight  map[core.SandboxID]int
 	functions map[core.SandboxID]core.Function
 
 	stopCh  chan struct{}
@@ -101,8 +106,27 @@ type Worker struct {
 }
 
 type readySandbox struct {
-	inst    *sandbox.Instance
-	handler Handler
+	inst     *sandbox.Instance
+	handler  Handler
+	inFlight atomic.Int64
+}
+
+// readyMap returns the current copy-on-write sandbox dispatch map.
+// The map is immutable after publication; never mutate it.
+func (w *Worker) readyMap() map[core.SandboxID]*readySandbox {
+	return *w.ready.Load()
+}
+
+// publishReadyLocked copies the dispatch map, applies mutate, and
+// publishes the successor. Callers hold w.mu.
+func (w *Worker) publishReadyLocked(mutate func(m map[core.SandboxID]*readySandbox)) {
+	cur := w.readyMap()
+	next := make(map[core.SandboxID]*readySandbox, len(cur)+1)
+	for k, v := range cur {
+		next[k] = v
+	}
+	mutate(next)
+	w.ready.Store(&next)
 }
 
 // New creates a worker daemon (call Start to register and serve).
@@ -119,16 +143,17 @@ func New(cfg Config) *Worker {
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.NewRegistry()
 	}
-	return &Worker{
+	w := &Worker{
 		cfg:       cfg,
 		clk:       cfg.Clock,
 		cp:        cpclient.New(cfg.Transport, cfg.ControlPlanes),
 		metrics:   cfg.Metrics,
-		ready:     make(map[core.SandboxID]*readySandbox),
-		inflight:  make(map[core.SandboxID]int),
 		functions: make(map[core.SandboxID]core.Function),
 		stopCh:    make(chan struct{}),
 	}
+	empty := make(map[core.SandboxID]*readySandbox)
+	w.ready.Store(&empty)
+	return w
 }
 
 // Start listens for control-plane RPCs, registers the worker, and begins
@@ -175,34 +200,45 @@ func (w *Worker) Addr() string { return w.cfg.Addr }
 // Node returns the worker's identity.
 func (w *Worker) Node() core.WorkerNode { return w.cfg.Node }
 
+// Metrics returns the worker's telemetry registry.
+func (w *Worker) Metrics() *telemetry.Registry { return w.metrics }
+
 // SandboxCount returns the number of ready sandboxes.
 func (w *Worker) SandboxCount() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.ready)
+	return len(w.readyMap())
 }
 
 // ReadySandboxIDs returns the IDs of all ready sandboxes, used by tests
 // and failure-injection harnesses.
 func (w *Worker) ReadySandboxIDs() []core.SandboxID {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	ids := make([]core.SandboxID, 0, len(w.ready))
-	for id := range w.ready {
+	m := w.readyMap()
+	ids := make([]core.SandboxID, 0, len(m))
+	for id := range m {
 		ids = append(ids, id)
 	}
 	return ids
 }
 
+// InFlight reports the number of invocations currently executing across
+// all ready sandboxes, read lock-free from the per-sandbox counters.
+// Used by tests and load-inspection harnesses.
+func (w *Worker) InFlight() int64 {
+	var total int64
+	for _, rs := range w.readyMap() {
+		total += rs.inFlight.Load()
+	}
+	return total
+}
+
+// heartbeatLoop is driven by the injected clock so simulated-time tests
+// don't burn wall time.
 func (w *Worker) heartbeatLoop() {
 	defer w.wg.Done()
-	ticker := time.NewTicker(w.cfg.HeartbeatInterval)
-	defer ticker.Stop()
 	for {
 		select {
 		case <-w.stopCh:
 			return
-		case <-ticker.C:
+		case <-w.clk.After(w.cfg.HeartbeatInterval):
 			w.sendHeartbeat()
 		}
 	}
@@ -215,7 +251,7 @@ func (w *Worker) utilization() core.NodeUtilization {
 		Node:          w.cfg.Node.ID,
 		CPUMilliUsed:  w.allocCPU,
 		MemoryMBUsed:  w.allocMem,
-		SandboxCount:  len(w.ready),
+		SandboxCount:  len(w.readyMap()),
 		CreationQueue: w.creating,
 	}
 }
@@ -307,10 +343,13 @@ func (w *Worker) doCreate(req *proto.CreateSandboxRequest) {
 		w.mu.Unlock()
 		return
 	}
-	w.ready[inst.ID] = &readySandbox{
+	rs := &readySandbox{
 		inst:    inst,
 		handler: w.cfg.Images.Lookup(req.Function.Image),
 	}
+	w.publishReadyLocked(func(m map[core.SandboxID]*readySandbox) {
+		m[inst.ID] = rs
+	})
 	w.functions[inst.ID] = req.Function
 	w.mu.Unlock()
 	w.metrics.Counter("sandboxes_created").Inc()
@@ -336,13 +375,14 @@ func (w *Worker) releaseResources(f *core.Function) {
 
 func (w *Worker) killSandbox(id core.SandboxID) error {
 	w.mu.Lock()
-	rs, ok := w.ready[id]
+	rs, ok := w.readyMap()[id]
 	var fn core.Function
 	if ok {
-		delete(w.ready, id)
+		w.publishReadyLocked(func(m map[core.SandboxID]*readySandbox) {
+			delete(m, id)
+		})
 		fn = w.functions[id]
 		delete(w.functions, id)
-		delete(w.inflight, id)
 	}
 	w.mu.Unlock()
 	if !ok {
@@ -354,10 +394,8 @@ func (w *Worker) killSandbox(id core.SandboxID) error {
 }
 
 func (w *Worker) listSandboxes() *proto.SandboxList {
-	w.mu.Lock()
-	defer w.mu.Unlock()
 	list := &proto.SandboxList{}
-	for id, rs := range w.ready {
+	for id, rs := range w.readyMap() {
 		list.Sandboxes = append(list.Sandboxes, proto.SandboxInfo{
 			ID:       id,
 			Function: rs.inst.Function,
@@ -369,21 +407,16 @@ func (w *Worker) listSandboxes() *proto.SandboxList {
 	return list
 }
 
+// invokeSandbox dispatches a proxied invocation into a sandbox. This is
+// the worker's invoke hot path: one atomic map load and two atomic
+// counter updates, no lock shared with sandbox churn or heartbeats.
 func (w *Worker) invokeSandbox(req *proto.InvokeSandboxRequest) ([]byte, error) {
-	w.mu.Lock()
-	rs, ok := w.ready[req.SandboxID]
-	if ok {
-		w.inflight[req.SandboxID]++
-	}
-	w.mu.Unlock()
+	rs, ok := w.readyMap()[req.SandboxID]
 	if !ok {
 		return nil, fmt.Errorf("worker %s: invoke: no such sandbox %d", w.cfg.Node.Name, req.SandboxID)
 	}
-	defer func() {
-		w.mu.Lock()
-		w.inflight[req.SandboxID]--
-		w.mu.Unlock()
-	}()
+	rs.inFlight.Add(1)
+	defer rs.inFlight.Add(-1)
 	w.metrics.Counter("invocations").Inc()
 	return rs.handler(req.Payload)
 }
@@ -394,10 +427,12 @@ func (w *Worker) invokeSandbox(req *proto.InvokeSandboxRequest) ([]byte, error) 
 // plane of crashes").
 func (w *Worker) CrashSandbox(id core.SandboxID) error {
 	w.mu.Lock()
-	rs, ok := w.ready[id]
+	rs, ok := w.readyMap()[id]
 	var fn core.Function
 	if ok {
-		delete(w.ready, id)
+		w.publishReadyLocked(func(m map[core.SandboxID]*readySandbox) {
+			delete(m, id)
+		})
 		fn = w.functions[id]
 		delete(w.functions, id)
 	}

@@ -263,3 +263,78 @@ func TestImageRegistryDefaultEcho(t *testing.T) {
 		t.Errorf("registered handler not used")
 	}
 }
+
+// TestWorkerConcurrentInvokeAndChurn hammers the lock-free dispatch
+// path: parallel invocations race sandbox creation, kills, crashes,
+// list/utilization reads, and heartbeats. Run with -race, it locks in
+// the copy-on-write dispatch map and atomic in-flight counters.
+func TestWorkerConcurrentInvokeAndChurn(t *testing.T) {
+	tr := transport.NewInProc()
+	cp := startFakeCP(t, tr, "cp")
+	w := testWorker(t, tr, "cp")
+	ctx := context.Background()
+
+	// A stable population of sandboxes that invocations always hit.
+	for i := 1; i <= 8; i++ {
+		req := proto.CreateSandboxRequest{SandboxID: core.SandboxID(i), Function: testFn()}
+		if _, err := tr.Call(ctx, w.Addr(), proto.MethodCreateSandbox, req.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	awaitReady(t, cp, 8)
+
+	const iters = 200
+	var wg sync.WaitGroup
+	run := func(fn func(i int)) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				fn(i)
+			}
+		}()
+	}
+	// Parallel invocations across the stable sandboxes.
+	for g := 0; g < 4; g++ {
+		g := g
+		run(func(i int) {
+			inv := proto.InvokeSandboxRequest{SandboxID: core.SandboxID(1 + (g*iters+i)%8), Function: "f", Payload: []byte("x")}
+			if _, err := tr.Call(ctx, w.Addr(), proto.MethodInvokeSandbox, inv.Marshal()); err != nil {
+				t.Errorf("invoke: %v", err)
+			}
+		})
+	}
+	// Churn on a separate ID range: create, then kill or crash.
+	run(func(i int) {
+		id := core.SandboxID(100 + i)
+		req := proto.CreateSandboxRequest{SandboxID: id, Function: testFn()}
+		_, _ = tr.Call(ctx, w.Addr(), proto.MethodCreateSandbox, req.Marshal())
+		if i%2 == 0 {
+			_, _ = tr.Call(ctx, w.Addr(), proto.MethodKillSandbox, EncodeSandboxID(id))
+		} else {
+			_ = w.CrashSandbox(id)
+		}
+	})
+	// Reads concurrent with the churn.
+	run(func(int) {
+		w.SandboxCount()
+		w.ReadySandboxIDs()
+		w.utilization()
+		_, _ = tr.Call(ctx, w.Addr(), proto.MethodListSandboxes, nil)
+	})
+	wg.Wait()
+
+	// The stable sandboxes survived the churn and still serve, and
+	// every in-flight slot was released.
+	if w.SandboxCount() < 8 {
+		t.Errorf("SandboxCount = %d, want >= 8", w.SandboxCount())
+	}
+	if n := w.InFlight(); n != 0 {
+		t.Errorf("InFlight = %d after churn, want 0", n)
+	}
+	inv := proto.InvokeSandboxRequest{SandboxID: 3, Function: "f", Payload: []byte("y")}
+	respB, err := tr.Call(ctx, w.Addr(), proto.MethodInvokeSandbox, inv.Marshal())
+	if err != nil || !bytes.Equal(respB, []byte("ran:y")) {
+		t.Errorf("post-churn invoke = %q, %v", respB, err)
+	}
+}
