@@ -18,6 +18,7 @@ import (
 	"dirigent/internal/controlplane"
 	"dirigent/internal/core"
 	"dirigent/internal/dataplane"
+	"dirigent/internal/experiments"
 	"dirigent/internal/loadbalancer"
 	"dirigent/internal/placement"
 	"dirigent/internal/proto"
@@ -340,6 +341,69 @@ func BenchmarkAblationDPInvokeSharding(b *testing.B) {
 				benchDPInvoke(b, cfg.shards, fns)
 			})
 		}
+	}
+}
+
+// --- Cold-start pipeline: batched creates + pre-warm pool vs seed ---
+
+// BenchmarkAblationColdStartBatching measures a burst of N cold starts
+// across W live workers from one autoscale sweep to every replica ready,
+// under the three cold-start pipeline configurations:
+//
+//   - seed: CreateBatch=1 reproduces the seed path — one CreateSandbox
+//     RPC per sandbox, one SandboxReady RPC and one per-function endpoint
+//     broadcast per readiness event;
+//   - batched: one CreateSandboxBatch RPC per worker per sweep, worker
+//     readiness coalesced into SandboxReadyBatch reports, endpoint
+//     updates coalesced into one diff RPC per data plane;
+//   - batched+prewarm: batched, plus a per-worker pool of initialized
+//     sandboxes that cold starts claim instead of creating from scratch.
+//
+// ms_to_all_ready is the headline: wall time from the sweep to the last
+// replica ready. create_batch_p50 confirms the ablation (1 in seed mode).
+func BenchmarkAblationColdStartBatching(b *testing.B) {
+	const (
+		workers = 4
+		burst   = 64
+	)
+	for _, cfg := range []struct {
+		name        string
+		createBatch int
+		prewarm     int
+	}{
+		{"seed", 1, 0},
+		{"batched", 0, 0},
+		{"batched-prewarm", 0, burst/workers + 2},
+	} {
+		b.Run(fmt.Sprintf("%s/burst-%d", cfg.name, burst), func(b *testing.B) {
+			h, err := experiments.NewColdStartHarness(experiments.ColdStartConfig{
+				Workers:      workers,
+				Burst:        burst,
+				CreateBatch:  cfg.createBatch,
+				Prewarm:      cfg.prewarm,
+				LatencyScale: 0.02,
+				Seed:         1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			var total time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				elapsed, err := h.RunBurst()
+				if err != nil {
+					b.Fatal(err)
+				}
+				total += elapsed
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(total)/float64(b.N)/float64(time.Millisecond), "ms_to_all_ready")
+			b.ReportMetric(h.CP().Metrics().Histogram("create_batch_size").Percentile(50), "create_batch_p50")
+			if cfg.prewarm > 0 {
+				b.ReportMetric(float64(h.PrewarmHits())/float64(b.N), "prewarm_hits_per_burst")
+			}
+		})
 	}
 }
 

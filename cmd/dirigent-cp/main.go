@@ -30,6 +30,8 @@ func main() {
 	fsync := flag.String("fsync", "group",
 		"fsync policy: group (coalesce concurrent writes into one fsync), always (Redis appendfsync=always, the paper's baseline), never")
 	shards := flag.Int("state-shards", 0, "locks striping the function state map (0 = default 32, 1 = single global lock ablation)")
+	createBatch := flag.Int("create-batch", 0,
+		"max sandbox creations per per-worker batch RPC (0 = default 256, 1 = seed ablation: per-sandbox creates and per-function endpoint broadcasts)")
 	autoscale := flag.Duration("autoscale-interval", 2*time.Second, "autoscaling loop period")
 	hbTimeout := flag.Duration("heartbeat-timeout", 2*time.Second, "worker heartbeat timeout")
 	persistAll := flag.Bool("persist-sandbox-state", false, "ablation: persist sandbox state on the critical path")
@@ -63,6 +65,7 @@ func main() {
 		Transport:           transport.NewTCP(),
 		DB:                  db,
 		StateShards:         *shards,
+		CreateBatch:         *createBatch,
 		AutoscaleInterval:   *autoscale,
 		HeartbeatTimeout:    *hbTimeout,
 		PersistSandboxState: *persistAll,
@@ -81,4 +84,8 @@ func main() {
 	<-sig
 	fmt.Println("shutting down")
 	cp.Stop()
+	// Surface scheduling-path telemetry (cold-start scheduling latency,
+	// create/endpoint batch sizes, shard contention) for post-mortem
+	// inspection.
+	fmt.Print(cp.Metrics().Dump())
 }

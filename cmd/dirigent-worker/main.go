@@ -34,6 +34,10 @@ func main() {
 	cpuMilli := flag.Int("cpu-milli", 10000, "node CPU capacity in millicores")
 	memMB := flag.Int("memory-mb", 65536, "node memory capacity in MB")
 	hb := flag.Duration("heartbeat", 500*time.Millisecond, "heartbeat period")
+	prewarm := flag.Int("prewarm", 0,
+		"size of the pre-warm pool: initialized-but-unassigned sandboxes any runtime-compatible function can claim (0 = disabled)")
+	createConc := flag.Int("create-concurrency", 0,
+		"bound on concurrent runtime sandbox creations (0 = default 8)")
 	flag.Parse()
 
 	if *name == "" {
@@ -71,6 +75,8 @@ func main() {
 		Transport:         transport.NewTCP(),
 		ControlPlanes:     strings.Split(*cps, ","),
 		HeartbeatInterval: *hb,
+		Prewarm:           *prewarm,
+		CreateConcurrency: *createConc,
 	})
 	if err := w.Start(); err != nil {
 		log.Fatalf("start worker: %v", err)

@@ -200,3 +200,91 @@ func TestDefaultsApplied(t *testing.T) {
 		t.Errorf("defaults not applied: %+v", got)
 	}
 }
+
+// TestPanicEntryExactThreshold pins the panic-entry comparison at the
+// exact boundary: desiredPanic >= PanicThreshold × current enters panic;
+// one below does not.
+func TestPanicEntryExactThreshold(t *testing.T) {
+	// PanicThreshold 2.0, current 2 → threshold is exactly 4.
+	enter := New(cfg())
+	enter.Record(t0, 4) // panic-window average exactly 4
+	enter.Desired(t0, 2)
+	if !enter.InPanic() {
+		t.Errorf("desiredPanic == threshold must enter panic mode")
+	}
+
+	stay := New(cfg())
+	stay.Record(t0, 3) // desiredPanic 3 < threshold 4
+	stay.Desired(t0, 2)
+	if stay.InPanic() {
+		t.Errorf("desiredPanic below threshold must not enter panic mode")
+	}
+}
+
+// TestPanicExitExactStableWindow pins panic exit at the exact window
+// boundary: one nanosecond before a full quiet StableWindow the scaler
+// still panics; at exactly the window it exits.
+func TestPanicExitExactStableWindow(t *testing.T) {
+	c := cfg() // StableWindow 60s
+	a := New(c)
+	a.Record(t0, 40)
+	if a.Desired(t0, 1); !a.InPanic() {
+		t.Fatalf("burst did not enter panic mode")
+	}
+	// No further bursts: the panic window drains, so panicSince stays t0.
+	a.Desired(t0.Add(c.StableWindow-time.Nanosecond), 1)
+	if !a.InPanic() {
+		t.Errorf("exited panic %v early", time.Nanosecond)
+	}
+	a.Desired(t0.Add(c.StableWindow), 1)
+	if a.InPanic() {
+		t.Errorf("still in panic after a full quiet stable window")
+	}
+}
+
+// TestWindowGCClockSkew injects backwards clock skew into the sample
+// stream: out-of-order samples must neither break GC (stale samples
+// stuck forever) nor corrupt the desired-scale computation.
+func TestWindowGCClockSkew(t *testing.T) {
+	c := cfg()
+	c.StableWindow = 60 * time.Second
+	a := New(c)
+	a.Record(t0.Add(100*time.Second), 5)
+	// Clock skews 50 s backwards; the sample lands out of order.
+	a.Record(t0.Add(50*time.Second), 3)
+	a.Record(t0.Add(55*time.Second), 3)
+	// Desired stays sane (bounded, non-negative) on the skewed window.
+	if got := a.Desired(t0.Add(100*time.Second), 1); got < 0 || got > 10 {
+		t.Errorf("Desired on skewed window = %d", got)
+	}
+	// Time recovers and moves past the window: every skewed sample must
+	// be collected even though the stream was not time-ordered.
+	a.Record(t0.Add(170*time.Second), 1)
+	a.mu.Lock()
+	n := len(a.samples)
+	a.mu.Unlock()
+	if n != 1 {
+		t.Errorf("GC kept %d samples after skewed stream aged out, want 1", n)
+	}
+}
+
+// TestScaleToZeroGraceExactBoundary pins the grace comparison: one
+// nanosecond inside the grace period holds the last sandbox; at exactly
+// the grace period the function scales to zero.
+func TestScaleToZeroGraceExactBoundary(t *testing.T) {
+	c := cfg()
+	c.StableWindow = 5 * time.Second
+	c.ScaleToZeroGrace = 30 * time.Second
+	a := New(c)
+	a.Record(t0, 1) // lastPositive = t0
+	// Drain the stable window with zeros so desiredStable is 0.
+	for i := 1; i <= 29; i++ {
+		a.Record(t0.Add(time.Duration(i)*time.Second), 0)
+	}
+	if got := a.Desired(t0.Add(c.ScaleToZeroGrace-time.Nanosecond), 1); got != 1 {
+		t.Errorf("Desired inside grace = %d, want 1", got)
+	}
+	if got := a.Desired(t0.Add(c.ScaleToZeroGrace), 1); got != 0 {
+		t.Errorf("Desired at exact grace boundary = %d, want 0", got)
+	}
+}

@@ -77,6 +77,13 @@ type Config struct {
 	// map. 0 selects the default (32); 1 degenerates to the seed's
 	// single global lock and exists for the sharding ablation.
 	StateShards int
+	// CreateBatch caps how many sandbox creations one autoscale sweep
+	// packs into a single CreateSandboxBatch RPC per worker. 0 selects
+	// the default (256). 1 is the cold-start batching ablation: it
+	// restores the seed's pipeline — one CreateSandbox RPC per sandbox
+	// and one UpdateEndpoints RPC per changed function per data plane —
+	// instead of batched creates and coalesced endpoint diffs.
+	CreateBatch int
 	// AutoscaleInterval is the period of the asynchronous autoscaling
 	// loop (Knative ticks every 2 s; tests compress this).
 	AutoscaleInterval time.Duration
@@ -109,6 +116,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StateShards <= 0 {
 		c.StateShards = defaultStateShards
+	}
+	if c.CreateBatch <= 0 {
+		c.CreateBatch = defaultCreateBatch
 	}
 	if c.AutoscaleInterval == 0 {
 		c.AutoscaleInterval = 2 * time.Second
@@ -223,6 +233,9 @@ type ControlPlane struct {
 	mSandboxReady   *telemetry.Histogram
 	mShardWait      *telemetry.Histogram
 	mShardContended *telemetry.Counter
+	mSchedLatency   *telemetry.Histogram
+	mCreateBatch    *telemetry.Histogram
+	mEndpointFanout *telemetry.Histogram
 }
 
 // New creates a control plane replica; call Start to serve.
@@ -240,6 +253,9 @@ func New(cfg Config) *ControlPlane {
 	cp.mSandboxReady = cp.metrics.Histogram("sandbox_ready_ms")
 	cp.mShardWait = cp.metrics.Histogram("shard_lock_wait_ms")
 	cp.mShardContended = cp.metrics.Counter("shard_lock_contended")
+	cp.mSchedLatency = cp.metrics.Histogram("cold_start_sched_ms")
+	cp.mCreateBatch = cp.metrics.CountHistogram("create_batch_size")
+	cp.mEndpointFanout = cp.metrics.CountHistogram("endpoint_fanout_batch_size")
 	return cp
 }
 
@@ -455,9 +471,7 @@ func (cp *ControlPlane) mergeWorkerSandboxes(w *workerState) {
 		cp.observeSandboxID(sb.ID)
 		touched[sb.Function] = true
 	}
-	for fn := range touched {
-		cp.broadcastEndpoints(fn)
-	}
+	cp.broadcastEndpointsBatch(sortedKeys(touched))
 }
 
 // handleRPC multiplexes Raft election RPCs and the Dirigent API.
@@ -491,6 +505,8 @@ func (cp *ControlPlane) handleRPC(method string, payload []byte) ([]byte, error)
 		return cp.handleScalingMetric(payload)
 	case proto.MethodSandboxReady:
 		return cp.handleSandboxReady(payload)
+	case proto.MethodSandboxReadyBatch:
+		return cp.handleSandboxReadyBatch(payload)
 	case proto.MethodSandboxCrashed:
 		return cp.handleSandboxCrashed(payload)
 	case proto.MethodClusterStatus:
@@ -623,12 +639,11 @@ func (cp *ControlPlane) handleRegisterDataPlane(payload []byte) ([]byte, error) 
 	cp.regMu.Lock()
 	cp.dataplanes[p.ID] = p
 	cp.regMu.Unlock()
-	fns := cp.functionNames()
-	// Warm the new data plane's caches: functions, then endpoints.
+	// Warm the new data plane's caches: functions, then endpoints —
+	// every function's endpoint set in one coalesced RPC (per-function
+	// RPCs in the CreateBatch=1 ablation).
 	cp.sendFunctionsTo(dataPlaneAddr(&p))
-	for _, fn := range fns {
-		cp.sendEndpointsTo(dataPlaneAddr(&p), fn)
-	}
+	cp.sendEndpointsBatchTo(dataPlaneAddr(&p), cp.functionNames())
 	return nil, nil
 }
 
@@ -679,6 +694,38 @@ func (cp *ControlPlane) handleSandboxReady(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if !cp.applySandboxReady(ev) {
+		return nil, fmt.Errorf("sandbox ready for unknown function %q", ev.Function)
+	}
+	cp.broadcastEndpoints(ev.Function)
+	return nil, nil
+}
+
+// handleSandboxReadyBatch absorbs a worker's coalesced readiness report:
+// every transition is applied, then all touched functions share one
+// endpoint fan-out instead of broadcasting once per sandbox — the
+// broadcast work for an N-sandbox burst drops from N full endpoint lists
+// per function to one.
+func (cp *ControlPlane) handleSandboxReadyBatch(payload []byte) ([]byte, error) {
+	batch, err := proto.UnmarshalSandboxEventBatch(payload)
+	if err != nil {
+		return nil, err
+	}
+	touched := make(map[string]bool, len(batch.Events))
+	for i := range batch.Events {
+		ev := &batch.Events[i]
+		if cp.applySandboxReady(ev) {
+			touched[ev.Function] = true
+		}
+	}
+	cp.broadcastEndpointsBatch(sortedKeys(touched))
+	return nil, nil
+}
+
+// applySandboxReady marks one sandbox ready in the in-memory state,
+// reporting whether the function is still registered. Endpoint fan-out is
+// the caller's job so batch arrivals can coalesce it.
+func (cp *ControlPlane) applySandboxReady(ev *proto.SandboxEvent) bool {
 	ok := cp.withFunction(ev.Function, func(fs *functionState) {
 		sb, exists := fs.sandboxes[ev.SandboxID]
 		if !exists {
@@ -695,13 +742,12 @@ func (cp *ControlPlane) handleSandboxReady(payload []byte) ([]byte, error) {
 		cp.mSandboxReady.Observe(cp.clk.Since(sb.createdAt))
 	})
 	if !ok {
-		return nil, fmt.Errorf("sandbox ready for unknown function %q", ev.Function)
+		return false
 	}
 	if cp.cfg.PersistSandboxState {
 		cp.persistSandbox(ev)
 	}
-	cp.broadcastEndpoints(ev.Function)
-	return nil, nil
+	return true
 }
 
 func (cp *ControlPlane) handleSandboxCrashed(payload []byte) ([]byte, error) {

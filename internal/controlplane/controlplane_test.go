@@ -21,6 +21,9 @@ type fakeWorker struct {
 	created []proto.CreateSandboxRequest
 	killed  []core.SandboxID
 	list    []proto.SandboxInfo
+	// singleRPCs / batchRPCs count create instructions by arrival shape,
+	// for the batching-ablation parity assertions.
+	singleRPCs, batchRPCs int
 	// autoReady makes the worker report SandboxReady for each creation.
 	autoReady bool
 	node      core.NodeID
@@ -40,11 +43,20 @@ func startFakeWorker(t *testing.T, tr *transport.InProc, cpAddr string, node cor
 				return nil, err
 			}
 			w.mu.Lock()
-			w.created = append(w.created, *req)
-			auto := w.autoReady
+			w.singleRPCs++
 			w.mu.Unlock()
-			if auto {
-				go w.reportReady(req.SandboxID, req.Function.Name)
+			w.accept(*req)
+			return nil, nil
+		case proto.MethodCreateSandboxBatch:
+			batch, err := proto.UnmarshalCreateSandboxBatch(payload)
+			if err != nil {
+				return nil, err
+			}
+			w.mu.Lock()
+			w.batchRPCs++
+			w.mu.Unlock()
+			for _, req := range batch.Creates {
+				w.accept(req)
 			}
 			return nil, nil
 		case proto.MethodKillSandbox:
@@ -69,6 +81,18 @@ func startFakeWorker(t *testing.T, tr *transport.InProc, cpAddr string, node cor
 	}
 	t.Cleanup(func() { ln.Close() })
 	return w
+}
+
+// accept records one create instruction (singleton or batch member) and
+// reports readiness when the fake is in auto-ready mode.
+func (w *fakeWorker) accept(req proto.CreateSandboxRequest) {
+	w.mu.Lock()
+	w.created = append(w.created, req)
+	auto := w.autoReady
+	w.mu.Unlock()
+	if auto {
+		go w.reportReady(req.SandboxID, req.Function.Name)
+	}
 }
 
 // heartbeat starts a background heartbeat loop so the CP health monitor
@@ -137,11 +161,15 @@ func startFakeDP(t *testing.T, tr *transport.InProc, addr string) *fakeDP {
 			if err != nil {
 				return nil, err
 			}
-			if up.Version != 0 && up.Version <= dp.versions[up.Function] {
-				return nil, nil // stale reordered broadcast
+			dp.applyLocked(up)
+		case proto.MethodUpdateEndpointsBatch:
+			batch, err := proto.UnmarshalEndpointUpdateBatch(payload)
+			if err != nil {
+				return nil, err
 			}
-			dp.versions[up.Function] = up.Version
-			dp.endpoints[up.Function] = up.Endpoints
+			for i := range batch.Updates {
+				dp.applyLocked(&batch.Updates[i])
+			}
 		}
 		return nil, nil
 	})
@@ -150,6 +178,16 @@ func startFakeDP(t *testing.T, tr *transport.InProc, addr string) *fakeDP {
 	}
 	t.Cleanup(func() { ln.Close() })
 	return dp
+}
+
+// applyLocked applies one endpoint update, discarding stale reordered
+// broadcasts by version like the real data plane. Callers hold dp.mu.
+func (dp *fakeDP) applyLocked(up *proto.EndpointUpdate) {
+	if up.Version != 0 && up.Version <= dp.versions[up.Function] {
+		return
+	}
+	dp.versions[up.Function] = up.Version
+	dp.endpoints[up.Function] = up.Endpoints
 }
 
 type cpHarness struct {

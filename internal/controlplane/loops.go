@@ -3,6 +3,7 @@ package controlplane
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"dirigent/internal/core"
@@ -11,6 +12,12 @@ import (
 	"dirigent/internal/telemetry"
 	"dirigent/internal/worker"
 )
+
+// defaultCreateBatch caps how many creations one sweep packs into a
+// single per-worker RPC. Large enough that realistic bursts (the paper
+// drives ~2500 cold starts/s against ~100 workers) fit in one RPC per
+// worker per sweep; small enough to bound message size.
+const defaultCreateBatch = 256
 
 // autoscaleLoop is the asynchronous loop that reconciles the number of
 // sandboxes per function with the autoscaler's desired scale, issuing
@@ -39,6 +46,12 @@ func (cp *ControlPlane) autoscaleLoop() {
 // it snapshots that shard's scaling decisions; sandbox transitions and
 // metric reports for functions in other shards proceed concurrently with
 // the pass instead of stalling behind a global lock for the whole sweep.
+//
+// Scale-up is pipelined: every placement decision the sweep makes is
+// staged first, then fanned out as one CreateSandboxBatch RPC per worker
+// (concurrently across workers), and every function whose endpoint set
+// changed shares one coalesced UpdateEndpointsBatch RPC per data plane.
+// CreateBatch=1 restores the seed's per-sandbox/per-function RPCs.
 func (cp *ControlPlane) Reconcile() {
 	now := cp.clk.Now()
 	type action struct {
@@ -83,25 +96,41 @@ func (cp *ControlPlane) Reconcile() {
 		}
 	})
 
+	var staged []*stagedCreate
+	drained := make(map[string]bool)
 	for _, a := range actions {
 		for i := 0; i < a.create; i++ {
-			cp.createSandbox(a.fn)
+			if sc := cp.placeSandbox(a.fn); sc != nil {
+				staged = append(staged, sc)
+			}
 		}
 		for _, sb := range a.kills {
 			cp.killSandbox(sb)
 		}
 		if len(a.kills) > 0 {
-			cp.broadcastEndpoints(a.fn.Name)
+			drained[a.fn.Name] = true
 		}
 	}
+	cp.dispatchCreates(staged, now)
+	cp.broadcastEndpointsBatch(sortedKeys(drained))
 }
 
-// createSandbox places and requests one new sandbox for fn. This is the
-// latency-critical cold-start path: note the absence of any persistent
-// state update (design principle 2) and of any global lock — the path
-// takes the registry read lock, one worker's mutex, and one function
-// shard, so cold starts for unrelated functions proceed in parallel.
-func (cp *ControlPlane) createSandbox(fn core.Function) {
+// stagedCreate is one placement decision awaiting RPC dispatch: the
+// sandbox already exists in phaseCreating state and its resources are
+// optimistically charged to the worker.
+type stagedCreate struct {
+	id   core.SandboxID
+	fn   core.Function
+	addr string
+}
+
+// placeSandbox places one new sandbox for fn and stages it for dispatch.
+// This is the latency-critical cold-start path: note the absence of any
+// persistent state update (design principle 2) and of any global lock —
+// the path takes the registry read lock, one worker's mutex, and one
+// function shard, so cold starts for unrelated functions proceed in
+// parallel. It returns nil when placement fails or the function vanished.
+func (cp *ControlPlane) placeSandbox(fn core.Function) *stagedCreate {
 	cp.regMu.RLock()
 	candidates := make([]placement.NodeStatus, 0, len(cp.workers))
 	for _, w := range cp.workers {
@@ -116,21 +145,21 @@ func (cp *ControlPlane) createSandbox(fn core.Function) {
 	nodeID, err := cp.cfg.Placer.Place(candidates, req)
 	if err != nil {
 		cp.metrics.Counter("placement_failures").Inc()
-		return
+		return nil
 	}
 
 	cp.regMu.RLock()
 	w := cp.workers[nodeID]
 	cp.regMu.RUnlock()
 	if w == nil {
-		return
+		return nil
 	}
 	// Optimistically account the sandbox on the worker so that the placer
 	// sees the pending allocation before the next heartbeat refresh.
 	w.mu.Lock()
 	if !w.healthy {
 		w.mu.Unlock()
-		return
+		return nil
 	}
 	w.util.CPUMilliUsed += fn.Scaling.CPUMilli
 	w.util.MemoryMBUsed += fn.Scaling.MemoryMB
@@ -155,24 +184,92 @@ func (cp *ControlPlane) createSandbox(fn core.Function) {
 		w.util.CPUMilliUsed -= fn.Scaling.CPUMilli
 		w.util.MemoryMBUsed -= fn.Scaling.MemoryMB
 		w.mu.Unlock()
+		return nil
+	}
+	cp.metrics.Counter("sandbox_creations_requested").Inc()
+	return &stagedCreate{id: id, fn: fn, addr: addr}
+}
+
+// dispatchCreates fans the sweep's staged creations out to their workers:
+// one CreateSandboxBatch RPC per worker (chunked at cfg.CreateBatch),
+// all workers in parallel. With CreateBatch=1 it degenerates to the
+// seed's one-RPC-per-sandbox pipeline for the ablation. sweepStart is
+// when the autoscale pass began; the gap to RPC dispatch is the control
+// plane's scheduling latency contribution (cold_start_sched_ms).
+func (cp *ControlPlane) dispatchCreates(staged []*stagedCreate, sweepStart time.Time) {
+	if len(staged) == 0 {
 		return
 	}
+	if cp.cfg.CreateBatch == 1 {
+		for _, sc := range staged {
+			cp.sendCreate(sc, sweepStart)
+		}
+		return
+	}
+	byWorker := make(map[string][]*stagedCreate)
+	for _, sc := range staged {
+		byWorker[sc.addr] = append(byWorker[sc.addr], sc)
+	}
+	for addr, batch := range byWorker {
+		for len(batch) > 0 {
+			chunk := batch
+			if len(chunk) > cp.cfg.CreateBatch {
+				chunk = chunk[:cp.cfg.CreateBatch]
+			}
+			batch = batch[len(chunk):]
+			cp.sendCreateBatch(addr, chunk, sweepStart)
+		}
+	}
+}
 
-	createReq := proto.CreateSandboxRequest{SandboxID: id, Function: fn}
-	payload := createReq.Marshal()
+// sendCreateBatch issues one batched create RPC asynchronously, rolling
+// every staged sandbox of the batch back if the worker is unreachable.
+func (cp *ControlPlane) sendCreateBatch(addr string, chunk []*stagedCreate, sweepStart time.Time) {
+	req := proto.CreateSandboxBatch{Creates: make([]proto.CreateSandboxRequest, 0, len(chunk))}
+	for _, sc := range chunk {
+		req.Creates = append(req.Creates, proto.CreateSandboxRequest{SandboxID: sc.id, Function: sc.fn})
+	}
+	payload := req.Marshal()
+	cp.mCreateBatch.ObserveMs(float64(len(chunk)))
+	sched := cp.clk.Since(sweepStart)
+	for range chunk {
+		cp.mSchedLatency.Observe(sched)
+	}
 	cp.wg.Add(1)
 	go func() {
 		defer cp.wg.Done()
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
-		if _, err := cp.cfg.Transport.Call(ctx, addr, proto.MethodCreateSandbox, payload); err != nil {
-			cp.withFunction(fn.Name, func(fs *functionState) {
-				delete(fs.sandboxes, id)
+		if _, err := cp.cfg.Transport.Call(ctx, addr, proto.MethodCreateSandboxBatch, payload); err != nil {
+			for _, sc := range chunk {
+				sc := sc
+				cp.withFunction(sc.fn.Name, func(fs *functionState) {
+					delete(fs.sandboxes, sc.id)
+				})
+				cp.metrics.Counter("sandbox_create_rpc_errors").Inc()
+			}
+		}
+	}()
+}
+
+// sendCreate issues one seed-style per-sandbox create RPC asynchronously.
+func (cp *ControlPlane) sendCreate(sc *stagedCreate, sweepStart time.Time) {
+	createReq := proto.CreateSandboxRequest{SandboxID: sc.id, Function: sc.fn}
+	payload := createReq.Marshal()
+	cp.mCreateBatch.ObserveMs(1)
+	cp.mSchedLatency.Observe(cp.clk.Since(sweepStart))
+	cp.wg.Add(1)
+	go func() {
+		defer cp.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if _, err := cp.cfg.Transport.Call(ctx, sc.addr, proto.MethodCreateSandbox, payload); err != nil {
+			cp.withFunction(sc.fn.Name, func(fs *functionState) {
+				delete(fs.sandboxes, sc.id)
 			})
 			cp.metrics.Counter("sandbox_create_rpc_errors").Inc()
 		}
 	}()
-	cp.metrics.Counter("sandbox_creations_requested").Inc()
 }
 
 // killSandbox asks the worker to tear down a sandbox.
@@ -260,9 +357,7 @@ func (cp *ControlPlane) failWorker(id core.NodeID) {
 		}
 	})
 	cp.metrics.Counter("worker_failures_detected").Inc()
-	for fn := range touched {
-		cp.broadcastEndpoints(fn)
-	}
+	cp.broadcastEndpointsBatch(sortedKeys(touched))
 	// Re-run autoscaling immediately so replacement sandboxes spin up
 	// elsewhere without waiting a full tick.
 	cp.Reconcile()
@@ -307,6 +402,55 @@ func (cp *ControlPlane) sendEndpointsTo(addr, function string) {
 	_, _ = cp.cfg.Transport.Call(ctx, addr, proto.MethodUpdateEndpoints, payload)
 }
 
+// sendEndpointsBatchTo warms one data plane's endpoint cache for every
+// listed function in a single coalesced RPC (or per-function RPCs in the
+// CreateBatch=1 ablation).
+func (cp *ControlPlane) sendEndpointsBatchTo(addr string, functions []string) {
+	if len(functions) == 0 {
+		return
+	}
+	if cp.cfg.CreateBatch == 1 {
+		for _, fn := range functions {
+			cp.sendEndpointsTo(addr, fn)
+		}
+		return
+	}
+	for _, chunk := range cp.endpointBatchChunks(functions) {
+		cp.mEndpointFanout.ObserveMs(float64(chunk.size))
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_, _ = cp.cfg.Transport.Call(ctx, addr, proto.MethodUpdateEndpointsBatch, chunk.payload)
+		cancel()
+	}
+}
+
+// endpointChunk is one marshaled UpdateEndpointsBatch payload and the
+// number of function updates it carries.
+type endpointChunk struct {
+	payload []byte
+	size    int
+}
+
+// endpointBatchChunks builds the coalesced endpoint-update payloads for
+// the listed functions, chunked at Config.CreateBatch like the create
+// path so no fan-out ever builds one unbounded message (a data plane
+// warming against a huge function census, say).
+func (cp *ControlPlane) endpointBatchChunks(functions []string) []endpointChunk {
+	var chunks []endpointChunk
+	for len(functions) > 0 {
+		chunk := functions
+		if len(chunk) > cp.cfg.CreateBatch {
+			chunk = chunk[:cp.cfg.CreateBatch]
+		}
+		functions = functions[len(chunk):]
+		batch := proto.EndpointUpdateBatch{Updates: make([]proto.EndpointUpdate, 0, len(chunk))}
+		for _, fn := range chunk {
+			batch.Updates = append(batch.Updates, *cp.endpointUpdate(fn))
+		}
+		chunks = append(chunks, endpointChunk{payload: batch.Marshal(), size: len(batch.Updates)})
+	}
+	return chunks
+}
+
 // endpointUpdate builds the versioned ready-endpoint set for one
 // function. Sequencing is per function under its shard lock, so
 // broadcasts for unrelated functions never serialize against each other.
@@ -336,22 +480,67 @@ func (cp *ControlPlane) endpointUpdate(function string) *proto.EndpointUpdate {
 // to all data planes (paper Table 2, "Add/remove LB endpoint"). The update
 // carries the full endpoint list for the function, making it idempotent.
 func (cp *ControlPlane) broadcastEndpoints(function string) {
-	update := cp.endpointUpdate(function)
+	cp.broadcastEndpointsBatch([]string{function})
+}
+
+// broadcastEndpointsBatch pushes the ready-endpoint sets of every listed
+// function to all data planes in one coalesced diff RPC per data plane
+// (the updates for all changed functions share the RPC, its marshaling,
+// and its round trip). Versions are still minted per function under the
+// function's shard lock, so per-function reordering protection is
+// identical to the singleton path. In the CreateBatch=1 ablation each
+// function broadcasts separately, reproducing the seed's fan-out.
+func (cp *ControlPlane) broadcastEndpointsBatch(functions []string) {
+	if len(functions) == 0 {
+		return
+	}
 	addrs := cp.dataPlaneAddrs()
 	if len(addrs) == 0 {
 		return
 	}
-	payload := update.Marshal()
-	for _, addr := range addrs {
-		addr := addr
-		cp.wg.Add(1)
-		go func() {
-			defer cp.wg.Done()
-			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-			defer cancel()
-			_, _ = cp.cfg.Transport.Call(ctx, addr, proto.MethodUpdateEndpoints, payload)
-		}()
+	if cp.cfg.CreateBatch == 1 {
+		for _, fn := range functions {
+			payload := cp.endpointUpdate(fn).Marshal()
+			for _, addr := range addrs {
+				addr := addr
+				cp.wg.Add(1)
+				go func() {
+					defer cp.wg.Done()
+					ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+					defer cancel()
+					_, _ = cp.cfg.Transport.Call(ctx, addr, proto.MethodUpdateEndpoints, payload)
+				}()
+			}
+		}
+		return
 	}
+	for _, chunk := range cp.endpointBatchChunks(functions) {
+		for _, addr := range addrs {
+			addr, payload := addr, chunk.payload
+			cp.mEndpointFanout.ObserveMs(float64(chunk.size))
+			cp.wg.Add(1)
+			go func() {
+				defer cp.wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				defer cancel()
+				_, _ = cp.cfg.Transport.Call(ctx, addr, proto.MethodUpdateEndpointsBatch, payload)
+			}()
+		}
+	}
+}
+
+// sortedKeys returns a set's members in deterministic order, so batched
+// fan-outs and tests see stable update ordering.
+func sortedKeys(set map[string]bool) []string {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // FunctionScale reports (ready, creating) sandbox counts for a function,

@@ -333,6 +333,8 @@ func (dp *DataPlane) handleRPC(method string, payload []byte) ([]byte, error) {
 		return dp.handleRemoveFunction(payload)
 	case proto.MethodUpdateEndpoints:
 		return dp.handleUpdateEndpoints(payload)
+	case proto.MethodUpdateEndpointsBatch:
+		return dp.handleUpdateEndpointsBatch(payload)
 	default:
 		return nil, fmt.Errorf("data plane: unknown method %q", method)
 	}
@@ -405,16 +407,37 @@ func (dp *DataPlane) handleUpdateEndpoints(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	dp.applyEndpointUpdate(update)
+	return nil, nil
+}
+
+// handleUpdateEndpointsBatch applies one coalesced CP sweep: the diff of
+// every function whose endpoints changed, in a single RPC. Each inner
+// update flows through the same per-function versioned path as a
+// singleton broadcast, so batching changes RPC count, not semantics.
+func (dp *DataPlane) handleUpdateEndpointsBatch(payload []byte) ([]byte, error) {
+	batch, err := proto.UnmarshalEndpointUpdateBatch(payload)
+	if err != nil {
+		return nil, err
+	}
+	dp.metrics.Counter("endpoint_update_batches").Inc()
+	for i := range batch.Updates {
+		dp.applyEndpointUpdate(&batch.Updates[i])
+	}
+	return nil, nil
+}
+
+func (dp *DataPlane) applyEndpointUpdate(update *proto.EndpointUpdate) {
 	fr := dp.lockLive(update.Function)
 	if fr == nil {
-		return nil, nil
+		return
 	}
 	// Broadcasts travel on independent goroutines and can reorder; an
 	// older full-list update must not regress a newer cache.
 	if update.Version != 0 && update.Version <= fr.epVersion {
 		fr.mu.Unlock()
 		dp.metrics.Counter("endpoint_updates_stale").Inc()
-		return nil, nil
+		return
 	}
 	fr.epVersion = update.Version
 	next := make(map[core.SandboxID]*endpointState, len(update.Endpoints))
@@ -434,7 +457,6 @@ func (dp *DataPlane) handleUpdateEndpoints(payload []byte) ([]byte, error) {
 	work := dp.pumpLocked(fr)
 	fr.mu.Unlock()
 	dp.runDispatches(work)
-	return nil, nil
 }
 
 // sandboxCapacity is the per-sandbox concurrency limit. The paper's

@@ -31,16 +31,28 @@ const (
 	MethodAddFunction     = "dp.AddFunction"
 	MethodRemoveFunction  = "dp.RemoveFunction"
 	MethodUpdateEndpoints = "dp.UpdateEndpoints"
+	// MethodUpdateEndpointsBatch coalesces one autoscale sweep's endpoint
+	// changes for every touched function into a single diff RPC per data
+	// plane, replacing the seed's per-function broadcast fan-out.
+	MethodUpdateEndpointsBatch = "dp.UpdateEndpointsBatch"
 	// CP → WN.
 	MethodCreateSandbox = "wn.CreateSandbox"
-	MethodKillSandbox   = "wn.KillSandbox"
-	MethodListSandboxes = "wn.ListSandboxes"
+	// MethodCreateSandboxBatch carries every placement decision an
+	// autoscale sweep made for one worker in a single RPC, amortizing
+	// per-call transport and handler cost across a burst of cold starts.
+	MethodCreateSandboxBatch = "wn.CreateSandboxBatch"
+	MethodKillSandbox        = "wn.KillSandbox"
+	MethodListSandboxes      = "wn.ListSandboxes"
 	// WN → CP.
 	MethodRegisterWorker   = "cp.RegisterWorker"
 	MethodDeregisterWorker = "cp.DeregisterWorker"
 	MethodWorkerHeartbeat  = "cp.WorkerHeartbeat"
 	MethodSandboxReady     = "cp.SandboxReady"
-	MethodSandboxCrashed   = "cp.SandboxCrashed"
+	// MethodSandboxReadyBatch reports every sandbox that became ready
+	// while the worker's previous readiness RPC was in flight, so a burst
+	// of creations costs O(RPCs in flight) instead of O(sandboxes).
+	MethodSandboxReadyBatch = "cp.SandboxReadyBatch"
+	MethodSandboxCrashed    = "cp.SandboxCrashed"
 	// CP ↔ CP (leader election).
 	MethodRequestVote   = "cp.RequestVote"
 	MethodLeaderPing    = "cp.LeaderPing"
@@ -141,6 +153,43 @@ func UnmarshalCreateSandboxRequest(b []byte) (*CreateSandboxRequest, error) {
 	return m, nil
 }
 
+// CreateSandboxBatch instructs a worker to spin up several sandboxes in
+// one RPC: all the placement decisions one autoscale sweep assigned to
+// that worker (paper §3.3 batches scheduling decisions; this is what
+// keeps the cold-start control path O(workers), not O(sandboxes)).
+type CreateSandboxBatch struct {
+	Creates []CreateSandboxRequest
+}
+
+// Marshal encodes the batch.
+func (m *CreateSandboxBatch) Marshal() []byte {
+	e := codec.NewEncoder(16 + 112*len(m.Creates))
+	e.U32(uint32(len(m.Creates)))
+	for i := range m.Creates {
+		e.RawBytes(m.Creates[i].Marshal())
+	}
+	return e.Bytes()
+}
+
+// UnmarshalCreateSandboxBatch decodes a CreateSandboxBatch.
+func UnmarshalCreateSandboxBatch(b []byte) (*CreateSandboxBatch, error) {
+	d := codec.NewDecoder(b)
+	n := int(d.U32())
+	m := &CreateSandboxBatch{}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		rb := d.RawBytes()
+		if d.Err() != nil {
+			break
+		}
+		req, err := UnmarshalCreateSandboxRequest(rb)
+		if err != nil {
+			return nil, wrap(err, "CreateSandboxBatch")
+		}
+		m.Creates = append(m.Creates, *req)
+	}
+	return m, wrap(d.Err(), "CreateSandboxBatch")
+}
+
 // SandboxInfo describes one sandbox in worker reports and endpoint updates.
 type SandboxInfo struct {
 	ID       core.SandboxID
@@ -229,6 +278,42 @@ func UnmarshalEndpointUpdate(b []byte) (*EndpointUpdate, error) {
 		m.Endpoints = append(m.Endpoints, decodeSandboxInfo(d))
 	}
 	return m, wrap(d.Err(), "EndpointUpdate")
+}
+
+// EndpointUpdateBatch carries one endpoint diff per changed function,
+// all in a single CP → DP RPC. Each inner update keeps its own version,
+// so per-function reordering protection is unchanged.
+type EndpointUpdateBatch struct {
+	Updates []EndpointUpdate
+}
+
+// Marshal encodes the batch.
+func (m *EndpointUpdateBatch) Marshal() []byte {
+	e := codec.NewEncoder(16 + 96*len(m.Updates))
+	e.U32(uint32(len(m.Updates)))
+	for i := range m.Updates {
+		e.RawBytes(m.Updates[i].Marshal())
+	}
+	return e.Bytes()
+}
+
+// UnmarshalEndpointUpdateBatch decodes an EndpointUpdateBatch.
+func UnmarshalEndpointUpdateBatch(b []byte) (*EndpointUpdateBatch, error) {
+	d := codec.NewDecoder(b)
+	n := int(d.U32())
+	m := &EndpointUpdateBatch{}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		ub := d.RawBytes()
+		if d.Err() != nil {
+			break
+		}
+		up, err := UnmarshalEndpointUpdate(ub)
+		if err != nil {
+			return nil, wrap(err, "EndpointUpdateBatch")
+		}
+		m.Updates = append(m.Updates, *up)
+	}
+	return m, wrap(d.Err(), "EndpointUpdateBatch")
 }
 
 // ScalingMetricReport batches per-function scaling metrics from a DP.
@@ -365,6 +450,42 @@ func UnmarshalSandboxEvent(b []byte) (*SandboxEvent, error) {
 	m.Node = core.NodeID(d.U16())
 	m.Addr = d.String()
 	return m, wrap(d.Err(), "SandboxEvent")
+}
+
+// SandboxEventBatch reports several sandbox lifecycle transitions in one
+// WN → CP RPC; the worker coalesces whatever became ready while its
+// previous report was in flight.
+type SandboxEventBatch struct {
+	Events []SandboxEvent
+}
+
+// Marshal encodes the batch.
+func (m *SandboxEventBatch) Marshal() []byte {
+	e := codec.NewEncoder(16 + 48*len(m.Events))
+	e.U32(uint32(len(m.Events)))
+	for i := range m.Events {
+		e.RawBytes(m.Events[i].Marshal())
+	}
+	return e.Bytes()
+}
+
+// UnmarshalSandboxEventBatch decodes a SandboxEventBatch.
+func UnmarshalSandboxEventBatch(b []byte) (*SandboxEventBatch, error) {
+	d := codec.NewDecoder(b)
+	n := int(d.U32())
+	m := &SandboxEventBatch{}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		eb := d.RawBytes()
+		if d.Err() != nil {
+			break
+		}
+		ev, err := UnmarshalSandboxEvent(eb)
+		if err != nil {
+			return nil, wrap(err, "SandboxEventBatch")
+		}
+		m.Events = append(m.Events, *ev)
+	}
+	return m, wrap(d.Err(), "SandboxEventBatch")
 }
 
 // FunctionList carries registered functions from CP to DP caches.

@@ -235,3 +235,83 @@ func TestQuickInvokeRequestRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCreateSandboxBatchRoundTrip(t *testing.T) {
+	m := &CreateSandboxBatch{}
+	for i := 0; i < 3; i++ {
+		m.Creates = append(m.Creates, CreateSandboxRequest{
+			SandboxID: core.SandboxID(100 + i),
+			Function: core.Function{
+				Name: "f", Image: "img", Port: 80, Runtime: "containerd",
+				Scaling: core.DefaultScalingConfig(),
+			},
+		})
+	}
+	got, err := UnmarshalCreateSandboxBatch(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Creates) != 3 {
+		t.Fatalf("round trip kept %d creates, want 3", len(got.Creates))
+	}
+	for i := range m.Creates {
+		if got.Creates[i].SandboxID != m.Creates[i].SandboxID || got.Creates[i].Function != m.Creates[i].Function {
+			t.Errorf("create %d: %+v", i, got.Creates[i])
+		}
+	}
+	empty, err := UnmarshalCreateSandboxBatch((&CreateSandboxBatch{}).Marshal())
+	if err != nil || len(empty.Creates) != 0 {
+		t.Errorf("empty batch: %v %+v", err, empty)
+	}
+}
+
+func TestSandboxEventBatchRoundTrip(t *testing.T) {
+	m := &SandboxEventBatch{Events: []SandboxEvent{
+		{SandboxID: 1, Function: "a", Node: 2, Addr: "10.0.0.1:9000"},
+		{SandboxID: 2, Function: "b", Node: 3, Addr: "10.0.0.2:9000"},
+	}}
+	got, err := UnmarshalSandboxEventBatch(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 2 || got.Events[0] != m.Events[0] || got.Events[1] != m.Events[1] {
+		t.Errorf("round trip: %+v", got)
+	}
+}
+
+func TestEndpointUpdateBatchRoundTrip(t *testing.T) {
+	m := &EndpointUpdateBatch{Updates: []EndpointUpdate{
+		{Function: "a", Version: 7, Endpoints: []SandboxInfo{
+			{ID: 1, Function: "a", Node: 2, Addr: "10.0.0.1:9000", State: core.SandboxReady},
+		}},
+		{Function: "b", Version: 9}, // empty endpoint set (drain)
+	}}
+	got, err := UnmarshalEndpointUpdateBatch(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Updates) != 2 {
+		t.Fatalf("round trip kept %d updates, want 2", len(got.Updates))
+	}
+	if got.Updates[0].Function != "a" || got.Updates[0].Version != 7 ||
+		len(got.Updates[0].Endpoints) != 1 || got.Updates[0].Endpoints[0] != m.Updates[0].Endpoints[0] {
+		t.Errorf("update 0: %+v", got.Updates[0])
+	}
+	if got.Updates[1].Function != "b" || got.Updates[1].Version != 9 || len(got.Updates[1].Endpoints) != 0 {
+		t.Errorf("update 1: %+v", got.Updates[1])
+	}
+}
+
+func TestTruncatedBatchMessagesError(t *testing.T) {
+	full := (&CreateSandboxBatch{Creates: []CreateSandboxRequest{{
+		SandboxID: 1,
+		Function:  core.Function{Name: "f", Image: "i", Port: 1, Scaling: core.DefaultScalingConfig()},
+	}}}).Marshal()
+	if _, err := UnmarshalCreateSandboxBatch(full[:len(full)-3]); err == nil {
+		t.Errorf("truncated CreateSandboxBatch accepted")
+	}
+	evb := (&SandboxEventBatch{Events: []SandboxEvent{{SandboxID: 1, Function: "f", Node: 1, Addr: "a:1"}}}).Marshal()
+	if _, err := UnmarshalSandboxEventBatch(evb[:len(evb)-2]); err == nil {
+		t.Errorf("truncated SandboxEventBatch accepted")
+	}
+}

@@ -31,6 +31,12 @@ type DirigentConfig struct {
 	// strongly consistent DB write (fsync) on every sandbox state change,
 	// which caps creation throughput near 1000/s (§5.2.1).
 	PersistSandboxState bool
+	// CreateBatching models the batched cold-start pipeline: per-worker
+	// create batches, coalesced readiness reports and endpoint fan-out
+	// amortize the per-creation RPC/broadcast overhead, reducing the
+	// control plane's service time per creation (the live counterpart is
+	// dirigent-cp's default; false is the seed per-sandbox baseline).
+	CreateBatching bool
 	// AutoscaleInterval is the autoscaling loop period (default 2 s).
 	AutoscaleInterval time.Duration
 	// MetricInterval is the concurrency sampling period (default 1 s).
@@ -83,6 +89,10 @@ type Dirigent struct {
 	dataplane *Station // aggregate data plane proxy capacity
 	nodes     []*dirigentNode
 	functions map[string]*dirigentFunction
+	// order lists functions in registration order. Sweeps iterate it
+	// instead of the map so same-seed runs draw latencies in the same
+	// sequence — map iteration order would make runs non-reproducible.
+	order []*dirigentFunction
 
 	kernelHold  time.Duration
 	createLat   latencySampler
@@ -151,7 +161,7 @@ func (d *Dirigent) scheduleLoops() {
 	var metricTick func()
 	metricTick = func() {
 		now := d.base.Add(d.eng.Now())
-		for _, fn := range d.functions {
+		for _, fn := range d.order {
 			fn.scaler.Record(now, float64(fn.inFlight))
 		}
 		d.eng.After(d.cfg.MetricInterval, metricTick)
@@ -172,6 +182,9 @@ func (d *Dirigent) Name() string {
 	if d.cfg.PersistSandboxState {
 		name += "-persist-all"
 	}
+	if d.cfg.CreateBatching {
+		name += "-batched"
+	}
 	return name
 }
 
@@ -184,10 +197,12 @@ func (d *Dirigent) Register(fn *trace.FunctionSpec) {
 	if d.cfg.ScaleDefaults != nil {
 		cfg = *d.cfg.ScaleDefaults
 	}
-	d.functions[fn.Name] = &dirigentFunction{
+	f := &dirigentFunction{
 		spec:   fn,
 		scaler: autoscaler.New(cfg),
 	}
+	d.functions[fn.Name] = f
+	d.order = append(d.order, f)
 }
 
 // Invoke implements Model. The request flows through the front-end LB and
@@ -276,9 +291,10 @@ func (d *Dirigent) pump(f *dirigentFunction) {
 }
 
 // reconcile is the autoscaling pass: compare desired vs current scale and
-// create/tear down sandboxes.
+// create/tear down sandboxes. Iteration follows registration order so
+// that same-seed runs are bit-for-bit reproducible.
 func (d *Dirigent) reconcile() {
-	for _, f := range d.functions {
+	for _, f := range d.order {
 		d.reconcileFunction(f)
 	}
 }
@@ -349,8 +365,16 @@ func (d *Dirigent) createSandbox(f *dirigentFunction) {
 // monitoring structures that process heartbeats inflates the cost, which
 // is why the paper measures throughput degrading to ~2000/s at 5000
 // workers (§5.2.3).
+//
+// With CreateBatching, the ~150 µs of per-creation RPC dispatch,
+// readiness handling, and endpoint-broadcast marshaling amortizes across
+// the batch, leaving placement and the in-memory state update as the
+// per-creation cost.
 func (d *Dirigent) cpServiceTime() time.Duration {
 	svc := 400 * time.Microsecond
+	if d.cfg.CreateBatching {
+		svc = 250 * time.Microsecond
+	}
 	if extra := d.cfg.Workers - 2500; extra > 0 {
 		svc += time.Duration(float64(svc) * float64(extra) / 10000)
 	}

@@ -18,12 +18,19 @@ import (
 // (up to a few million points) and gives exact percentiles.
 type Histogram struct {
 	mu      sync.Mutex
-	samples []float64 // milliseconds
+	samples []float64 // milliseconds (or the configured unit)
 	sorted  bool
+	// unit suffixes rendered summary values; "ms" unless overridden via
+	// NewCountHistogram (batch sizes and other unitless counts).
+	unit string
 }
 
-// NewHistogram returns an empty histogram.
-func NewHistogram() *Histogram { return &Histogram{} }
+// NewHistogram returns an empty histogram of millisecond samples.
+func NewHistogram() *Histogram { return &Histogram{unit: "ms"} }
+
+// NewCountHistogram returns an empty histogram of unitless samples
+// (batch sizes, queue depths) whose summary renders without a unit.
+func NewCountHistogram() *Histogram { return &Histogram{} }
 
 // Observe records one duration sample.
 func (h *Histogram) Observe(d time.Duration) {
@@ -184,8 +191,18 @@ func (h *Histogram) Summary() string {
 	if n == 0 {
 		return "n=0"
 	}
-	return fmt.Sprintf("n=%d p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
-		n, h.percentileLocked(50), h.percentileLocked(95), h.percentileLocked(99), h.percentileLocked(100))
+	u := h.unit
+	return fmt.Sprintf("n=%d p50=%.2f%s p95=%.2f%s p99=%.2f%s max=%.2f%s",
+		n, h.percentileLocked(50), u, h.percentileLocked(95), u, h.percentileLocked(99), u, h.percentileLocked(100), u)
+}
+
+// Reset discards all recorded samples, e.g. to separate a harness's
+// warm-up phase from its measurement phase.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.mu.Unlock()
 }
 
 // Merge adds all samples from other into h.

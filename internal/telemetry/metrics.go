@@ -183,6 +183,19 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// CountHistogram returns the histogram with the given name, creating it
+// as a unitless count histogram (batch sizes, depths) on first use.
+func (r *Registry) CountHistogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewCountHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Dump renders every metric as "name value" lines, sorted by name.
 func (r *Registry) Dump() string {
 	r.mu.Lock()

@@ -5,6 +5,13 @@
 // probes to newly created sandboxes, notifies the control plane when a
 // sandbox becomes ready or crashes, and dispatches proxied invocations
 // into sandboxes (paper §3.1, §3.3, §4).
+//
+// The cold-start path is batched and pipelined: create instructions
+// arrive per-worker batches (one RPC per autoscale sweep), run through a
+// bounded creation pool, optionally claim from a pre-warm pool of
+// initialized-but-unassigned sandboxes (Config.Prewarm), and report
+// readiness in coalesced batches — whatever became ready while the
+// previous report was in flight ships in one RPC.
 package worker
 
 import (
@@ -78,6 +85,21 @@ type Config struct {
 	Images *ImageRegistry
 	// Metrics receives worker telemetry; nil creates a private registry.
 	Metrics *telemetry.Registry
+	// CreateConcurrency bounds how many sandbox creations run inside the
+	// runtime at once (the creation pool). Batched create RPCs can carry
+	// hundreds of instructions; the pool keeps the runtime's kernel-lock
+	// section from being hammered by unbounded goroutines. 0 selects the
+	// default (8).
+	CreateConcurrency int
+	// Prewarm keeps a pool of this many initialized-but-unassigned
+	// sandboxes on the node. A cold start whose function has a matching
+	// runtime spec claims one instead of creating from scratch, skipping
+	// runtime init and boot; the pool refills asynchronously after each
+	// claim. 0 disables pre-warming.
+	Prewarm int
+	// PrewarmImage is the image prewarm sandboxes boot from (a generic
+	// base snapshot); empty selects "prewarm/base".
+	PrewarmImage string
 }
 
 // Worker is a running worker daemon.
@@ -100,14 +122,41 @@ type Worker struct {
 	allocMem  int
 	functions map[core.SandboxID]core.Function
 
+	// createSem is the bounded creation pool: at most CreateConcurrency
+	// Runtime.Create calls run at once, regardless of how many batched
+	// create instructions are queued.
+	createSem chan struct{}
+
+	// Pre-warm pool: initialized-but-unassigned instances, guarded by mu.
+	// prewarmPending counts fills in flight so claims don't over-refill.
+	prewarmPool    []*sandbox.Instance
+	prewarmPending int
+	prewarmSeq     atomic.Uint64
+
+	// Readiness report coalescing: events queue under readyEvMu and a
+	// single flusher drains whatever accumulated while its previous RPC
+	// was in flight into one SandboxReadyBatch call.
+	readyEvMu    sync.Mutex
+	readyEvs     []proto.SandboxEvent
+	readyFlusher bool
+
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
 	stopped bool
+
+	mPrewarmHits   *telemetry.Counter
+	mPrewarmMisses *telemetry.Counter
+	mReadyBatch    *telemetry.Histogram
+	mCreateWait    *telemetry.Histogram
 }
 
 type readySandbox struct {
-	inst     *sandbox.Instance
-	handler  Handler
+	inst    *sandbox.Instance
+	handler Handler
+	// rtID is the runtime's handle for the instance; it differs from the
+	// dispatch-map key when the sandbox was claimed from the pre-warm
+	// pool (which mints its own IDs before a control-plane ID exists).
+	rtID     core.SandboxID
 	inFlight atomic.Int64
 }
 
@@ -143,18 +192,38 @@ func New(cfg Config) *Worker {
 	if cfg.Metrics == nil {
 		cfg.Metrics = telemetry.NewRegistry()
 	}
+	if cfg.CreateConcurrency <= 0 {
+		cfg.CreateConcurrency = defaultCreateConcurrency
+	}
+	if cfg.Prewarm < 0 {
+		cfg.Prewarm = 0
+	}
+	if cfg.PrewarmImage == "" {
+		cfg.PrewarmImage = "prewarm/base"
+	}
 	w := &Worker{
 		cfg:       cfg,
 		clk:       cfg.Clock,
 		cp:        cpclient.New(cfg.Transport, cfg.ControlPlanes),
 		metrics:   cfg.Metrics,
+		createSem: make(chan struct{}, cfg.CreateConcurrency),
 		functions: make(map[core.SandboxID]core.Function),
 		stopCh:    make(chan struct{}),
 	}
 	empty := make(map[core.SandboxID]*readySandbox)
 	w.ready.Store(&empty)
+	w.mPrewarmHits = w.metrics.Counter("prewarm_hits")
+	w.mPrewarmMisses = w.metrics.Counter("prewarm_misses")
+	w.mReadyBatch = w.metrics.CountHistogram("ready_batch_size")
+	w.mCreateWait = w.metrics.Histogram("create_pool_wait_ms")
 	return w
 }
+
+// defaultCreateConcurrency bounds concurrent runtime creations per node.
+// The simulated runtimes serialize on a node-wide kernel section anyway
+// (paper §4), so a small pool keeps batch bursts from spawning hundreds
+// of goroutines that would all pile onto that lock.
+const defaultCreateConcurrency = 8
 
 // Start listens for control-plane RPCs, registers the worker, and begins
 // heartbeating.
@@ -173,6 +242,11 @@ func (w *Worker) Start() error {
 	}
 	w.wg.Add(1)
 	go w.heartbeatLoop()
+	// Fill the pre-warm pool asynchronously through the creation pool;
+	// the node serves create instructions while the pool warms up.
+	for i := 0; i < w.cfg.Prewarm; i++ {
+		w.spawnPrewarmFill()
+	}
 	return nil
 }
 
@@ -192,6 +266,17 @@ func (w *Worker) Stop() {
 		w.listener.Close()
 	}
 	w.wg.Wait()
+	// Tear down the pre-warm pool: unlike ready sandboxes (which the
+	// control plane tracks and re-drains after detecting the crash),
+	// pooled instances are known only to this daemon and would leak in
+	// the runtime forever.
+	w.mu.Lock()
+	pool := w.prewarmPool
+	w.prewarmPool = nil
+	w.mu.Unlock()
+	for _, inst := range pool {
+		_ = w.cfg.Runtime.Kill(inst.ID)
+	}
 }
 
 // Addr returns the worker's RPC address.
@@ -273,7 +358,19 @@ func (w *Worker) handleRPC(method string, payload []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		return nil, w.createSandbox(req)
+		return nil, w.createSandbox(req, false)
+	case proto.MethodCreateSandboxBatch:
+		batch, err := proto.UnmarshalCreateSandboxBatch(payload)
+		if err != nil {
+			return nil, err
+		}
+		w.metrics.Counter("create_batches_received").Inc()
+		for i := range batch.Creates {
+			if err := w.createSandbox(&batch.Creates[i], true); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
 	case proto.MethodKillSandbox:
 		d := struct{ ID core.SandboxID }{}
 		if len(payload) >= 8 {
@@ -301,7 +398,13 @@ func (w *Worker) handleRPC(method string, payload []byte) ([]byte, error) {
 // worker notifies the control plane once the sandbox passes health probes
 // (paper §3.3: "Once a sandbox is created, the worker daemon issues health
 // probes ... then notifies the control plane").
-func (w *Worker) createSandbox(req *proto.CreateSandboxRequest) error {
+//
+// batched mirrors the shape of the instruction's arrival: creations from
+// a batch RPC report readiness through the coalescing flusher, while
+// seed-style singleton RPCs report with a synchronous singleton RPC —
+// so the CreateBatch=1 ablation reproduces the seed pipeline end to end,
+// including one endpoint broadcast per readiness event.
+func (w *Worker) createSandbox(req *proto.CreateSandboxRequest, batched bool) error {
 	w.mu.Lock()
 	if w.stopped {
 		w.mu.Unlock()
@@ -315,17 +418,69 @@ func (w *Worker) createSandbox(req *proto.CreateSandboxRequest) error {
 	w.wg.Add(1)
 	go func() {
 		defer w.wg.Done()
-		w.doCreate(req)
+		w.doCreate(req, batched)
 	}()
 	return nil
 }
 
-func (w *Worker) doCreate(req *proto.CreateSandboxRequest) {
+func (w *Worker) doCreate(req *proto.CreateSandboxRequest, batched bool) {
 	start := w.clk.Now()
+
+	// Fast path: claim an initialized-but-unassigned sandbox from the
+	// pre-warm pool, skipping runtime creation and boot entirely.
+	if inst := w.claimPrewarm(&req.Function); inst != nil {
+		w.mu.Lock()
+		w.creating--
+		if w.stopped {
+			w.mu.Unlock()
+			// Claimed out of the pool, so Stop's drain no longer covers
+			// this instance: tear it down here or it leaks in the runtime.
+			_ = w.cfg.Runtime.Kill(inst.ID)
+			w.releaseResources(&req.Function)
+			return
+		}
+		// Rebind the instance to the control plane's sandbox identity and
+		// the claiming function; the runtime keeps its own handle (rtID)
+		// for teardown.
+		bound := *inst
+		bound.ID = req.SandboxID
+		bound.Function = req.Function.Name
+		bound.Image = req.Function.Image
+		rs := &readySandbox{
+			inst:    &bound,
+			handler: w.cfg.Images.Lookup(req.Function.Image),
+			rtID:    inst.ID,
+		}
+		w.publishReadyLocked(func(m map[core.SandboxID]*readySandbox) {
+			m[req.SandboxID] = rs
+		})
+		w.functions[req.SandboxID] = req.Function
+		w.mu.Unlock()
+		w.mPrewarmHits.Inc()
+		w.metrics.Counter("sandboxes_created").Inc()
+		w.metrics.Histogram("sandbox_creation_ms").Observe(w.clk.Since(start))
+		w.reportReady(proto.SandboxEvent{
+			SandboxID: req.SandboxID,
+			Function:  req.Function.Name,
+			Node:      w.cfg.Node.ID,
+			Addr:      w.cfg.Addr,
+		}, batched)
+		w.spawnPrewarmFill()
+		return
+	}
+	if w.cfg.Prewarm > 0 {
+		w.mPrewarmMisses.Inc()
+		// A miss means the pool is below target (drained by a burst, or
+		// a fill failed earlier); let cold-start traffic heal it.
+		w.spawnPrewarmFill()
+	}
+
+	w.acquireCreateSlot()
 	inst, err := w.cfg.Runtime.Create(context.Background(), sandbox.Spec{
 		ID:       req.SandboxID,
 		Function: req.Function,
 	})
+	w.releaseCreateSlot()
 	w.mu.Lock()
 	w.creating--
 	w.mu.Unlock()
@@ -346,6 +501,7 @@ func (w *Worker) doCreate(req *proto.CreateSandboxRequest) {
 	rs := &readySandbox{
 		inst:    inst,
 		handler: w.cfg.Images.Lookup(req.Function.Image),
+		rtID:    inst.ID,
 	}
 	w.publishReadyLocked(func(m map[core.SandboxID]*readySandbox) {
 		m[inst.ID] = rs
@@ -355,15 +511,164 @@ func (w *Worker) doCreate(req *proto.CreateSandboxRequest) {
 	w.metrics.Counter("sandboxes_created").Inc()
 	w.metrics.Histogram("sandbox_creation_ms").Observe(w.clk.Since(start))
 
-	ev := proto.SandboxEvent{
+	w.reportReady(proto.SandboxEvent{
 		SandboxID: inst.ID,
 		Function:  req.Function.Name,
 		Node:      w.cfg.Node.ID,
 		Addr:      w.cfg.Addr,
+	}, batched)
+}
+
+// reportReady notifies the control plane of one readiness transition:
+// through the coalescing flusher for batch-delivered creations, or — for
+// seed-style singleton instructions — with an immediate singleton RPC,
+// exactly as the seed worker did.
+func (w *Worker) reportReady(ev proto.SandboxEvent, batched bool) {
+	if batched {
+		w.queueReady(ev)
+		return
 	}
+	w.mReadyBatch.ObserveMs(1)
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	_, _ = w.cp.Call(ctx, proto.MethodSandboxReady, ev.Marshal())
+}
+
+// acquireCreateSlot blocks until a creation-pool slot frees up,
+// recording the wait so saturation is visible in telemetry.
+func (w *Worker) acquireCreateSlot() {
+	select {
+	case w.createSem <- struct{}{}:
+		return
+	default:
+	}
+	start := w.clk.Now()
+	w.createSem <- struct{}{}
+	w.mCreateWait.Observe(w.clk.Since(start))
+}
+
+func (w *Worker) releaseCreateSlot() { <-w.createSem }
+
+// queueReady enqueues one readiness event for the control plane and
+// ensures a flusher goroutine is draining the queue. The flusher sends
+// whatever accumulated while its previous RPC was in flight as a single
+// SandboxReadyBatch — under a creation burst the control plane sees
+// O(RPCs in flight) reports instead of one RPC per sandbox, while an
+// isolated creation still reports with singleton-RPC latency.
+func (w *Worker) queueReady(ev proto.SandboxEvent) {
+	w.readyEvMu.Lock()
+	w.readyEvs = append(w.readyEvs, ev)
+	if w.readyFlusher {
+		w.readyEvMu.Unlock()
+		return
+	}
+	w.readyFlusher = true
+	w.readyEvMu.Unlock()
+	w.wg.Add(1)
+	go w.flushReadyLoop()
+}
+
+func (w *Worker) flushReadyLoop() {
+	defer w.wg.Done()
+	for {
+		w.readyEvMu.Lock()
+		evs := w.readyEvs
+		w.readyEvs = nil
+		if len(evs) == 0 {
+			w.readyFlusher = false
+			w.readyEvMu.Unlock()
+			return
+		}
+		w.readyEvMu.Unlock()
+		w.mReadyBatch.ObserveMs(float64(len(evs)))
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if len(evs) == 1 {
+			_, _ = w.cp.Call(ctx, proto.MethodSandboxReady, evs[0].Marshal())
+		} else {
+			batch := proto.SandboxEventBatch{Events: evs}
+			_, _ = w.cp.Call(ctx, proto.MethodSandboxReadyBatch, batch.Marshal())
+		}
+		cancel()
+	}
+}
+
+// claimPrewarm pops a pre-warmed instance if the pool has one and the
+// function's runtime spec matches this node's runtime (an empty spec
+// matches any runtime).
+func (w *Worker) claimPrewarm(fn *core.Function) *sandbox.Instance {
+	if fn.Runtime != "" && fn.Runtime != w.cfg.Runtime.Name() {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.prewarmPool)
+	if n == 0 {
+		return nil
+	}
+	inst := w.prewarmPool[n-1]
+	w.prewarmPool = w.prewarmPool[:n-1]
+	w.metrics.Gauge("prewarm_pool_size").Set(int64(n - 1))
+	return inst
+}
+
+// spawnPrewarmFill tops the pre-warm pool back up to its configured size
+// with one asynchronous creation, if a fill isn't already pending for
+// this slot.
+func (w *Worker) spawnPrewarmFill() {
+	if w.cfg.Prewarm <= 0 {
+		return
+	}
+	w.mu.Lock()
+	if w.stopped || len(w.prewarmPool)+w.prewarmPending >= w.cfg.Prewarm {
+		w.mu.Unlock()
+		return
+	}
+	w.prewarmPending++
+	w.mu.Unlock()
+	w.wg.Add(1)
+	go w.fillPrewarm()
+}
+
+func (w *Worker) fillPrewarm() {
+	defer w.wg.Done()
+	// Pre-warm IDs live in their own range so they can never collide
+	// with control-plane-minted sandbox IDs.
+	id := core.SandboxID(1<<62 | w.prewarmSeq.Add(1))
+	spec := sandbox.Spec{
+		ID: id,
+		Function: core.Function{
+			Name:    "_prewarm",
+			Image:   w.cfg.PrewarmImage,
+			Port:    1,
+			Runtime: w.cfg.Runtime.Name(),
+		},
+	}
+	w.acquireCreateSlot()
+	inst, err := w.cfg.Runtime.Create(context.Background(), spec)
+	w.releaseCreateSlot()
+	if err != nil {
+		w.mu.Lock()
+		w.prewarmPending--
+		w.mu.Unlock()
+		w.metrics.Counter("prewarm_create_errors").Inc()
+		return
+	}
+	// The pool holds fully initialized sandboxes: boot completes here, at
+	// fill time, which is exactly the work a claim skips.
+	if inst.BootDelay > 0 {
+		w.clk.Sleep(inst.BootDelay)
+	}
+	w.mu.Lock()
+	w.prewarmPending--
+	if w.stopped {
+		w.mu.Unlock()
+		_ = w.cfg.Runtime.Kill(inst.ID)
+		return
+	}
+	w.prewarmPool = append(w.prewarmPool, inst)
+	w.metrics.Gauge("prewarm_pool_size").Set(int64(len(w.prewarmPool)))
+	w.mu.Unlock()
+	w.metrics.Counter("prewarm_filled").Inc()
 }
 
 func (w *Worker) releaseResources(f *core.Function) {
@@ -388,9 +693,27 @@ func (w *Worker) killSandbox(id core.SandboxID) error {
 	if !ok {
 		return fmt.Errorf("worker %s: kill: unknown sandbox %d", w.cfg.Node.Name, id)
 	}
+	w.dropQueuedReady(id)
 	w.releaseResources(&fn)
 	w.metrics.Counter("sandboxes_killed").Inc()
-	return w.cfg.Runtime.Kill(rs.inst.ID)
+	return w.cfg.Runtime.Kill(rs.rtID)
+}
+
+// dropQueuedReady discards any queued-but-unsent readiness events for a
+// sandbox the worker no longer owns. Without this, a kill/crash
+// notification sent immediately could overtake the coalesced readiness
+// report still sitting in the flusher queue, and the control plane would
+// resurrect the dead sandbox as a phantom ready endpoint.
+func (w *Worker) dropQueuedReady(id core.SandboxID) {
+	w.readyEvMu.Lock()
+	kept := w.readyEvs[:0]
+	for _, ev := range w.readyEvs {
+		if ev.SandboxID != id {
+			kept = append(kept, ev)
+		}
+	}
+	w.readyEvs = kept
+	w.readyEvMu.Unlock()
 }
 
 func (w *Worker) listSandboxes() *proto.SandboxList {
@@ -440,8 +763,9 @@ func (w *Worker) CrashSandbox(id core.SandboxID) error {
 	if !ok {
 		return fmt.Errorf("worker %s: crash: unknown sandbox %d", w.cfg.Node.Name, id)
 	}
+	w.dropQueuedReady(id)
 	w.releaseResources(&fn)
-	_ = w.cfg.Runtime.Kill(rs.inst.ID)
+	_ = w.cfg.Runtime.Kill(rs.rtID)
 	ev := proto.SandboxEvent{
 		SandboxID: id,
 		Function:  fn.Name,

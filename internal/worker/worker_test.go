@@ -43,6 +43,12 @@ func startFakeCP(t *testing.T, tr *transport.InProc, addr string) *fakeCP {
 				return nil, err
 			}
 			cp.ready = append(cp.ready, *ev)
+		case proto.MethodSandboxReadyBatch:
+			batch, err := proto.UnmarshalSandboxEventBatch(payload)
+			if err != nil {
+				return nil, err
+			}
+			cp.ready = append(cp.ready, batch.Events...)
 		case proto.MethodSandboxCrashed:
 			ev, err := proto.UnmarshalSandboxEvent(payload)
 			if err != nil {
@@ -336,5 +342,169 @@ func TestWorkerConcurrentInvokeAndChurn(t *testing.T) {
 	respB, err := tr.Call(ctx, w.Addr(), proto.MethodInvokeSandbox, inv.Marshal())
 	if err != nil || !bytes.Equal(respB, []byte("ran:y")) {
 		t.Errorf("post-churn invoke = %q, %v", respB, err)
+	}
+}
+
+func testWorkerWith(t *testing.T, tr *transport.InProc, cpAddr string, mut func(*Config)) *Worker {
+	t.Helper()
+	images := NewImageRegistry()
+	images.Register("img", func(p []byte) ([]byte, error) {
+		return append([]byte("ran:"), p...), nil
+	})
+	cfg := Config{
+		Node: core.WorkerNode{
+			ID: 1, Name: "w1", IP: "10.0.0.1", Port: 9000,
+			CPUMilli: 10000, MemoryMB: 65536,
+		},
+		Addr:              "10.0.0.1:9000",
+		Runtime:           sandbox.NewContainerd(sandbox.Config{LatencyScale: 0, NodeIP: [4]byte{10, 0, 0, 1}, Seed: 1}),
+		Transport:         tr,
+		ControlPlanes:     []string{cpAddr},
+		HeartbeatInterval: 10 * time.Millisecond,
+		Images:            images,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	w := New(cfg)
+	if err := w.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Stop)
+	return w
+}
+
+func awaitPrewarmPool(t *testing.T, w *Worker, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if w.Metrics().Gauge("prewarm_pool_size").Value() >= int64(n) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("prewarm pool never reached %d (at %d)",
+		n, w.Metrics().Gauge("prewarm_pool_size").Value())
+}
+
+// TestWorkerBatchCreate locks in the batched create path: one RPC
+// carries many create instructions, all sandboxes come up, and readiness
+// reports flow back (coalesced or singleton, both legal).
+func TestWorkerBatchCreate(t *testing.T) {
+	tr := transport.NewInProc()
+	cp := startFakeCP(t, tr, "cp")
+	w := testWorker(t, tr, "cp")
+
+	batch := proto.CreateSandboxBatch{}
+	for i := 1; i <= 8; i++ {
+		batch.Creates = append(batch.Creates, proto.CreateSandboxRequest{
+			SandboxID: core.SandboxID(i), Function: testFn(),
+		})
+	}
+	if _, err := tr.Call(context.Background(), w.Addr(), proto.MethodCreateSandboxBatch, batch.Marshal()); err != nil {
+		t.Fatalf("batch create: %v", err)
+	}
+	awaitReady(t, cp, 8)
+	if w.SandboxCount() != 8 {
+		t.Errorf("SandboxCount = %d, want 8", w.SandboxCount())
+	}
+	cp.mu.Lock()
+	seen := make(map[core.SandboxID]bool)
+	for _, ev := range cp.ready {
+		seen[ev.SandboxID] = true
+	}
+	cp.mu.Unlock()
+	for i := 1; i <= 8; i++ {
+		if !seen[core.SandboxID(i)] {
+			t.Errorf("sandbox %d never reported ready", i)
+		}
+	}
+	if w.Metrics().Histogram("ready_batch_size").Count() == 0 {
+		t.Errorf("ready_batch_size histogram empty")
+	}
+	if w.Metrics().Counter("create_batches_received").Value() != 1 {
+		t.Errorf("create_batches_received = %d, want 1",
+			w.Metrics().Counter("create_batches_received").Value())
+	}
+}
+
+// TestWorkerPrewarmClaim locks in the pre-warm pool: a cold start claims
+// an initialized sandbox (skipping runtime creation), the claimed
+// sandbox serves invocations under the control plane's ID, teardown goes
+// through the runtime's own handle, and the pool refills after a claim.
+func TestWorkerPrewarmClaim(t *testing.T) {
+	tr := transport.NewInProc()
+	cp := startFakeCP(t, tr, "cp")
+	w := testWorkerWith(t, tr, "cp", func(c *Config) { c.Prewarm = 2 })
+	awaitPrewarmPool(t, w, 2)
+
+	ctx := context.Background()
+	req := proto.CreateSandboxRequest{SandboxID: 42, Function: testFn()}
+	if _, err := tr.Call(ctx, w.Addr(), proto.MethodCreateSandbox, req.Marshal()); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	awaitReady(t, cp, 1)
+	if got := w.Metrics().Counter("prewarm_hits").Value(); got != 1 {
+		t.Errorf("prewarm_hits = %d, want 1", got)
+	}
+	if got := w.Metrics().Counter("prewarm_misses").Value(); got != 0 {
+		t.Errorf("prewarm_misses = %d, want 0", got)
+	}
+
+	// The claimed sandbox serves under the CP-assigned ID with the
+	// claiming function's handler.
+	inv := proto.InvokeSandboxRequest{SandboxID: 42, Function: "f", Payload: []byte("x")}
+	respB, err := tr.Call(ctx, w.Addr(), proto.MethodInvokeSandbox, inv.Marshal())
+	if err != nil || !bytes.Equal(respB, []byte("ran:x")) {
+		t.Errorf("invoke on claimed sandbox = %q, %v", respB, err)
+	}
+	// List reports the rebound identity, not the prewarm placeholder.
+	listB, err := tr.Call(ctx, w.Addr(), proto.MethodListSandboxes, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list, err := proto.UnmarshalSandboxList(listB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Sandboxes) != 1 || list.Sandboxes[0].ID != 42 || list.Sandboxes[0].Function != "f" {
+		t.Errorf("list = %+v", list.Sandboxes)
+	}
+
+	// The pool refills back to its configured size.
+	awaitPrewarmPool(t, w, 2)
+
+	// Teardown via the runtime's own handle succeeds.
+	if _, err := tr.Call(ctx, w.Addr(), proto.MethodKillSandbox, EncodeSandboxID(42)); err != nil {
+		t.Fatalf("kill claimed sandbox: %v", err)
+	}
+	if w.SandboxCount() != 0 {
+		t.Errorf("SandboxCount after kill = %d", w.SandboxCount())
+	}
+}
+
+// TestWorkerPrewarmRuntimeMismatch: a function pinned to a different
+// runtime must not claim from this node's pool.
+func TestWorkerPrewarmRuntimeMismatch(t *testing.T) {
+	tr := transport.NewInProc()
+	cp := startFakeCP(t, tr, "cp")
+	w := testWorkerWith(t, tr, "cp", func(c *Config) { c.Prewarm = 1 })
+	awaitPrewarmPool(t, w, 1)
+
+	fn := testFn()
+	fn.Runtime = "firecracker" // node runs containerd
+	req := proto.CreateSandboxRequest{SandboxID: 7, Function: fn}
+	if _, err := tr.Call(context.Background(), w.Addr(), proto.MethodCreateSandbox, req.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	awaitReady(t, cp, 1)
+	if got := w.Metrics().Counter("prewarm_hits").Value(); got != 0 {
+		t.Errorf("prewarm_hits = %d, want 0 (runtime mismatch)", got)
+	}
+	if got := w.Metrics().Counter("prewarm_misses").Value(); got != 1 {
+		t.Errorf("prewarm_misses = %d, want 1", got)
+	}
+	if w.SandboxCount() != 1 {
+		t.Errorf("mismatched function's sandbox never created")
 	}
 }
