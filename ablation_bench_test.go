@@ -239,6 +239,153 @@ func BenchmarkAblationCPSandboxThroughput(b *testing.B) {
 	}
 }
 
+// --- Worker registry: striped registration/heartbeat path vs global lock ---
+
+// BenchmarkAblationWorkerRegistry drives a 1k-worker emulated fleet
+// (internal/fleet) against the control plane's worker registry, striped
+// (default 32 shards) vs the seed's single registry lock
+// (-worker-shards 1):
+//
+//   - heartbeats: steady-state heartbeat floods from the whole fleet,
+//     racing continuous health sweeps and autoscale sweeps — the fleet
+//     hot path. contended_per_op is the striping proof; health_sweep_ms
+//     shows the sweep staying cheap while heartbeats hammer the shards.
+//   - register: a registration storm — every op re-registers one of the
+//     1024 workers through the full RPC + persistence path.
+//   - failure-churn: correlated worker churn — every op deregisters a
+//     worker (failing it and draining its sandboxes, which re-enters
+//     Reconcile) and registers it back.
+//
+// Like the CP/DP sharding ablations, the wall-clock win needs multicore;
+// on few-core machines the telemetry carries the comparison.
+func BenchmarkAblationWorkerRegistry(b *testing.B) {
+	const fleetSize = 1024
+	newHarness := func(b *testing.B, shards int) *experiments.FleetHarness {
+		b.Helper()
+		h, err := experiments.NewFleetHarness(experiments.FleetConfig{
+			Workers:      fleetSize,
+			WorkerShards: shards,
+			// Park the background loops: the benchmark drives heartbeats
+			// and sweeps explicitly. The huge timeout also keeps explicit
+			// health sweeps from failing parked workers.
+			HeartbeatInterval: time.Hour,
+			HeartbeatTimeout:  time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.RegisterFleet(); err != nil {
+			h.Close()
+			b.Fatal(err)
+		}
+		return h
+	}
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"global", 1},
+		{"sharded", 0}, // default 32 registry stripes
+	} {
+		b.Run(fmt.Sprintf("%s/heartbeats/workers-%d", cfg.name, fleetSize), func(b *testing.B) {
+			h := newHarness(b, cfg.shards)
+			defer h.Close()
+			// A persistently scaled function keeps the concurrent
+			// autoscale sweeps reconciling real sandboxes across the
+			// fleet while it heartbeats.
+			if err := h.RegisterScaledFunction("hb-load", fleetSize/4); err != nil {
+				b.Fatal(err)
+			}
+			workers := h.Fleet().Workers()
+			stop := make(chan struct{})
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+						h.CP().HealthSweep()
+						h.CP().Reconcile()
+						// Pace the sweeps so they race the heartbeat flood
+						// without hot-spinning a core away from it.
+						time.Sleep(200 * time.Microsecond)
+					}
+				}
+			}()
+			m := h.CP().Metrics()
+			// Baseline after setup: the registration storm and scale-up
+			// contended too, and that must not pollute the per-op metric.
+			contBase := m.Counter("reg_lock_contended").Value()
+			m.Histogram("health_sweep_ms").Reset()
+			var next atomic.Uint64
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					workers[next.Add(1)%fleetSize].SendHeartbeat()
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			<-done
+			b.ReportMetric(float64(m.Counter("reg_lock_contended").Value()-contBase)/float64(b.N), "contended_per_op")
+			b.ReportMetric(m.Histogram("health_sweep_ms").Percentile(50), "health_sweep_p50_ms")
+			b.ReportMetric(float64(m.Gauge("fleet_size").Value()), "fleet_size")
+		})
+		b.Run(fmt.Sprintf("%s/register/workers-%d", cfg.name, fleetSize), func(b *testing.B) {
+			h := newHarness(b, cfg.shards)
+			defer h.Close()
+			workers := h.Fleet().Workers()
+			m := h.CP().Metrics()
+			contBase := m.Counter("reg_lock_contended").Value()
+			var next atomic.Uint64
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := workers[next.Add(1)%fleetSize].Register(); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(m.Counter("reg_lock_contended").Value()-contBase)/float64(b.N), "contended_per_op")
+		})
+		b.Run(fmt.Sprintf("%s/failure-churn/workers-%d", cfg.name, fleetSize), func(b *testing.B) {
+			h := newHarness(b, cfg.shards)
+			defer h.Close()
+			// Sandboxes across the fleet so every deregistration drains
+			// real endpoints and the drain's Reconcile re-places them.
+			if err := h.RegisterScaledFunction("churn-load", fleetSize/4); err != nil {
+				b.Fatal(err)
+			}
+			workers := h.Fleet().Workers()
+			ctx := context.Background()
+			m := h.CP().Metrics()
+			contBase := m.Counter("reg_lock_contended").Value()
+			failBase := m.Counter("worker_failures_detected").Value()
+			var next atomic.Uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w := workers[next.Add(1)%fleetSize]
+				req := proto.RegisterWorkerRequest{Worker: w.Node()}
+				if _, err := h.Transport().Call(ctx, "fleet-cp", proto.MethodDeregisterWorker, req.Marshal()); err != nil {
+					b.Fatal(err)
+				}
+				if err := w.Register(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(m.Counter("reg_lock_contended").Value()-contBase)/float64(b.N), "contended_per_op")
+			b.ReportMetric(float64(m.Counter("worker_failures_detected").Value()-failBase)/float64(b.N), "fails_per_op")
+		})
+	}
+}
+
 // --- Data plane invoke path: per-function runtimes vs global lock ---
 
 // benchDPInvoke measures multi-function warm-start throughput through

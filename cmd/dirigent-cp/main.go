@@ -30,6 +30,7 @@ func main() {
 	fsync := flag.String("fsync", "group",
 		"fsync policy: group (coalesce concurrent writes into one fsync), always (Redis appendfsync=always, the paper's baseline), never")
 	shards := flag.Int("state-shards", 0, "locks striping the function state map (0 = default 32, 1 = single global lock ablation)")
+	workerShards := flag.Int("worker-shards", 0, "locks striping the worker registry (0 = default 32, 1 = single registry lock ablation)")
 	createBatch := flag.Int("create-batch", 0,
 		"max sandbox creations per per-worker batch RPC (0 = default 256, 1 = seed ablation: per-sandbox creates and per-function endpoint broadcasts)")
 	autoscale := flag.Duration("autoscale-interval", 2*time.Second, "autoscaling loop period")
@@ -65,6 +66,7 @@ func main() {
 		Transport:           transport.NewTCP(),
 		DB:                  db,
 		StateShards:         *shards,
+		WorkerShards:        *workerShards,
 		CreateBatch:         *createBatch,
 		AutoscaleInterval:   *autoscale,
 		HeartbeatTimeout:    *hbTimeout,

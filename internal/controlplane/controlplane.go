@@ -4,13 +4,16 @@
 // structures instead of RPCs between microservices (design principle 3).
 //
 // The state manager is sharded: function state lives in a striped map
-// (one lock per shard, see shards.go), the worker/data-plane registry
-// behind its own RWMutex with per-worker mutation locks, and cluster-wide
-// scalars (leadership, epoch, sandbox IDs) in atomics. Sandbox
-// transitions, heartbeats, scaling metrics and endpoint broadcasts for
-// unrelated functions therefore never contend on a global lock — the
-// property that lets sandbox-creation throughput scale with cores
-// (paper §5.2.1) instead of serializing behind one mutex.
+// (one lock per shard, see shards.go), the worker registry in its own
+// striped map (one RWMutex per shard, see workers.go) with per-worker
+// mutation locks, the small data-plane set behind a separate RWMutex,
+// and cluster-wide scalars (leadership, epoch, sandbox IDs) in atomics.
+// Sandbox transitions, heartbeats, registrations, scaling metrics and
+// endpoint broadcasts for unrelated functions or workers therefore never
+// contend on a global lock — the property that lets sandbox-creation
+// throughput scale with cores (paper §5.2.1) and the worker fleet scale
+// to thousands of nodes (paper §5.2.3 runs 5000) instead of serializing
+// behind one mutex.
 //
 // The control plane persists only the state required to recover from a
 // failure — Function registrations, DataPlane and WorkerNode records
@@ -77,6 +80,11 @@ type Config struct {
 	// map. 0 selects the default (32); 1 degenerates to the seed's
 	// single global lock and exists for the sharding ablation.
 	StateShards int
+	// WorkerShards is the number of locks striping the worker registry.
+	// 0 selects the default (32); 1 degenerates to the seed's single
+	// registry lock and exists for the fleet-scale ablation
+	// (`dirigent-cp -worker-shards 1`).
+	WorkerShards int
 	// CreateBatch caps how many sandbox creations one autoscale sweep
 	// packs into a single CreateSandboxBatch RPC per worker. 0 selects
 	// the default (256). 1 is the cold-start batching ablation: it
@@ -116,6 +124,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.StateShards <= 0 {
 		c.StateShards = defaultStateShards
+	}
+	if c.WorkerShards <= 0 {
+		c.WorkerShards = defaultWorkerShards
 	}
 	if c.CreateBatch <= 0 {
 		c.CreateBatch = defaultCreateBatch
@@ -211,10 +222,15 @@ type ControlPlane struct {
 	// Function state, striped across shards (see shards.go).
 	shards []*functionShard
 
-	// Worker / data plane registry. regMu guards the maps; per-worker
-	// mutable state is guarded by workerState.mu.
-	regMu      sync.RWMutex
-	workers    map[core.NodeID]*workerState
+	// Worker registry, striped across shards (see workers.go);
+	// per-worker mutable state is guarded by workerState.mu.
+	// workerCount tracks registered entries for the fleet_size gauge.
+	wshards     []*workerShard
+	workerCount atomic.Int64
+
+	// Data plane registry. The set is small (a handful of replicas), so
+	// one RWMutex suffices; it is never taken on worker paths.
+	dpMu       sync.RWMutex
 	dataplanes map[core.DataPlaneID]core.DataPlane
 
 	// Cluster-wide scalars, off any lock.
@@ -236,6 +252,10 @@ type ControlPlane struct {
 	mSchedLatency   *telemetry.Histogram
 	mCreateBatch    *telemetry.Histogram
 	mEndpointFanout *telemetry.Histogram
+	mRegWait        *telemetry.Histogram
+	mRegContended   *telemetry.Counter
+	mHealthSweep    *telemetry.Histogram
+	gFleetSize      *telemetry.Gauge
 }
 
 // New creates a control plane replica; call Start to serve.
@@ -246,7 +266,7 @@ func New(cfg Config) *ControlPlane {
 		clk:        cfg.Clock,
 		metrics:    cfg.Metrics,
 		shards:     newShards(cfg.StateShards),
-		workers:    make(map[core.NodeID]*workerState),
+		wshards:    newWorkerShards(cfg.WorkerShards),
 		dataplanes: make(map[core.DataPlaneID]core.DataPlane),
 		stopCh:     make(chan struct{}),
 	}
@@ -256,6 +276,10 @@ func New(cfg Config) *ControlPlane {
 	cp.mSchedLatency = cp.metrics.Histogram("cold_start_sched_ms")
 	cp.mCreateBatch = cp.metrics.CountHistogram("create_batch_size")
 	cp.mEndpointFanout = cp.metrics.CountHistogram("endpoint_fanout_batch_size")
+	cp.mRegWait = cp.metrics.Histogram("reg_lock_wait_ms")
+	cp.mRegContended = cp.metrics.Counter("reg_lock_contended")
+	cp.mHealthSweep = cp.metrics.Histogram("health_sweep_ms")
+	cp.gFleetSize = cp.metrics.Gauge("fleet_size")
 	return cp
 }
 
@@ -377,29 +401,28 @@ func (cp *ControlPlane) recover() {
 		}
 	}
 	now := cp.clk.Now()
-	cp.regMu.Lock()
-	cp.workers = make(map[core.NodeID]*workerState)
-	cp.dataplanes = make(map[core.DataPlaneID]core.DataPlane)
-	for _, b := range cp.cfg.DB.HGetAll(hashWorkers) {
-		if w, err := core.UnmarshalWorkerNode(b); err == nil {
-			cp.workers[w.ID] = &workerState{
-				node:    *w,
-				addr:    workerAddr(w),
-				lastHB:  now,
-				healthy: true,
+	workers := cp.rebuildWorkers(func() []*workerState {
+		var out []*workerState
+		for _, b := range cp.cfg.DB.HGetAll(hashWorkers) {
+			if w, err := core.UnmarshalWorkerNode(b); err == nil {
+				out = append(out, &workerState{
+					node:    *w,
+					addr:    workerAddr(w),
+					lastHB:  now,
+					healthy: true,
+				})
 			}
 		}
-	}
+		return out
+	})
+	cp.dpMu.Lock()
+	cp.dataplanes = make(map[core.DataPlaneID]core.DataPlane)
 	for _, b := range cp.cfg.DB.HGetAll(hashDataPlanes) {
 		if p, err := core.UnmarshalDataPlane(b); err == nil {
 			cp.dataplanes[p.ID] = *p
 		}
 	}
-	workers := make([]*workerState, 0, len(cp.workers))
-	for _, w := range cp.workers {
-		workers = append(workers, w)
-	}
-	cp.regMu.Unlock()
+	cp.dpMu.Unlock()
 
 	// 2. Refresh data plane caches with the function list.
 	cp.broadcastFunctions()
@@ -581,14 +604,12 @@ func (cp *ControlPlane) handleRegisterWorker(payload []byte) ([]byte, error) {
 	if err := cp.cfg.DB.HSet(hashWorkers, w.Name, core.MarshalWorkerNode(&w)); err != nil {
 		return nil, fmt.Errorf("register worker %s: persist: %w", w.Name, err)
 	}
-	cp.regMu.Lock()
-	cp.workers[w.ID] = &workerState{
+	cp.putWorker(&workerState{
 		node:    w,
 		addr:    workerAddr(&w),
 		lastHB:  cp.clk.Now(),
 		healthy: true,
-	}
-	cp.regMu.Unlock()
+	})
 	cp.metrics.Counter("workers_registered").Inc()
 	return nil, nil
 }
@@ -602,22 +623,25 @@ func (cp *ControlPlane) handleDeregisterWorker(payload []byte) ([]byte, error) {
 		return nil, err
 	}
 	cp.failWorker(req.Worker.ID)
+	// Unlike a crash (where the entry lingers unhealthy so a late
+	// heartbeat can revive the node), explicit deregistration removes
+	// the entry: the node is gone from persistent state, so fleet_size
+	// and status must stop counting it. A re-registration racing the
+	// removal wins.
+	cp.removeWorkerIfUnhealthy(req.Worker.ID)
 	return nil, nil
 }
 
 // handleWorkerHeartbeat refreshes one worker's liveness and utilization.
-// It takes only the registry read lock plus that worker's own mutex, so
-// a large fleet's heartbeats don't serialize — and never touch function
-// shard locks at all.
+// It takes only the owning worker shard's read lock plus that worker's
+// own mutex, so a large fleet's heartbeats don't serialize — and never
+// touch function shard locks at all.
 func (cp *ControlPlane) handleWorkerHeartbeat(payload []byte) ([]byte, error) {
 	hb, err := proto.UnmarshalWorkerHeartbeat(payload)
 	if err != nil {
 		return nil, err
 	}
-	cp.regMu.RLock()
-	w := cp.workers[hb.Node]
-	cp.regMu.RUnlock()
-	if w != nil {
+	if w := cp.getWorker(hb.Node); w != nil {
 		w.mu.Lock()
 		w.lastHB = cp.clk.Now()
 		w.util = hb.Util
@@ -636,9 +660,9 @@ func (cp *ControlPlane) handleRegisterDataPlane(payload []byte) ([]byte, error) 
 	if err := cp.cfg.DB.HSet(hashDataPlanes, fmt.Sprintf("%d", p.ID), core.MarshalDataPlane(&p)); err != nil {
 		return nil, fmt.Errorf("register data plane %d: persist: %w", p.ID, err)
 	}
-	cp.regMu.Lock()
+	cp.dpMu.Lock()
 	cp.dataplanes[p.ID] = p
-	cp.regMu.Unlock()
+	cp.dpMu.Unlock()
 	// Warm the new data plane's caches: functions, then endpoints —
 	// every function's endpoint set in one coalesced RPC (per-function
 	// RPCs in the CreateBatch=1 ablation).
@@ -655,9 +679,9 @@ func (cp *ControlPlane) handleDeregisterDataPlane(payload []byte) ([]byte, error
 	if err := cp.cfg.DB.HDel(hashDataPlanes, fmt.Sprintf("%d", req.DataPlane.ID)); err != nil {
 		return nil, err
 	}
-	cp.regMu.Lock()
+	cp.dpMu.Lock()
 	delete(cp.dataplanes, req.DataPlane.ID)
-	cp.regMu.Unlock()
+	cp.dpMu.Unlock()
 	return nil, nil
 }
 
@@ -779,9 +803,10 @@ func (cp *ControlPlane) handleClusterStatus() ([]byte, error) {
 		}
 	})
 	sort.Slice(fns, func(i, j int) bool { return fns[i].name < fns[j].name })
-	cp.regMu.RLock()
-	workers, dataplanes := len(cp.workers), len(cp.dataplanes)
-	cp.regMu.RUnlock()
+	workers := int(cp.workerCount.Load())
+	cp.dpMu.RLock()
+	dataplanes := len(cp.dataplanes)
+	cp.dpMu.RUnlock()
 	var b []byte
 	b = fmt.Appendf(b, "leader=%s epoch=%d functions=%d workers=%d dataplanes=%d\n",
 		cp.cfg.Addr, cp.epoch.Load(), len(fns), workers, dataplanes)

@@ -127,20 +127,21 @@ type stagedCreate struct {
 // placeSandbox places one new sandbox for fn and stages it for dispatch.
 // This is the latency-critical cold-start path: note the absence of any
 // persistent state update (design principle 2) and of any global lock —
-// the path takes the registry read lock, one worker's mutex, and one
-// function shard, so cold starts for unrelated functions proceed in
-// parallel. It returns nil when placement fails or the function vanished.
+// the path reads worker shards one at a time, takes one worker's mutex,
+// and one function shard, so cold starts for unrelated functions proceed
+// in parallel with registrations and heartbeats on other shards. It
+// returns nil when placement fails or the function vanished.
 func (cp *ControlPlane) placeSandbox(fn core.Function) *stagedCreate {
-	cp.regMu.RLock()
-	candidates := make([]placement.NodeStatus, 0, len(cp.workers))
-	for _, w := range cp.workers {
-		w.mu.Lock()
-		if w.healthy {
-			candidates = append(candidates, placement.NodeStatus{Node: w.node, Util: w.util})
+	candidates := make([]placement.NodeStatus, 0, cp.workerCount.Load())
+	cp.forEachWorkerShard(func(ws *workerShard) {
+		for _, w := range ws.workers {
+			w.mu.Lock()
+			if w.healthy {
+				candidates = append(candidates, placement.NodeStatus{Node: w.node, Util: w.util})
+			}
+			w.mu.Unlock()
 		}
-		w.mu.Unlock()
-	}
-	cp.regMu.RUnlock()
+	})
 	req := placement.Requirements{CPUMilli: fn.Scaling.CPUMilli, MemoryMB: fn.Scaling.MemoryMB}
 	nodeID, err := cp.cfg.Placer.Place(candidates, req)
 	if err != nil {
@@ -148,9 +149,7 @@ func (cp *ControlPlane) placeSandbox(fn core.Function) *stagedCreate {
 		return nil
 	}
 
-	cp.regMu.RLock()
-	w := cp.workers[nodeID]
-	cp.regMu.RUnlock()
+	w := cp.getWorker(nodeID)
 	if w == nil {
 		return nil
 	}
@@ -292,8 +291,8 @@ func (cp *ControlPlane) killSandbox(sb *sandboxState) {
 // healthLoop watches worker heartbeats and fails workers that go silent
 // (paper §3.4.1: "Once the control plane detects no heartbeats, it
 // notifies data plane components not to route requests to sandboxes on the
-// affected worker node" and re-runs autoscaling). The scan takes only the
-// registry read lock and each worker's own mutex.
+// affected worker node" and re-runs autoscaling). Each pass is one
+// HealthSweep over per-shard registry snapshots.
 func (cp *ControlPlane) healthLoop() {
 	defer cp.wg.Done()
 	interval := cp.cfg.HeartbeatTimeout / 4
@@ -307,22 +306,8 @@ func (cp *ControlPlane) healthLoop() {
 		case <-cp.stopCh:
 			return
 		case <-ticker.C:
-			if !cp.IsLeader() {
-				continue
-			}
-			now := cp.clk.Now()
-			var failed []core.NodeID
-			cp.regMu.RLock()
-			for id, w := range cp.workers {
-				w.mu.Lock()
-				if w.healthy && now.Sub(w.lastHB) > cp.cfg.HeartbeatTimeout {
-					failed = append(failed, id)
-				}
-				w.mu.Unlock()
-			}
-			cp.regMu.RUnlock()
-			for _, id := range failed {
-				cp.failWorker(id)
+			if cp.IsLeader() {
+				cp.HealthSweep()
 			}
 		}
 	}
@@ -330,11 +315,11 @@ func (cp *ControlPlane) healthLoop() {
 
 // failWorker removes a worker from scheduling and drains its sandboxes
 // from the cluster state, then reconciles so the autoscaler re-creates
-// capacity on healthy nodes. Draining sweeps the shards one at a time.
+// capacity on healthy nodes. Draining sweeps the function shards one at
+// a time and holds no registry lock, so a mass-failure drain never
+// stalls registrations or heartbeats for surviving workers.
 func (cp *ControlPlane) failWorker(id core.NodeID) {
-	cp.regMu.RLock()
-	w := cp.workers[id]
-	cp.regMu.RUnlock()
+	w := cp.getWorker(id)
 	if w == nil {
 		return
 	}
@@ -372,8 +357,8 @@ func (cp *ControlPlane) broadcastFunctions() {
 }
 
 func (cp *ControlPlane) dataPlaneAddrs() []string {
-	cp.regMu.RLock()
-	defer cp.regMu.RUnlock()
+	cp.dpMu.RLock()
+	defer cp.dpMu.RUnlock()
 	addrs := make([]string, 0, len(cp.dataplanes))
 	for _, p := range cp.dataplanes {
 		p := p
@@ -552,18 +537,19 @@ func (cp *ControlPlane) FunctionScale(name string) (ready, creating int) {
 	return ready, creating
 }
 
-// WorkerCount reports the number of healthy workers.
+// WorkerCount reports the number of healthy workers, scanning per-shard
+// snapshots like the health monitor.
 func (cp *ControlPlane) WorkerCount() int {
-	cp.regMu.RLock()
-	defer cp.regMu.RUnlock()
 	n := 0
-	for _, w := range cp.workers {
-		w.mu.Lock()
-		if w.healthy {
-			n++
+	cp.forEachWorkerShard(func(ws *workerShard) {
+		for _, w := range ws.workers {
+			w.mu.Lock()
+			if w.healthy {
+				n++
+			}
+			w.mu.Unlock()
 		}
-		w.mu.Unlock()
-	}
+	})
 	return n
 }
 

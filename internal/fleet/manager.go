@@ -1,0 +1,171 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dirigent/internal/clock"
+	"dirigent/internal/core"
+	"dirigent/internal/telemetry"
+	"dirigent/internal/transport"
+)
+
+// Config parameterizes an emulated fleet.
+type Config struct {
+	// Size is the number of emulated workers (default 16).
+	Size int
+	// Transport carries RPCs for every worker.
+	Transport transport.Transport
+	// ControlPlanes are the CP replica addresses.
+	ControlPlanes []string
+	// Loopback makes every worker listen on 127.0.0.1:0 (real TCP,
+	// ports resolved at bind time). When false, workers use synthetic
+	// in-process addresses in the 10.77.0.0/16 range.
+	Loopback bool
+	// Clock abstracts time for heartbeat pacing and ready delays.
+	Clock clock.Clock
+	// HeartbeatInterval is each worker's liveness period; very large
+	// values park the loops so harnesses drive heartbeats explicitly.
+	HeartbeatInterval time.Duration
+	// ReadyDelay simulates per-sandbox creation latency.
+	ReadyDelay time.Duration
+	// BaseID is the first worker's node ID (default 1); IDs are
+	// assigned sequentially from it.
+	BaseID int
+	// CPUMilli / MemoryMB are each worker's advertised capacity
+	// (defaults sized so a 1k fleet absorbs any test burst).
+	CPUMilli int
+	MemoryMB int
+	// Handler serves proxied invocations on every worker; nil echoes.
+	Handler func(payload []byte) ([]byte, error)
+	// Metrics is the registry shared by all workers; nil creates one.
+	Metrics *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Size <= 0 {
+		c.Size = 16
+	}
+	if c.BaseID <= 0 {
+		c.BaseID = 1
+	}
+	if c.CPUMilli == 0 {
+		c.CPUMilli = 1 << 20
+	}
+	if c.MemoryMB == 0 {
+		c.MemoryMB = 1 << 20
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// Fleet is a set of emulated workers managed as one unit.
+type Fleet struct {
+	cfg     Config
+	workers []*Worker
+}
+
+// New builds the fleet's workers without starting them.
+func New(cfg Config) *Fleet {
+	cfg = cfg.withDefaults()
+	f := &Fleet{cfg: cfg}
+	for i := 0; i < cfg.Size; i++ {
+		id := cfg.BaseID + i
+		node := core.WorkerNode{
+			ID:       core.NodeID(id),
+			Name:     fmt.Sprintf("emu-w%d", id),
+			CPUMilli: cfg.CPUMilli,
+			MemoryMB: cfg.MemoryMB,
+		}
+		addr := "127.0.0.1:0"
+		if !cfg.Loopback {
+			// Synthetic /16: NodeID is 16 bits, so high/low byte
+			// addressing stays collision-free up to a 65k fleet.
+			node.IP = fmt.Sprintf("10.77.%d.%d", id/256, id%256)
+			node.Port = 9000
+			addr = fmt.Sprintf("%s:%d", node.IP, node.Port)
+		}
+		f.workers = append(f.workers, NewWorker(WorkerConfig{
+			Node:              node,
+			Addr:              addr,
+			Transport:         cfg.Transport,
+			ControlPlanes:     cfg.ControlPlanes,
+			Clock:             cfg.Clock,
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			ReadyDelay:        cfg.ReadyDelay,
+			Handler:           cfg.Handler,
+			Metrics:           cfg.Metrics,
+		}))
+	}
+	return f
+}
+
+// Start launches every worker concurrently — a registration storm: all
+// Size workers race their RegisterWorker RPCs against the control
+// plane's registry at once. It returns the first start error, if any.
+func (f *Fleet) Start() error {
+	errs := make([]error, len(f.workers))
+	var wg sync.WaitGroup
+	for i, w := range f.workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			errs[i] = w.Start()
+		}(i, w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Workers returns the fleet's workers in node-ID order.
+func (f *Fleet) Workers() []*Worker { return f.workers }
+
+// Size returns the number of workers in the fleet.
+func (f *Fleet) Size() int { return len(f.workers) }
+
+// SandboxCount sums emulated sandboxes across the fleet.
+func (f *Fleet) SandboxCount() int {
+	n := 0
+	for _, w := range f.workers {
+		n += w.SandboxCount()
+	}
+	return n
+}
+
+// Metrics returns the registry shared by all the fleet's workers.
+func (f *Fleet) Metrics() *telemetry.Registry { return f.cfg.Metrics }
+
+// StopFraction crashes the first ⌈frac·Size⌉ workers simultaneously — a
+// correlated failure (rack or AZ loss). It returns the stopped workers;
+// the control plane must detect them by heartbeat timeout and drain
+// their endpoints.
+func (f *Fleet) StopFraction(frac float64) []*Worker {
+	n := int(float64(len(f.workers))*frac + 0.999999)
+	if n > len(f.workers) {
+		n = len(f.workers)
+	}
+	victims := f.workers[:n]
+	var wg sync.WaitGroup
+	for _, w := range victims {
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			w.Stop()
+		}(w)
+	}
+	wg.Wait()
+	return victims
+}
+
+// Stop crashes every worker.
+func (f *Fleet) Stop() {
+	f.StopFraction(1)
+}
