@@ -554,6 +554,59 @@ func BenchmarkAblationColdStartBatching(b *testing.B) {
 	}
 }
 
+// --- Multi-data-plane tier: sharded async queue vs seed single queue ---
+
+// BenchmarkAblationMultiDP measures asynchronous dispatch throughput
+// through the full multi-replica tier — front end (rendezvous steering +
+// membership) → data plane async queue (persist, dispatch, settle) →
+// emulated workers — with the queue sharded (default 32 stripes,
+// per-shard dispatch loops and store hashes) vs the seed single queue
+// (-async-shards 1, pinned to the seed design by
+// TestAsyncShardsAblationSeedParity). Each op is one async invocation
+// accepted, durably persisted, dispatched, and settled; the flood runs
+// in waves so acceptance, dispatch and persistence overlap the way a
+// sustained async workload's do.
+func BenchmarkAblationMultiDP(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		shards int
+	}{
+		{"sharded", 0},
+		{"seed-1-shard", 1},
+	} {
+		for _, replicas := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%s/replicas-%d", cfg.name, replicas), func(b *testing.B) {
+				h, err := experiments.NewMultiDPHarness(experiments.MultiDPConfig{
+					Replicas:    replicas,
+					AsyncShards: cfg.shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer h.Close()
+				const wave = 1024
+				accepted := 0
+				b.ResetTimer()
+				for done := 0; done < b.N; done += wave {
+					n := wave
+					if b.N-done < n {
+						n = b.N - done
+					}
+					got, _, err := h.AsyncFlood(n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					accepted += got
+				}
+				b.StopTimer()
+				if accepted < b.N {
+					b.Fatalf("accepted %d of %d async invocations", accepted, b.N)
+				}
+			})
+		}
+	}
+}
+
 // --- Transport cost: in-process vs TCP round trip ---
 
 func benchTransportRTT(b *testing.B, tr transport.Transport, addr string) {

@@ -35,6 +35,7 @@ func main() {
 		"max sandbox creations per per-worker batch RPC (0 = default 256, 1 = seed ablation: per-sandbox creates and per-function endpoint broadcasts)")
 	autoscale := flag.Duration("autoscale-interval", 2*time.Second, "autoscaling loop period")
 	hbTimeout := flag.Duration("heartbeat-timeout", 2*time.Second, "worker heartbeat timeout")
+	dpTimeout := flag.Duration("dataplane-timeout", 0, "data plane heartbeat timeout before the replica is pruned from the fan-out set (0 = 3x heartbeat-timeout)")
 	persistAll := flag.Bool("persist-sandbox-state", false, "ablation: persist sandbox state on the critical path")
 	flag.Parse()
 
@@ -70,6 +71,7 @@ func main() {
 		CreateBatch:         *createBatch,
 		AutoscaleInterval:   *autoscale,
 		HeartbeatTimeout:    *hbTimeout,
+		DataPlaneTimeout:    *dpTimeout,
 		PersistSandboxState: *persistAll,
 		// TCP deployments need wider election windows than in-process.
 		RaftHeartbeat:   50 * time.Millisecond,

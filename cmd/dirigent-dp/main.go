@@ -18,7 +18,9 @@ import (
 	"dirigent/internal/core"
 	"dirigent/internal/dataplane"
 	"dirigent/internal/loadbalancer"
+	"dirigent/internal/store"
 	"dirigent/internal/transport"
+	"dirigent/internal/wal"
 )
 
 func main() {
@@ -26,9 +28,12 @@ func main() {
 	id := flag.Int("id", 1, "data plane replica ID")
 	cps := flag.String("control-planes", "127.0.0.1:7000", "comma-separated control plane addresses")
 	metricInterval := flag.Duration("metric-interval", 250*time.Millisecond, "scaling metric report period")
+	hbInterval := flag.Duration("heartbeat-interval", 250*time.Millisecond, "DP → CP liveness heartbeat period (the CP prunes silent replicas from its fan-out set)")
 	queueTimeout := flag.Duration("queue-timeout", 60*time.Second, "cold-start queue timeout")
 	policy := flag.String("lb-policy", "least-loaded", "load balancing policy: least-loaded | round-robin | random | ch-rlu")
 	shards := flag.Int("invoke-shards", 0, "stripes in the function registry (0 = default 32, 1 = single global invoke lock ablation)")
+	asyncShards := flag.Int("async-shards", 0, "stripes in the async queue: per-shard dispatch loops and store hashes (0 = default 32, 1 = seed single-queue ablation)")
+	asyncStore := flag.String("async-store", "", "append-only store file for the durable async queue (empty = memory-only queue)")
 	flag.Parse()
 
 	var balancer loadbalancer.Policy
@@ -45,21 +50,33 @@ func main() {
 		log.Fatalf("unknown lb policy %q", *policy)
 	}
 
+	var db *store.Store
+	if *asyncStore != "" {
+		var err error
+		if db, err = store.Open(*asyncStore, wal.FsyncGroup); err != nil {
+			log.Fatalf("open async store: %v", err)
+		}
+		defer db.Close()
+	}
+
 	dp := dataplane.New(dataplane.Config{
-		ID:             core.DataPlaneID(*id),
-		Addr:           *addr,
-		Transport:      transport.NewTCP(),
-		ControlPlanes:  strings.Split(*cps, ","),
-		Balancer:       balancer,
-		MetricInterval: *metricInterval,
-		QueueTimeout:   *queueTimeout,
-		InvokeShards:   *shards,
+		ID:                core.DataPlaneID(*id),
+		Addr:              *addr,
+		Transport:         transport.NewTCP(),
+		ControlPlanes:     strings.Split(*cps, ","),
+		Balancer:          balancer,
+		MetricInterval:    *metricInterval,
+		HeartbeatInterval: *hbInterval,
+		QueueTimeout:      *queueTimeout,
+		InvokeShards:      *shards,
+		AsyncShards:       *asyncShards,
+		AsyncStore:        db,
 	})
 	if err := dp.Start(); err != nil {
 		log.Fatalf("start data plane: %v", err)
 	}
-	fmt.Printf("dirigent-dp %d listening on %s (policy: %s, invoke-shards: %d)\n",
-		*id, *addr, *policy, *shards)
+	fmt.Printf("dirigent-dp %d listening on %s (policy: %s, invoke-shards: %d, async-shards: %d)\n",
+		*id, *addr, *policy, *shards, *asyncShards)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	cps := flag.String("control-planes", "127.0.0.1:7000", "comma-separated control plane addresses")
-	dps := flag.String("data-planes", "127.0.0.1:8000", "comma-separated data plane addresses")
+	dps := flag.String("data-planes", "127.0.0.1:8000", "comma-separated seed data plane addresses (membership then syncs dynamically from the control plane)")
 	functions := flag.Int("functions", 50, "number of trace functions to generate")
 	minutes := flag.Int("minutes", 2, "trace duration in minutes (before compression)")
 	compress := flag.Float64("compress", 10, "time compression factor (10 = run 10x faster than the trace)")
@@ -37,11 +37,20 @@ func main() {
 
 	tr := transport.NewTCP()
 	defer tr.Close()
-	cp := cpclient.New(tr, strings.Split(*cps, ","))
+	cpAddrs := strings.Split(*cps, ",")
+	cp := cpclient.New(tr, cpAddrs)
+	// The static -data-planes list only seeds membership; the front end
+	// keeps it in sync with the control plane's live replica set, so data
+	// planes added, killed, or revived mid-replay steer correctly.
 	lb := frontend.New(frontend.Config{
-		Transport:  tr,
-		DataPlanes: strings.Split(*dps, ","),
+		Transport:     tr,
+		DataPlanes:    strings.Split(*dps, ","),
+		ControlPlanes: cpAddrs,
 	})
+	if err := lb.Start(); err != nil {
+		fatal("start front end: %v", err)
+	}
+	defer lb.Stop()
 
 	var workload *trace.Trace
 	if *csvIn != "" {

@@ -214,14 +214,23 @@ func New(opts Options) (*Cluster, error) {
 		c.Workers = append(c.Workers, w)
 	}
 
+	// The static list only seeds the front end; membership then syncs
+	// from the control plane's live replica set, so killed and restarted
+	// data planes flow through to steering mid-experiment.
 	c.LB = frontend.New(frontend.Config{
-		Transport:       tr,
-		DataPlanes:      dpAddrs,
-		FailureCooldown: 200 * time.Millisecond,
-		RequestTimeout:  opts.QueueTimeout * 2,
-		Versions:        opts.Versions,
-		Metrics:         metrics,
+		Transport:          tr,
+		DataPlanes:         dpAddrs,
+		ControlPlanes:      c.cpAddrs,
+		MembershipInterval: opts.HeartbeatTimeout / 4,
+		FailureCooldown:    200 * time.Millisecond,
+		RequestTimeout:     opts.QueueTimeout * 2,
+		Versions:           opts.Versions,
+		Metrics:            metrics,
 	})
+	if err := c.LB.Start(); err != nil {
+		c.Shutdown()
+		return nil, err
+	}
 	return c, nil
 }
 
@@ -382,6 +391,9 @@ func (c *Cluster) KillWorker(i int) { c.Workers[i].Stop() }
 
 // Shutdown stops every component.
 func (c *Cluster) Shutdown() {
+	if c.LB != nil {
+		c.LB.Stop()
+	}
 	for _, dp := range c.DPs {
 		dp.Stop()
 	}

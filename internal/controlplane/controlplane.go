@@ -98,6 +98,13 @@ type Config struct {
 	// HeartbeatTimeout is how long without a worker heartbeat before the
 	// health monitor declares the worker failed.
 	HeartbeatTimeout time.Duration
+	// DataPlaneTimeout is how long without a data plane heartbeat before
+	// the health monitor prunes the replica from the broadcast fan-out
+	// set (and from the live set the front end polls). Data planes
+	// heartbeat on a slower period than workers and a spurious prune
+	// costs a cache re-warm, so the default is more lenient:
+	// 3 × HeartbeatTimeout.
+	DataPlaneTimeout time.Duration
 	// NoDownscaleWindow suppresses downscaling after a failover while
 	// autoscaling metrics repopulate (60 s in the paper, §3.4.1).
 	NoDownscaleWindow time.Duration
@@ -136,6 +143,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HeartbeatTimeout == 0 {
 		c.HeartbeatTimeout = time.Second
+	}
+	if c.DataPlaneTimeout == 0 {
+		c.DataPlaneTimeout = 3 * c.HeartbeatTimeout
 	}
 	if c.NoDownscaleWindow == 0 {
 		c.NoDownscaleWindow = 60 * time.Second
@@ -228,10 +238,12 @@ type ControlPlane struct {
 	wshards     []*workerShard
 	workerCount atomic.Int64
 
-	// Data plane registry. The set is small (a handful of replicas), so
-	// one RWMutex suffices; it is never taken on worker paths.
+	// Data plane registry (see dataplanes.go). The set is small (a
+	// handful of replicas), so one RWMutex suffices; it is never taken on
+	// worker paths. Per-replica liveness is guarded by each entry's own
+	// mutex, mirroring workerState.
 	dpMu       sync.RWMutex
-	dataplanes map[core.DataPlaneID]core.DataPlane
+	dataplanes map[core.DataPlaneID]*dataPlaneState
 
 	// Cluster-wide scalars, off any lock.
 	nextSandboxID atomic.Uint64
@@ -251,6 +263,7 @@ type ControlPlane struct {
 	mShardContended *telemetry.Counter
 	mSchedLatency   *telemetry.Histogram
 	mCreateBatch    *telemetry.Histogram
+	mKillBatch      *telemetry.Histogram
 	mEndpointFanout *telemetry.Histogram
 	mRegWait        *telemetry.Histogram
 	mRegContended   *telemetry.Counter
@@ -267,7 +280,7 @@ func New(cfg Config) *ControlPlane {
 		metrics:    cfg.Metrics,
 		shards:     newShards(cfg.StateShards),
 		wshards:    newWorkerShards(cfg.WorkerShards),
-		dataplanes: make(map[core.DataPlaneID]core.DataPlane),
+		dataplanes: make(map[core.DataPlaneID]*dataPlaneState),
 		stopCh:     make(chan struct{}),
 	}
 	cp.mSandboxReady = cp.metrics.Histogram("sandbox_ready_ms")
@@ -275,6 +288,7 @@ func New(cfg Config) *ControlPlane {
 	cp.mShardContended = cp.metrics.Counter("shard_lock_contended")
 	cp.mSchedLatency = cp.metrics.Histogram("cold_start_sched_ms")
 	cp.mCreateBatch = cp.metrics.CountHistogram("create_batch_size")
+	cp.mKillBatch = cp.metrics.CountHistogram("kill_batch_size")
 	cp.mEndpointFanout = cp.metrics.CountHistogram("endpoint_fanout_batch_size")
 	cp.mRegWait = cp.metrics.Histogram("reg_lock_wait_ms")
 	cp.mRegContended = cp.metrics.Counter("reg_lock_contended")
@@ -416,13 +430,19 @@ func (cp *ControlPlane) recover() {
 		return out
 	})
 	cp.dpMu.Lock()
-	cp.dataplanes = make(map[core.DataPlaneID]core.DataPlane)
+	cp.dataplanes = make(map[core.DataPlaneID]*dataPlaneState)
 	for _, b := range cp.cfg.DB.HGetAll(hashDataPlanes) {
 		if p, err := core.UnmarshalDataPlane(b); err == nil {
-			cp.dataplanes[p.ID] = *p
+			cp.dataplanes[p.ID] = &dataPlaneState{
+				dp:      *p,
+				addr:    dataPlaneAddr(p),
+				lastHB:  now,
+				healthy: true,
+			}
 		}
 	}
 	cp.dpMu.Unlock()
+	cp.refreshDataPlaneGauge()
 
 	// 2. Refresh data plane caches with the function list.
 	cp.broadcastFunctions()
@@ -522,6 +542,10 @@ func (cp *ControlPlane) handleRPC(method string, payload []byte) ([]byte, error)
 		return cp.handleRegisterDataPlane(payload)
 	case proto.MethodDeregisterDataPlane:
 		return cp.handleDeregisterDataPlane(payload)
+	case proto.MethodDataPlaneHeartbeat:
+		return cp.handleDataPlaneHeartbeat(payload)
+	case proto.MethodListDataPlanes:
+		return cp.handleListDataPlanes()
 	case proto.MethodListFunctions:
 		return cp.handleListFunctions()
 	case proto.MethodScalingMetric:
@@ -587,9 +611,7 @@ func (cp *ControlPlane) handleDeregisterFunction(payload []byte) ([]byte, error)
 		}
 	}
 	sh.mu.Unlock()
-	for _, sb := range kills {
-		cp.killSandbox(sb)
-	}
+	cp.dispatchKills(kills)
 	cp.broadcastFunctions()
 	cp.broadcastEndpoints(f.Name)
 	return nil, nil
@@ -660,14 +682,11 @@ func (cp *ControlPlane) handleRegisterDataPlane(payload []byte) ([]byte, error) 
 	if err := cp.cfg.DB.HSet(hashDataPlanes, fmt.Sprintf("%d", p.ID), core.MarshalDataPlane(&p)); err != nil {
 		return nil, fmt.Errorf("register data plane %d: persist: %w", p.ID, err)
 	}
-	cp.dpMu.Lock()
-	cp.dataplanes[p.ID] = p
-	cp.dpMu.Unlock()
+	cp.putDataPlane(p)
 	// Warm the new data plane's caches: functions, then endpoints —
 	// every function's endpoint set in one coalesced RPC (per-function
 	// RPCs in the CreateBatch=1 ablation).
-	cp.sendFunctionsTo(dataPlaneAddr(&p))
-	cp.sendEndpointsBatchTo(dataPlaneAddr(&p), cp.functionNames())
+	cp.warmDataPlane(dataPlaneAddr(&p))
 	return nil, nil
 }
 
@@ -682,6 +701,7 @@ func (cp *ControlPlane) handleDeregisterDataPlane(payload []byte) ([]byte, error
 	cp.dpMu.Lock()
 	delete(cp.dataplanes, req.DataPlane.ID)
 	cp.dpMu.Unlock()
+	cp.refreshDataPlaneGauge()
 	return nil, nil
 }
 
@@ -804,9 +824,7 @@ func (cp *ControlPlane) handleClusterStatus() ([]byte, error) {
 	})
 	sort.Slice(fns, func(i, j int) bool { return fns[i].name < fns[j].name })
 	workers := int(cp.workerCount.Load())
-	cp.dpMu.RLock()
-	dataplanes := len(cp.dataplanes)
-	cp.dpMu.RUnlock()
+	dataplanes, _ := cp.dataPlaneCounts()
 	var b []byte
 	b = fmt.Appendf(b, "leader=%s epoch=%d functions=%d workers=%d dataplanes=%d\n",
 		cp.cfg.Addr, cp.epoch.Load(), len(fns), workers, dataplanes)

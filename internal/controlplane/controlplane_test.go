@@ -22,8 +22,10 @@ type fakeWorker struct {
 	killed  []core.SandboxID
 	list    []proto.SandboxInfo
 	// singleRPCs / batchRPCs count create instructions by arrival shape,
-	// for the batching-ablation parity assertions.
-	singleRPCs, batchRPCs int
+	// for the batching-ablation parity assertions; the kill counters do
+	// the same for the teardown path.
+	singleRPCs, batchRPCs         int
+	singleKillRPCs, batchKillRPCs int
 	// autoReady makes the worker report SandboxReady for each creation.
 	autoReady bool
 	node      core.NodeID
@@ -66,6 +68,17 @@ func startFakeWorker(t *testing.T, tr *transport.InProc, cpAddr string, node cor
 			}
 			w.mu.Lock()
 			w.killed = append(w.killed, core.SandboxID(id))
+			w.singleKillRPCs++
+			w.mu.Unlock()
+			return nil, nil
+		case proto.MethodKillSandboxBatch:
+			batch, err := proto.UnmarshalKillSandboxBatch(payload)
+			if err != nil {
+				return nil, err
+			}
+			w.mu.Lock()
+			w.killed = append(w.killed, batch.IDs...)
+			w.batchKillRPCs++
 			w.mu.Unlock()
 			return nil, nil
 		case proto.MethodListSandboxes:
@@ -206,6 +219,9 @@ func newCPHarness(t *testing.T) *cpHarness {
 		DB:                db,
 		AutoscaleInterval: 10 * time.Millisecond,
 		HeartbeatTimeout:  200 * time.Millisecond,
+		// The harness's fake data planes don't heartbeat; DP lifecycle
+		// tests (dataplanes_test.go) drive the sweep explicitly instead.
+		DataPlaneTimeout:  time.Hour,
 		NoDownscaleWindow: 50 * time.Millisecond,
 	})
 	if err := cp.Start(); err != nil {

@@ -1,0 +1,173 @@
+package controlplane
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"dirigent/internal/core"
+	"dirigent/internal/proto"
+)
+
+// Data plane replicas are first-class, dynamic members of the cluster,
+// with the same lifecycle worker nodes have: they register, heartbeat,
+// are failed by the health monitor when heartbeats stop, and are revived
+// (with a full cache re-warm) when heartbeats resume. The live set feeds
+// two consumers: the endpoint/function broadcast fan-out — pruning a dead
+// replica keeps every autoscale sweep from burning an RPC timeout on it —
+// and the front-end load balancer, which polls MethodListDataPlanes to
+// keep its failover membership in sync (paper §5.1 runs the DP tier
+// active-active behind HAProxy; §3.4.2 restarts failed replicas).
+
+// dataPlaneState is one data plane's registry entry. dp and addr are
+// immutable after registration; the mutable liveness fields are guarded
+// by mu, mirroring workerState. The set is small (a handful of replicas),
+// so the registry itself stays behind the single dpMu RWMutex.
+type dataPlaneState struct {
+	dp   core.DataPlane
+	addr string
+
+	mu      sync.Mutex
+	lastHB  time.Time
+	healthy bool
+}
+
+// putDataPlane inserts or replaces a registry entry for a (re-)registered
+// replica.
+func (cp *ControlPlane) putDataPlane(p core.DataPlane) {
+	st := &dataPlaneState{
+		dp:      p,
+		addr:    dataPlaneAddr(&p),
+		lastHB:  cp.clk.Now(),
+		healthy: true,
+	}
+	cp.dpMu.Lock()
+	cp.dataplanes[p.ID] = st
+	cp.dpMu.Unlock()
+	cp.refreshDataPlaneGauge()
+}
+
+// getDataPlane returns the registry entry for a replica, or nil.
+func (cp *ControlPlane) getDataPlane(id core.DataPlaneID) *dataPlaneState {
+	cp.dpMu.RLock()
+	st := cp.dataplanes[id]
+	cp.dpMu.RUnlock()
+	return st
+}
+
+// snapshotDataPlanes copies the registry's entries under the read lock.
+// Callers inspect per-replica liveness through each entry's own mutex
+// without holding dpMu — the one place the registry's locking discipline
+// is spelled out.
+func (cp *ControlPlane) snapshotDataPlanes() []*dataPlaneState {
+	cp.dpMu.RLock()
+	states := make([]*dataPlaneState, 0, len(cp.dataplanes))
+	for _, st := range cp.dataplanes {
+		states = append(states, st)
+	}
+	cp.dpMu.RUnlock()
+	return states
+}
+
+// handleDataPlaneHeartbeat refreshes one replica's liveness. A heartbeat
+// from a replica the health monitor had failed revives it with a full
+// cache re-warm (functions, then every function's endpoints), because the
+// replica's caches may have missed any number of broadcasts while it was
+// out of the fan-out set. A heartbeat from an unknown replica re-admits
+// it the same way — the in-memory entry can be lost to a leadership
+// change racing the heartbeat.
+func (cp *ControlPlane) handleDataPlaneHeartbeat(payload []byte) ([]byte, error) {
+	hb, err := proto.UnmarshalDataPlaneHeartbeat(payload)
+	if err != nil {
+		return nil, err
+	}
+	st := cp.getDataPlane(hb.DataPlane.ID)
+	if st == nil {
+		cp.putDataPlane(hb.DataPlane)
+		cp.metrics.Counter("dataplane_revivals").Inc()
+		cp.warmDataPlane(dataPlaneAddr(&hb.DataPlane))
+		return nil, nil
+	}
+	st.mu.Lock()
+	st.lastHB = cp.clk.Now()
+	revived := !st.healthy
+	st.healthy = true
+	addr := st.addr
+	st.mu.Unlock()
+	if revived {
+		cp.metrics.Counter("dataplane_revivals").Inc()
+		cp.refreshDataPlaneGauge()
+		cp.warmDataPlane(addr)
+	}
+	return nil, nil
+}
+
+// warmDataPlane pushes the full function list and every function's
+// endpoint set to one replica — the cache-warm diff a replica needs when
+// it (re-)joins the fan-out set.
+func (cp *ControlPlane) warmDataPlane(addr string) {
+	cp.sendFunctionsTo(addr)
+	cp.sendEndpointsBatchTo(addr, cp.functionNames())
+}
+
+// handleListDataPlanes returns the live replica set, sorted by ID for
+// deterministic membership diffs on the front end.
+func (cp *ControlPlane) handleListDataPlanes() ([]byte, error) {
+	list := proto.DataPlaneList{}
+	for _, st := range cp.snapshotDataPlanes() {
+		st.mu.Lock()
+		if st.healthy {
+			list.DataPlanes = append(list.DataPlanes, st.dp)
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(list.DataPlanes, func(i, j int) bool {
+		return list.DataPlanes[i].ID < list.DataPlanes[j].ID
+	})
+	return list.Marshal(), nil
+}
+
+// sweepDataPlanes fails every replica whose last heartbeat is older than
+// DataPlaneTimeout, removing it from the broadcast fan-out set so
+// subsequent sweeps never block on an unreachable replica. Run from
+// HealthSweep alongside the worker scan.
+func (cp *ControlPlane) sweepDataPlanes(now time.Time) {
+	failed := 0
+	for _, st := range cp.snapshotDataPlanes() {
+		st.mu.Lock()
+		if st.healthy && now.Sub(st.lastHB) > cp.cfg.DataPlaneTimeout {
+			st.healthy = false
+			failed++
+		}
+		st.mu.Unlock()
+	}
+	if failed > 0 {
+		cp.metrics.Counter("dataplane_failures_detected").Add(int64(failed))
+		cp.refreshDataPlaneGauge()
+	}
+}
+
+// dataPlaneCounts reports (healthy, total) registered replicas.
+func (cp *ControlPlane) dataPlaneCounts() (healthy, total int) {
+	states := cp.snapshotDataPlanes()
+	for _, st := range states {
+		st.mu.Lock()
+		if st.healthy {
+			healthy++
+		}
+		st.mu.Unlock()
+	}
+	return healthy, len(states)
+}
+
+// DataPlaneCount reports the number of live data plane replicas, used by
+// tests and harnesses to observe fan-out pruning.
+func (cp *ControlPlane) DataPlaneCount() int {
+	healthy, _ := cp.dataPlaneCounts()
+	return healthy
+}
+
+func (cp *ControlPlane) refreshDataPlaneGauge() {
+	healthy, _ := cp.dataPlaneCounts()
+	cp.metrics.Gauge("dataplane_count").Set(int64(healthy))
+}

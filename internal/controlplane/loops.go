@@ -97,6 +97,7 @@ func (cp *ControlPlane) Reconcile() {
 	})
 
 	var staged []*stagedCreate
+	var kills []*sandboxState
 	drained := make(map[string]bool)
 	for _, a := range actions {
 		for i := 0; i < a.create; i++ {
@@ -104,14 +105,13 @@ func (cp *ControlPlane) Reconcile() {
 				staged = append(staged, sc)
 			}
 		}
-		for _, sb := range a.kills {
-			cp.killSandbox(sb)
-		}
+		kills = append(kills, a.kills...)
 		if len(a.kills) > 0 {
 			drained[a.fn.Name] = true
 		}
 	}
 	cp.dispatchCreates(staged, now)
+	cp.dispatchKills(kills)
 	cp.broadcastEndpointsBatch(sortedKeys(drained))
 }
 
@@ -271,8 +271,13 @@ func (cp *ControlPlane) sendCreate(sc *stagedCreate, sweepStart time.Time) {
 	}()
 }
 
-// killSandbox asks the worker to tear down a sandbox.
+// killSandbox asks the worker to tear down one sandbox with a seed-style
+// singleton RPC — the CreateBatch=1 ablation path, and the shape for
+// teardowns that arrive alone. It records a size-1 kill_batch_size
+// observation so the ablation's teardown telemetry mirrors the create
+// path's (sendCreate observes create_batch_size 1 the same way).
 func (cp *ControlPlane) killSandbox(sb *sandboxState) {
+	cp.mKillBatch.ObserveMs(1)
 	cp.metrics.Counter("sandbox_teardowns").Inc()
 	if cp.cfg.PersistSandboxState {
 		_ = cp.cfg.DB.HDel(hashSandboxes, fmt.Sprintf("%d", sb.id))
@@ -285,6 +290,64 @@ func (cp *ControlPlane) killSandbox(sb *sandboxState) {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_, _ = cp.cfg.Transport.Call(ctx, addr, proto.MethodKillSandbox, payload)
+	}()
+}
+
+// dispatchKills fans a sweep's teardown decisions out to their workers:
+// one KillSandboxBatch RPC per worker (chunked at cfg.CreateBatch, like
+// the create path), all workers in parallel — the downscale mirror of
+// dispatchCreates. With CreateBatch=1 it degenerates to the seed's
+// one-RPC-per-sandbox teardown for the ablation. A singleton teardown
+// keeps the seed RPC shape in every configuration.
+func (cp *ControlPlane) dispatchKills(kills []*sandboxState) {
+	if len(kills) == 0 {
+		return
+	}
+	if cp.cfg.CreateBatch == 1 {
+		for _, sb := range kills {
+			cp.killSandbox(sb)
+		}
+		return
+	}
+	byWorker := make(map[string][]core.SandboxID)
+	for _, sb := range kills {
+		cp.metrics.Counter("sandbox_teardowns").Inc()
+		if cp.cfg.PersistSandboxState {
+			_ = cp.cfg.DB.HDel(hashSandboxes, fmt.Sprintf("%d", sb.id))
+		}
+		byWorker[sb.workerAddr] = append(byWorker[sb.workerAddr], sb.id)
+	}
+	for addr, ids := range byWorker {
+		for len(ids) > 0 {
+			chunk := ids
+			if len(chunk) > cp.cfg.CreateBatch {
+				chunk = chunk[:cp.cfg.CreateBatch]
+			}
+			ids = ids[len(chunk):]
+			cp.sendKillBatch(addr, chunk)
+		}
+	}
+}
+
+// sendKillBatch issues one batched teardown RPC asynchronously. A
+// single-sandbox chunk keeps the seed's singleton RPC shape so an
+// isolated teardown is indistinguishable from the seed pipeline.
+func (cp *ControlPlane) sendKillBatch(addr string, ids []core.SandboxID) {
+	cp.mKillBatch.ObserveMs(float64(len(ids)))
+	var method string
+	var payload []byte
+	if len(ids) == 1 {
+		method, payload = proto.MethodKillSandbox, worker.EncodeSandboxID(ids[0])
+	} else {
+		batch := proto.KillSandboxBatch{IDs: ids}
+		method, payload = proto.MethodKillSandboxBatch, batch.Marshal()
+	}
+	cp.wg.Add(1)
+	go func() {
+		defer cp.wg.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_, _ = cp.cfg.Transport.Call(ctx, addr, method, payload)
 	}()
 }
 
@@ -356,13 +419,19 @@ func (cp *ControlPlane) broadcastFunctions() {
 	}
 }
 
+// dataPlaneAddrs returns the addresses of the live data plane replicas —
+// the broadcast fan-out set. Replicas the health monitor has failed are
+// excluded, so a sweep never burns an RPC timeout per dead replica; they
+// rejoin (with a cache re-warm) when their heartbeats resume.
 func (cp *ControlPlane) dataPlaneAddrs() []string {
-	cp.dpMu.RLock()
-	defer cp.dpMu.RUnlock()
-	addrs := make([]string, 0, len(cp.dataplanes))
-	for _, p := range cp.dataplanes {
-		p := p
-		addrs = append(addrs, dataPlaneAddr(&p))
+	states := cp.snapshotDataPlanes()
+	addrs := make([]string, 0, len(states))
+	for _, st := range states {
+		st.mu.Lock()
+		if st.healthy {
+			addrs = append(addrs, st.addr)
+		}
+		st.mu.Unlock()
 	}
 	return addrs
 }

@@ -193,6 +193,9 @@ func (cp *ControlPlane) HealthSweep() {
 	for _, id := range failed {
 		cp.failWorker(id)
 	}
+	// Data planes share the sweep: replicas whose heartbeats stopped are
+	// pruned from the broadcast fan-out set (see dataplanes.go).
+	cp.sweepDataPlanes(start)
 	cp.gFleetSize.Set(cp.workerCount.Load())
 	cp.mHealthSweep.Observe(cp.clk.Since(start))
 }

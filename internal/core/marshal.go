@@ -64,6 +64,20 @@ func FunctionHash(name string) uint16 {
 	return uint16(h ^ (h >> 16))
 }
 
+// Splitmix64 is the splitmix64 step function: a stateless 64-bit mixer
+// for allocation-free, lock-free pseudo-random decisions. The data plane
+// load balancers seed it from the invocation key for tie-breaks, the
+// front end for rendezvous replica weighting.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // MarshalFunction encodes a Function registration record (all persisted
 // fields from paper Table 3).
 func MarshalFunction(f *Function) []byte {

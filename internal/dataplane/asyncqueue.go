@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"dirigent/internal/codec"
+	"dirigent/internal/core"
 )
 
 // Asynchronous invocations provide at-least-once semantics "through
@@ -16,11 +17,67 @@ import (
 // completed between persistence and deletion is possible — exactly the
 // at-least-once contract FaaS platforms document, which is why they advise
 // idempotent functions (paper §2.1).
+//
+// The queue is sharded by function hash (Config.AsyncShards, default 32):
+// each shard owns its own pending channel, its own dispatch loop, and its
+// own store hash, so acceptance, dispatch, persistence and crash replay
+// all scale with the shard count instead of serializing on one channel
+// and one store hash. AsyncShards=1 restores the seed single-queue design
+// (including the seed's exact store hash) for the ablation.
 
-// asyncQueueHash is the store hash holding pending async invocations.
+// asyncQueueHash is the seed's store hash for pending async invocations:
+// the only hash in the AsyncShards=1 ablation, and the legacy hash a
+// sharded replica still replays after an upgrade restart.
 const asyncQueueHash = "async-queue"
 
+// asyncIndexHash records every shard hash that has ever held a durable
+// record, so crash replay can scan exactly the hashes any earlier
+// -async-shards configuration wrote — no shard-count change can strand
+// an acknowledged task.
+const asyncIndexHash = "async-queue-index"
+
+// defaultAsyncShards matches the data plane's registry striping.
+const defaultAsyncShards = 32
+
+// seedAsyncQueueCap is the seed's single-queue channel capacity. Every
+// shard gets the full seed capacity — splitting it would cut how big an
+// async burst one hot function can absorb (all of a function's tasks
+// hash to one shard), a regression the seed queue didn't have. Total
+// buffering therefore scales with the shard count, like the rest of the
+// sharded queue.
+const seedAsyncQueueCap = 4096
+
 var asyncSeq atomic.Uint64
+
+// asyncShard is one stripe of the asynchronous queue: a pending-task
+// channel drained by its own dispatch loop, plus the store hash its
+// durable records live under. indexed flips once the hash has been
+// registered in asyncIndexHash, so the index write costs one HSet per
+// shard per store lifetime.
+type asyncShard struct {
+	hash    string
+	ch      chan asyncTask
+	indexed atomic.Bool
+}
+
+func newAsyncShards(n int) []*asyncShard {
+	shards := make([]*asyncShard, n)
+	for i := range shards {
+		hash := asyncQueueHash
+		if n > 1 {
+			hash = fmt.Sprintf("%s-%d", asyncQueueHash, i)
+		}
+		shards[i] = &asyncShard{hash: hash, ch: make(chan asyncTask, seedAsyncQueueCap)}
+	}
+	return shards
+}
+
+// asyncShardFor maps a function to its queue stripe (same FNV-1a striping
+// as the invoke registry, so a function's tasks always replay in order
+// from one shard's hash).
+func (dp *DataPlane) asyncShardFor(function string) *asyncShard {
+	return dp.asyncShards[uint32(core.FunctionHash(function))%uint32(len(dp.asyncShards))]
+}
 
 func marshalAsyncTask(t asyncTask) []byte {
 	e := codec.NewEncoder(16 + len(t.function) + len(t.payload))
@@ -44,59 +101,145 @@ func unmarshalAsyncTask(b []byte) (asyncTask, error) {
 	return t, nil
 }
 
-// persistAsync durably records an accepted async invocation and returns
-// the key under which it is stored ("" when persistence is disabled).
-func (dp *DataPlane) persistAsync(t asyncTask) (string, error) {
+// persistAsync durably records an accepted async invocation under its
+// shard's store hash, filling in the task's store coordinates (no-ops
+// when persistence is disabled).
+func (dp *DataPlane) persistAsync(sh *asyncShard, t *asyncTask) error {
 	if dp.cfg.AsyncStore == nil {
-		return "", nil
+		return nil
+	}
+	if !sh.indexed.Load() {
+		if err := dp.cfg.AsyncStore.HSet(asyncIndexHash, sh.hash, []byte{1}); err != nil {
+			return err
+		}
+		sh.indexed.Store(true)
 	}
 	key := fmt.Sprintf("%d-%d", dp.cfg.ID, asyncSeq.Add(1))
-	if err := dp.cfg.AsyncStore.HSet(asyncQueueHash, key, marshalAsyncTask(t)); err != nil {
-		return "", err
+	if err := dp.cfg.AsyncStore.HSet(sh.hash, key, marshalAsyncTask(*t)); err != nil {
+		return err
 	}
-	return key, nil
+	t.storeKey = key
+	t.storeHash = sh.hash
+	return nil
+}
+
+// observeAsyncKey raises the key-sequence high-water mark past a
+// recovered record's key, so keys minted after a restart can never
+// collide with (and overwrite, or cross-settle) a recovered task's
+// still-unsettled record.
+func observeAsyncKey(key string) {
+	dash := -1
+	for i := 0; i < len(key); i++ {
+		if key[i] == '-' {
+			dash = i
+		}
+	}
+	if dash < 0 || dash+1 >= len(key) {
+		return
+	}
+	var seq uint64
+	for _, c := range key[dash+1:] {
+		if c < '0' || c > '9' {
+			return
+		}
+		seq = seq*10 + uint64(c-'0')
+	}
+	for {
+		cur := asyncSeq.Load()
+		if seq <= cur || asyncSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
 }
 
 // settleAsync removes a completed (or permanently failed) task from the
 // durable queue.
-func (dp *DataPlane) settleAsync(key string) {
-	if key == "" || dp.cfg.AsyncStore == nil {
+func (dp *DataPlane) settleAsync(t *asyncTask) {
+	if t.storeKey == "" || dp.cfg.AsyncStore == nil {
 		return
 	}
-	if err := dp.cfg.AsyncStore.HDel(asyncQueueHash, key); err != nil {
+	if err := dp.cfg.AsyncStore.HDel(t.storeHash, t.storeKey); err != nil {
 		dp.metrics.Counter("async_settle_errors").Inc()
 	}
 }
 
+// asyncStoreHashes returns every store hash replay must scan: each
+// configured shard's hash, the seed's unsharded hash, and every hash
+// the store's index says has ever held a record — so a restart with any
+// different -async-shards value (up or down, any count) still replays
+// every durable record. Scanning an empty hash costs nothing, while
+// missing one would strand acknowledged tasks. Each recovered task
+// keeps its original store coordinates for settlement, wherever it was
+// found.
+func (dp *DataPlane) asyncStoreHashes() []string {
+	seen := map[string]bool{asyncQueueHash: true}
+	hashes := []string{asyncQueueHash}
+	add := func(h string) {
+		if !seen[h] {
+			seen[h] = true
+			hashes = append(hashes, h)
+		}
+	}
+	for _, sh := range dp.asyncShards {
+		add(sh.hash)
+	}
+	if dp.cfg.AsyncStore != nil {
+		for h := range dp.cfg.AsyncStore.HGetAll(asyncIndexHash) {
+			add(h)
+		}
+	}
+	return hashes
+}
+
 // recoverAsync re-enqueues tasks that were durably accepted but not yet
-// settled when the previous replica incarnation crashed.
+// settled when the previous replica incarnation crashed. Each task is
+// routed to the shard that owns its function under the current
+// configuration, regardless of which hash it was persisted under.
 func (dp *DataPlane) recoverAsync() {
 	if dp.cfg.AsyncStore == nil {
 		return
 	}
-	for key, raw := range dp.cfg.AsyncStore.HGetAll(asyncQueueHash) {
-		task, err := unmarshalAsyncTask(raw)
-		if err != nil {
-			// Unreadable record: drop it rather than crash-loop.
-			dp.cfg.AsyncStore.HDel(asyncQueueHash, key)
-			dp.metrics.Counter("async_recover_corrupt").Inc()
-			continue
-		}
-		task.storeKey = key
-		task.attempt = 0 // restart the retry budget after recovery
-		select {
-		case dp.asyncCh <- task:
-			dp.metrics.Counter("async_recovered").Inc()
-		default:
-			dp.metrics.Counter("async_recover_overflow").Inc()
+	for _, hash := range dp.asyncStoreHashes() {
+		for key, raw := range dp.cfg.AsyncStore.HGetAll(hash) {
+			task, err := unmarshalAsyncTask(raw)
+			if err != nil {
+				// Unreadable record: drop it rather than crash-loop.
+				dp.cfg.AsyncStore.HDel(hash, key)
+				dp.metrics.Counter("async_recover_corrupt").Inc()
+				continue
+			}
+			task.storeKey = key
+			task.storeHash = hash
+			task.attempt = 0 // restart the retry budget after recovery
+			// Fresh keys must never collide with this record's key: a
+			// collision would overwrite (or cross-settle) whichever
+			// task loses the race, silently dropping an acknowledged
+			// invocation on the next crash.
+			observeAsyncKey(key)
+			select {
+			case dp.asyncShardFor(task.function).ch <- task:
+				dp.metrics.Counter("async_recovered").Inc()
+			default:
+				dp.metrics.Counter("async_recover_overflow").Inc()
+			}
 		}
 	}
 }
 
-// PendingAsync reports the number of durably queued async invocations.
+// PendingAsync reports the number of queued async invocations: durable
+// records across every shard hash when persistence is on, buffered
+// channel depth otherwise.
 func (dp *DataPlane) PendingAsync() int {
 	if dp.cfg.AsyncStore == nil {
-		return len(dp.asyncCh)
+		n := 0
+		for _, sh := range dp.asyncShards {
+			n += len(sh.ch)
+		}
+		return n
 	}
-	return dp.cfg.AsyncStore.HLen(asyncQueueHash)
+	n := 0
+	for _, hash := range dp.asyncStoreHashes() {
+		n += dp.cfg.AsyncStore.HLen(hash)
+	}
+	return n
 }

@@ -3,6 +3,7 @@ package dataplane
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
@@ -54,13 +55,13 @@ func TestAsyncPersistedUntilCompletion(t *testing.T) {
 	// The task must eventually complete and the durable record disappear.
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
-		if dp.metrics.Counter("async_completed").Value() >= 1 && db.HLen(asyncQueueHash) == 0 {
+		if dp.metrics.Counter("async_completed").Value() >= 1 && dp.PendingAsync() == 0 {
 			return
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
 	t.Fatalf("async task not completed+settled: completed=%d pending=%d",
-		dp.metrics.Counter("async_completed").Value(), db.HLen(asyncQueueHash))
+		dp.metrics.Counter("async_completed").Value(), dp.PendingAsync())
 }
 
 func TestAsyncSurvivesDataPlaneRestart(t *testing.T) {
@@ -91,8 +92,8 @@ func TestAsyncSurvivesDataPlaneRestart(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if db.HLen(asyncQueueHash) != 3 {
-		t.Fatalf("persisted = %d, want 3", db.HLen(asyncQueueHash))
+	if dp1.PendingAsync() != 3 {
+		t.Fatalf("persisted = %d, want 3", dp1.PendingAsync())
 	}
 	dp1.Stop() // crash: tasks remain durable
 
@@ -120,13 +121,13 @@ func TestAsyncSurvivesDataPlaneRestart(t *testing.T) {
 	pushEndpoints(t, tr, dp2.Addr(), "f", []core.SandboxID{1}, "w1:9000")
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		if dp2.metrics.Counter("async_completed").Value() >= 3 && db.HLen(asyncQueueHash) == 0 {
+		if dp2.metrics.Counter("async_completed").Value() >= 3 && dp2.PendingAsync() == 0 {
 			return
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("recovered tasks not completed: completed=%d pending=%d",
-		dp2.metrics.Counter("async_completed").Value(), db.HLen(asyncQueueHash))
+		dp2.metrics.Counter("async_completed").Value(), dp2.PendingAsync())
 }
 
 func TestAsyncCorruptRecordDropped(t *testing.T) {
@@ -159,5 +160,213 @@ func TestPendingAsyncWithoutStore(t *testing.T) {
 	dp := testDP(t, tr)
 	if dp.PendingAsync() != 0 {
 		t.Errorf("PendingAsync = %d", dp.PendingAsync())
+	}
+}
+
+// TestAsyncShardsAblationSeedParity pins the -async-shards 1 ablation to
+// the seed single-queue design: one shard, one dispatch loop feeding it,
+// the seed's channel capacity, and — critically for restart
+// compatibility — the seed's exact store hash for durable records.
+func TestAsyncShardsAblationSeedParity(t *testing.T) {
+	tr := transport.NewInProc()
+	startFakeCP(t, tr, "cp")
+	db := store.NewMemory()
+	dp := New(Config{
+		ID:             1,
+		Addr:           "dp0:8000",
+		Transport:      tr,
+		ControlPlanes:  []string{"cp"},
+		MetricInterval: time.Hour,
+		QueueTimeout:   20 * time.Millisecond,
+		AsyncRetries:   1_000_000, // keep tasks pending
+		AsyncStore:     db,
+		AsyncShards:    1,
+	})
+	if err := dp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Stop()
+	if len(dp.asyncShards) != 1 {
+		t.Fatalf("AsyncShards=1 built %d shards", len(dp.asyncShards))
+	}
+	if got := dp.asyncShards[0].hash; got != asyncQueueHash {
+		t.Fatalf("seed ablation store hash = %q, want %q", got, asyncQueueHash)
+	}
+	if got := cap(dp.asyncShards[0].ch); got != seedAsyncQueueCap {
+		t.Fatalf("seed ablation queue capacity = %d, want %d", got, seedAsyncQueueCap)
+	}
+	pushFunction(t, tr, dp.Addr(), "f")
+	for i := 0; i < 3; i++ {
+		req := proto.InvokeRequest{Function: "f", Async: true, Payload: []byte{byte(i)}}
+		if _, err := tr.Call(context.Background(), dp.Addr(), proto.MethodInvoke, req.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.HLen(asyncQueueHash); got != 3 {
+		t.Fatalf("seed store hash holds %d records, want 3", got)
+	}
+}
+
+// TestAsyncShardsSpreadPersistence verifies the sharded queue actually
+// stripes: tasks for functions in different shards persist under
+// different store hashes, and PendingAsync sums across all of them.
+func TestAsyncShardsSpreadPersistence(t *testing.T) {
+	tr := transport.NewInProc()
+	startFakeCP(t, tr, "cp")
+	db := store.NewMemory()
+	dp := New(Config{
+		ID:             1,
+		Addr:           "dp0:8000",
+		Transport:      tr,
+		ControlPlanes:  []string{"cp"},
+		MetricInterval: time.Hour,
+		QueueTimeout:   20 * time.Millisecond,
+		AsyncRetries:   1_000_000, // keep tasks pending
+		AsyncStore:     db,
+	})
+	if err := dp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Stop()
+	hashes := make(map[string]bool)
+	for i := 0; i < 16; i++ {
+		fn := fmt.Sprintf("spread-%d", i)
+		pushFunction(t, tr, dp.Addr(), fn)
+		hashes[dp.asyncShardFor(fn).hash] = true
+		req := proto.InvokeRequest{Function: fn, Async: true}
+		if _, err := tr.Call(context.Background(), dp.Addr(), proto.MethodInvoke, req.Marshal()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(hashes) < 2 {
+		t.Fatalf("16 functions all hashed to one shard; striping broken")
+	}
+	populated := 0
+	for h := range hashes {
+		if db.HLen(h) > 0 {
+			populated++
+		}
+	}
+	if populated < 2 {
+		t.Errorf("durable records concentrated in %d hash(es), want >= 2", populated)
+	}
+	if got := dp.PendingAsync(); got != 16 {
+		t.Errorf("PendingAsync = %d, want 16 across shards", got)
+	}
+}
+
+// TestAsyncRecoverAcrossShardConfigs covers crash replay across
+// -async-shards reconfigurations in both directions: records persisted
+// by the seed single-queue config are recovered (and settled in place)
+// by a sharded replica, and records persisted sharded are recovered by a
+// seed-config replica.
+func TestAsyncRecoverAcrossShardConfigs(t *testing.T) {
+	for _, tc := range []struct {
+		name                    string
+		firstShards, nextShards int
+	}{
+		{"seed-to-sharded", 1, 0},
+		{"sharded-to-seed", 0, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := transport.NewInProc()
+			startFakeCP(t, tr, "cp")
+			db := store.NewMemory()
+			dp1 := New(Config{
+				ID:             1,
+				Addr:           "dp0:8000",
+				Transport:      tr,
+				ControlPlanes:  []string{"cp"},
+				MetricInterval: time.Hour,
+				QueueTimeout:   20 * time.Millisecond,
+				AsyncRetries:   1_000_000,
+				AsyncStore:     db,
+				AsyncShards:    tc.firstShards,
+			})
+			if err := dp1.Start(); err != nil {
+				t.Fatal(err)
+			}
+			pushFunction(t, tr, dp1.Addr(), "f")
+			for i := 0; i < 3; i++ {
+				req := proto.InvokeRequest{Function: "f", Async: true, Payload: []byte{byte(i)}}
+				if _, err := tr.Call(context.Background(), dp1.Addr(), proto.MethodInvoke, req.Marshal()); err != nil {
+					t.Fatal(err)
+				}
+			}
+			dp1.Stop() // crash with 3 durable tasks
+
+			startSandboxHost(t, tr, "w1:9000", 0)
+			dp2 := New(Config{
+				ID:             1,
+				Addr:           "dp0:8000",
+				Transport:      tr,
+				ControlPlanes:  []string{"cp"},
+				MetricInterval: time.Hour,
+				QueueTimeout:   2 * time.Second,
+				AsyncRetries:   10,
+				AsyncStore:     db,
+				AsyncShards:    tc.nextShards,
+			})
+			if err := dp2.Start(); err != nil {
+				t.Fatal(err)
+			}
+			defer dp2.Stop()
+			if got := dp2.metrics.Counter("async_recovered").Value(); got != 3 {
+				t.Fatalf("recovered = %d, want 3", got)
+			}
+			pushFunction(t, tr, dp2.Addr(), "f")
+			pushEndpoints(t, tr, dp2.Addr(), "f", []core.SandboxID{1}, "w1:9000")
+			deadline := time.Now().Add(10 * time.Second)
+			for time.Now().Before(deadline) {
+				if dp2.metrics.Counter("async_completed").Value() >= 3 && dp2.PendingAsync() == 0 {
+					return
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			t.Fatalf("recovered tasks not completed+settled: completed=%d pending=%d",
+				dp2.metrics.Counter("async_completed").Value(), dp2.PendingAsync())
+		})
+	}
+}
+
+// TestAsyncRecoveredKeyNotReused: after a crash replay, freshly minted
+// store keys must never collide with a recovered task's key — a
+// collision would overwrite the recovered record (losing it on the next
+// crash) or let either task's settlement delete the other's record.
+func TestAsyncRecoveredKeyNotReused(t *testing.T) {
+	tr := transport.NewInProc()
+	startFakeCP(t, tr, "cp")
+	db := store.NewMemory()
+	// A durable record whose key sequence is exactly where the replica's
+	// key counter would mint next — the collision case.
+	collidingKey := fmt.Sprintf("1-%d", asyncSeq.Load()+1)
+	db.HSet(asyncQueueHash, collidingKey, marshalAsyncTask(asyncTask{function: "f"}))
+
+	dp := New(Config{
+		ID:             1,
+		Addr:           "dp0:8000",
+		Transport:      tr,
+		ControlPlanes:  []string{"cp"},
+		MetricInterval: time.Hour,
+		QueueTimeout:   20 * time.Millisecond,
+		AsyncRetries:   1_000_000, // keep both tasks pending
+		AsyncStore:     db,
+		AsyncShards:    1,
+	})
+	if err := dp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer dp.Stop()
+	if got := dp.metrics.Counter("async_recovered").Value(); got != 1 {
+		t.Fatalf("recovered = %d, want 1", got)
+	}
+	pushFunction(t, tr, dp.Addr(), "f")
+	req := proto.InvokeRequest{Function: "f", Async: true}
+	if _, err := tr.Call(context.Background(), dp.Addr(), proto.MethodInvoke, req.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	// Both the recovered and the new record must coexist durably.
+	if got := db.HLen(asyncQueueHash); got != 2 {
+		t.Fatalf("store holds %d records, want 2 (new key reused %q)", got, collidingKey)
 	}
 }

@@ -57,6 +57,10 @@ type Config struct {
 	Balancer loadbalancer.Policy
 	// MetricInterval is the period of scaling-metric reports to the CP.
 	MetricInterval time.Duration
+	// HeartbeatInterval is the period of DP → CP liveness heartbeats;
+	// the control plane prunes replicas whose heartbeats stop from its
+	// broadcast fan-out set and from the live set the front end polls.
+	HeartbeatInterval time.Duration
 	// QueueTimeout bounds how long a cold-start invocation may wait in
 	// the request queue before failing.
 	QueueTimeout time.Duration
@@ -67,6 +71,14 @@ type Config struct {
 	// invocations so they survive data plane crashes (the "persistent
 	// queue" of paper §3.4.2). Nil keeps the queue in memory only.
 	AsyncStore *store.Store
+	// AsyncShards is the number of stripes in the asynchronous queue:
+	// per-shard pending channels keyed by function hash, per-shard
+	// dispatch loops, and per-shard store hashes, so async acceptance,
+	// dispatch, persistence and crash replay scale with the shard count.
+	// 0 selects the default (32). 1 is the seed single-queue ablation:
+	// one channel, one dispatch loop, and the seed's exact store hash
+	// (mirroring -invoke-shards 1 on the sync path).
+	AsyncShards int
 	// InvokeShards is the number of stripes in the function registry.
 	// 0 selects the default (32). 1 is the global-lock ablation: every
 	// function shares one invoke mutex and warm-start picks rebuild the
@@ -87,6 +99,9 @@ func (c Config) withDefaults() Config {
 	if c.MetricInterval == 0 {
 		c.MetricInterval = 250 * time.Millisecond
 	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 250 * time.Millisecond
+	}
 	if c.QueueTimeout == 0 {
 		c.QueueTimeout = 60 * time.Second
 	}
@@ -95,6 +110,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.InvokeShards <= 0 {
 		c.InvokeShards = defaultInvokeShards
+	}
+	if c.AsyncShards <= 0 {
+		c.AsyncShards = defaultAsyncShards
 	}
 	if c.Metrics == nil {
 		c.Metrics = telemetry.NewRegistry()
@@ -182,7 +200,8 @@ type DataPlane struct {
 	mInvokeWait      *telemetry.Histogram
 	mInvokeContended *telemetry.Counter
 
-	asyncCh chan asyncTask
+	// asyncShards stripes the asynchronous queue (see asyncqueue.go).
+	asyncShards []*asyncShard
 
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
@@ -193,9 +212,12 @@ type asyncTask struct {
 	function string
 	payload  []byte
 	attempt  int
-	// storeKey identifies the durable record for this task ("" when the
-	// queue is memory-only).
-	storeKey string
+	// storeKey/storeHash locate the durable record for this task ("" when
+	// the queue is memory-only). The hash is carried per task so a record
+	// recovered from another configuration's shard hash (or the seed's
+	// unsharded hash) still settles where it was persisted.
+	storeKey  string
+	storeHash string
 }
 
 // New creates a data plane replica; call Start to register and serve.
@@ -208,7 +230,7 @@ func New(cfg Config) *DataPlane {
 		metrics:       cfg.Metrics,
 		shards:        newInvokeShards(cfg.InvokeShards),
 		snapshotPicks: cfg.InvokeShards > 1,
-		asyncCh:       make(chan asyncTask, 4096),
+		asyncShards:   newAsyncShards(cfg.AsyncShards),
 		stopCh:        make(chan struct{}),
 	}
 	if !dp.snapshotPicks {
@@ -245,11 +267,23 @@ func (dp *DataPlane) newRuntime(name string) *functionRuntime {
 // Start listens, registers with the control plane (which pushes function
 // and endpoint caches back), and starts the metric and async loops.
 func (dp *DataPlane) Start() error {
+	// Replay crash-surviving async invocations before the listener
+	// opens: replay also raises the store-key high-water mark past every
+	// recovered record (observeAsyncKey), and a new acceptance racing in
+	// ahead of that could mint a colliding key and overwrite an
+	// acknowledged task's only durable record.
+	dp.recoverAsync()
 	ln, err := dp.cfg.Transport.Listen(dp.cfg.Addr, dp.handleRPC)
 	if err != nil {
 		return fmt.Errorf("data plane %d: %w", dp.cfg.ID, err)
 	}
 	dp.listener = ln
+	// A ":0" listen address means the transport picked the port: adopt
+	// it so the identity the CP records (and hands to the front end's
+	// membership poll) routes back here.
+	if _, port := splitAddr(dp.cfg.Addr); port == 0 {
+		dp.cfg.Addr = ln.Addr()
+	}
 	req := proto.RegisterDataPlaneRequest{DataPlane: dp.identity()}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
@@ -257,12 +291,12 @@ func (dp *DataPlane) Start() error {
 		ln.Close()
 		return fmt.Errorf("data plane %d: register: %w", dp.cfg.ID, err)
 	}
-	// Re-enqueue async invocations that survived a crash of a previous
-	// incarnation of this replica before serving new ones.
-	dp.recoverAsync()
-	dp.wg.Add(2)
+	dp.wg.Add(2 + len(dp.asyncShards))
 	go dp.metricLoop()
-	go dp.asyncLoop()
+	go dp.heartbeatLoop()
+	for _, sh := range dp.asyncShards {
+		go dp.asyncLoop(sh)
+	}
 	return nil
 }
 

@@ -605,9 +605,9 @@ func TestAsyncRetryBackoffNotStranded(t *testing.T) {
 		QueueTimeout:   20 * time.Millisecond, // sync attempts fail fast
 		AsyncRetries:   2,
 	})
-	// Shrink the queue so a retry colliding with one accepted task
-	// overflows deterministically.
-	dp.asyncCh = make(chan asyncTask, 1)
+	// Shrink the function's queue shard so a retry colliding with one
+	// accepted task overflows deterministically.
+	dp.asyncShardFor("f").ch = make(chan asyncTask, 1)
 	if err := dp.Start(); err != nil {
 		t.Fatal(err)
 	}

@@ -398,69 +398,71 @@ func (dp *DataPlane) abandon(function string, p *pending) {
 	}
 }
 
-// acceptAsync durably queues an asynchronous invocation and acknowledges
-// immediately; the async loop executes it with retries (at-least-once,
-// paper §3.4.2).
+// acceptAsync durably queues an asynchronous invocation on its
+// function's queue shard and acknowledges immediately; the shard's
+// dispatch loop executes it with retries (at-least-once, paper §3.4.2).
 func (dp *DataPlane) acceptAsync(req *proto.InvokeRequest) ([]byte, error) {
 	task := asyncTask{function: req.Function, payload: req.Payload}
+	sh := dp.asyncShardFor(req.Function)
 	// Persist before acknowledging: once the client sees "accepted", the
 	// invocation survives a data plane crash (paper §3.4.2).
-	key, err := dp.persistAsync(task)
-	if err != nil {
+	if err := dp.persistAsync(sh, &task); err != nil {
 		dp.metrics.Counter("async_rejected").Inc()
 		return nil, fmt.Errorf("data plane: persist async invocation: %w", err)
 	}
-	task.storeKey = key
 	select {
-	case dp.asyncCh <- task:
+	case sh.ch <- task:
 		dp.metrics.Counter("async_accepted").Inc()
 		resp := proto.InvokeResponse{Body: []byte("accepted")}
 		return resp.Marshal(), nil
 	default:
-		dp.settleAsync(key)
+		dp.settleAsync(&task)
 		dp.metrics.Counter("async_rejected").Inc()
 		return nil, fmt.Errorf("data plane: async queue full")
 	}
 }
 
-func (dp *DataPlane) asyncLoop() {
+// asyncLoop drains one queue shard. Each shard runs its own loop, so a
+// slow function (every dispatch here is a full synchronous invocation,
+// retries included) only stalls the tasks hashed to its shard.
+func (dp *DataPlane) asyncLoop(sh *asyncShard) {
 	defer dp.wg.Done()
 	for {
 		select {
 		case <-dp.stopCh:
 			return
-		case task := <-dp.asyncCh:
+		case task := <-sh.ch:
 			if _, err := dp.invokeSync(task.function, task.payload); err != nil {
 				task.attempt++
 				if task.attempt <= dp.cfg.AsyncRetries {
 					dp.metrics.Counter("async_retries").Inc()
 					select {
-					case dp.asyncCh <- task:
+					case sh.ch <- task:
 					default:
 						// Queue overflow: hold the retry back and
 						// re-enqueue with backoff instead of stranding
 						// it until the next restart.
 						dp.metrics.Counter("async_backoff").Inc()
 						dp.wg.Add(1)
-						go dp.requeueAsync(task)
+						go dp.requeueAsync(sh, task)
 					}
 				} else {
-					dp.settleAsync(task.storeKey)
+					dp.settleAsync(&task)
 					dp.metrics.Counter("async_failed").Inc()
 				}
 			} else {
-				dp.settleAsync(task.storeKey)
+				dp.settleAsync(&task)
 				dp.metrics.Counter("async_completed").Inc()
 			}
 		}
 	}
 }
 
-// requeueAsync retries handing an overflowed async retry back to the
-// queue with exponential backoff, keeping at-least-once semantics
+// requeueAsync retries handing an overflowed async retry back to its
+// shard with exponential backoff, keeping at-least-once semantics
 // without a restart. The durable record stays in place until the task
 // settles, so a crash during the backoff still recovers it.
-func (dp *DataPlane) requeueAsync(task asyncTask) {
+func (dp *DataPlane) requeueAsync(sh *asyncShard, task asyncTask) {
 	defer dp.wg.Done()
 	backoff := 10 * time.Millisecond
 	for {
@@ -470,7 +472,7 @@ func (dp *DataPlane) requeueAsync(task asyncTask) {
 		case <-dp.clk.After(backoff):
 		}
 		select {
-		case dp.asyncCh <- task:
+		case sh.ch <- task:
 			dp.metrics.Counter("async_requeued").Inc()
 			return
 		default:
@@ -479,6 +481,32 @@ func (dp *DataPlane) requeueAsync(task asyncTask) {
 			}
 		}
 	}
+}
+
+// heartbeatLoop announces this replica's liveness to the control plane on
+// the injected clock. When heartbeats stop, the control plane prunes the
+// replica from its broadcast fan-out set and from the live set the front
+// end polls; when they resume, it re-admits the replica with a full cache
+// re-warm.
+func (dp *DataPlane) heartbeatLoop() {
+	defer dp.wg.Done()
+	for {
+		select {
+		case <-dp.stopCh:
+			return
+		case <-dp.clk.After(dp.cfg.HeartbeatInterval):
+			dp.sendHeartbeat()
+		}
+	}
+}
+
+func (dp *DataPlane) sendHeartbeat() {
+	hb := proto.DataPlaneHeartbeat{DataPlane: dp.identity()}
+	ctx, cancel := context.WithTimeout(context.Background(), dp.cfg.HeartbeatInterval*4)
+	defer cancel()
+	// Best effort: a missed heartbeat is exactly what the CP's health
+	// monitor is designed to tolerate and detect.
+	_, _ = dp.cp.Call(ctx, proto.MethodDataPlaneHeartbeat, hb.Marshal())
 }
 
 // metricLoop periodically reports per-function scaling metrics to the

@@ -247,6 +247,20 @@ func (w *Worker) handleRPC(method string, payload []byte) ([]byte, error) {
 		w.mu.Unlock()
 		w.dropQueuedReady(core.SandboxID(id))
 		return nil, nil
+	case proto.MethodKillSandboxBatch:
+		batch, err := proto.UnmarshalKillSandboxBatch(payload)
+		if err != nil {
+			return nil, err
+		}
+		w.mu.Lock()
+		for _, id := range batch.IDs {
+			delete(w.sandboxes, id)
+		}
+		w.mu.Unlock()
+		for _, id := range batch.IDs {
+			w.dropQueuedReady(id)
+		}
+		return nil, nil
 	case proto.MethodListSandboxes:
 		return w.listSandboxes().Marshal(), nil
 	case proto.MethodInvokeSandbox:

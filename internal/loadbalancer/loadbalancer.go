@@ -77,16 +77,8 @@ type SnapshotPolicy interface {
 // splitmix64 is a stateless mixer used for allocation-free, lock-free
 // pseudo-random decisions on the snapshot hot path, seeded from the
 // invocation key (the seeded-rng state in Pick would be a cross-function
-// serialization point).
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
-}
+// serialization point). Shared with the front end's rendezvous weights.
+func splitmix64(x uint64) uint64 { return core.Splitmix64(x) }
 
 // LeastLoaded picks the endpoint with the fewest in-flight requests that
 // still has a free slot, breaking ties pseudo-randomly.

@@ -27,6 +27,10 @@ const (
 	MethodListFunctions       = "cp.ListFunctions"
 	MethodScalingMetric       = "cp.ScalingMetric"
 	MethodDataPlaneHeartbeat  = "cp.DataPlaneHeartbeat"
+	// MethodListDataPlanes returns the live (heartbeat-fresh) data plane
+	// replica set; the front-end load balancer polls it to keep its
+	// membership in sync as replicas come and go.
+	MethodListDataPlanes = "cp.ListDataPlanes"
 	// CP → DP.
 	MethodAddFunction     = "dp.AddFunction"
 	MethodRemoveFunction  = "dp.RemoveFunction"
@@ -42,7 +46,11 @@ const (
 	// per-call transport and handler cost across a burst of cold starts.
 	MethodCreateSandboxBatch = "wn.CreateSandboxBatch"
 	MethodKillSandbox        = "wn.KillSandbox"
-	MethodListSandboxes      = "wn.ListSandboxes"
+	// MethodKillSandboxBatch carries every teardown an autoscale
+	// scale-down (or function deregistration) assigned to one worker in a
+	// single RPC, mirroring MethodCreateSandboxBatch on the way down.
+	MethodKillSandboxBatch = "wn.KillSandboxBatch"
+	MethodListSandboxes    = "wn.ListSandboxes"
 	// WN → CP.
 	MethodRegisterWorker   = "cp.RegisterWorker"
 	MethodDeregisterWorker = "cp.DeregisterWorker"
@@ -420,6 +428,91 @@ func UnmarshalRegisterDataPlaneRequest(b []byte) (*RegisterDataPlaneRequest, err
 		return nil, wrap(err, "RegisterDataPlaneRequest")
 	}
 	return &RegisterDataPlaneRequest{DataPlane: *p}, nil
+}
+
+// DataPlaneHeartbeat is the DP → CP liveness signal. It carries the full
+// replica identity so a control plane that lost the in-memory registry
+// entry (e.g. a heartbeat racing a leadership recovery) can re-admit the
+// replica without waiting for it to restart and re-register.
+type DataPlaneHeartbeat struct {
+	DataPlane core.DataPlane
+}
+
+// Marshal encodes the heartbeat.
+func (m *DataPlaneHeartbeat) Marshal() []byte {
+	return core.MarshalDataPlane(&m.DataPlane)
+}
+
+// UnmarshalDataPlaneHeartbeat decodes a DataPlaneHeartbeat.
+func UnmarshalDataPlaneHeartbeat(b []byte) (*DataPlaneHeartbeat, error) {
+	p, err := core.UnmarshalDataPlane(b)
+	if err != nil {
+		return nil, wrap(err, "DataPlaneHeartbeat")
+	}
+	return &DataPlaneHeartbeat{DataPlane: *p}, nil
+}
+
+// DataPlaneList is the ListDataPlanes response: the replicas the control
+// plane currently considers live (registered and heartbeat-fresh).
+type DataPlaneList struct {
+	DataPlanes []core.DataPlane
+}
+
+// Marshal encodes the list.
+func (m *DataPlaneList) Marshal() []byte {
+	e := codec.NewEncoder(16 + 24*len(m.DataPlanes))
+	e.U32(uint32(len(m.DataPlanes)))
+	for i := range m.DataPlanes {
+		e.RawBytes(core.MarshalDataPlane(&m.DataPlanes[i]))
+	}
+	return e.Bytes()
+}
+
+// UnmarshalDataPlaneList decodes a DataPlaneList.
+func UnmarshalDataPlaneList(b []byte) (*DataPlaneList, error) {
+	d := codec.NewDecoder(b)
+	n := int(d.U32())
+	m := &DataPlaneList{}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		pb := d.RawBytes()
+		if d.Err() != nil {
+			break
+		}
+		p, err := core.UnmarshalDataPlane(pb)
+		if err != nil {
+			return nil, wrap(err, "DataPlaneList")
+		}
+		m.DataPlanes = append(m.DataPlanes, *p)
+	}
+	return m, wrap(d.Err(), "DataPlaneList")
+}
+
+// KillSandboxBatch instructs a worker to tear down several sandboxes in
+// one RPC: every teardown one autoscale scale-down assigned to that
+// worker, the downscale mirror of CreateSandboxBatch.
+type KillSandboxBatch struct {
+	IDs []core.SandboxID
+}
+
+// Marshal encodes the batch.
+func (m *KillSandboxBatch) Marshal() []byte {
+	e := codec.NewEncoder(16 + 8*len(m.IDs))
+	e.U32(uint32(len(m.IDs)))
+	for _, id := range m.IDs {
+		e.U64(uint64(id))
+	}
+	return e.Bytes()
+}
+
+// UnmarshalKillSandboxBatch decodes a KillSandboxBatch.
+func UnmarshalKillSandboxBatch(b []byte) (*KillSandboxBatch, error) {
+	d := codec.NewDecoder(b)
+	n := int(d.U32())
+	m := &KillSandboxBatch{}
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.IDs = append(m.IDs, core.SandboxID(d.U64()))
+	}
+	return m, wrap(d.Err(), "KillSandboxBatch")
 }
 
 // SandboxEvent reports a sandbox lifecycle transition (ready or crashed)

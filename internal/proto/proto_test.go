@@ -315,3 +315,49 @@ func TestTruncatedBatchMessagesError(t *testing.T) {
 		t.Errorf("truncated SandboxEventBatch accepted")
 	}
 }
+
+func TestDataPlaneHeartbeatRoundTrip(t *testing.T) {
+	m := &DataPlaneHeartbeat{DataPlane: core.DataPlane{ID: 3, IP: "10.0.0.9", Port: 8000}}
+	got, err := UnmarshalDataPlaneHeartbeat(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DataPlane != m.DataPlane {
+		t.Errorf("round trip: %+v", got.DataPlane)
+	}
+}
+
+func TestDataPlaneListRoundTrip(t *testing.T) {
+	m := &DataPlaneList{DataPlanes: []core.DataPlane{
+		{ID: 1, IP: "10.0.0.1", Port: 8000},
+		{ID: 2, IP: "10.0.0.2", Port: 8001},
+	}}
+	got, err := UnmarshalDataPlaneList(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.DataPlanes) != 2 || got.DataPlanes[0] != m.DataPlanes[0] || got.DataPlanes[1] != m.DataPlanes[1] {
+		t.Errorf("round trip: %+v", got.DataPlanes)
+	}
+	empty, err := UnmarshalDataPlaneList((&DataPlaneList{}).Marshal())
+	if err != nil || len(empty.DataPlanes) != 0 {
+		t.Errorf("empty list round trip: %+v, %v", empty, err)
+	}
+	if _, err := UnmarshalDataPlaneList(m.Marshal()[:3]); err == nil {
+		t.Errorf("truncated DataPlaneList accepted")
+	}
+}
+
+func TestKillSandboxBatchRoundTrip(t *testing.T) {
+	m := &KillSandboxBatch{IDs: []core.SandboxID{7, 9, 4096}}
+	got, err := UnmarshalKillSandboxBatch(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.IDs) != 3 || got.IDs[0] != 7 || got.IDs[1] != 9 || got.IDs[2] != 4096 {
+		t.Errorf("round trip: %+v", got.IDs)
+	}
+	if _, err := UnmarshalKillSandboxBatch(m.Marshal()[:6]); err == nil {
+		t.Errorf("truncated KillSandboxBatch accepted")
+	}
+}

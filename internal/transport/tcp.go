@@ -215,6 +215,12 @@ func (t *TCP) Call(ctx context.Context, addr, method string, payload []byte) ([]
 	respCh, id, err := cc.send(method, payload)
 	if err != nil {
 		t.dropConn(addr, cc)
+		if !errors.Is(err, ErrUnreachable) {
+			// A write failure means the connection died under the
+			// request — connection-level, so callers (front end, data
+			// plane, cpclient) fail over instead of surfacing it.
+			err = fmt.Errorf("%w: %s: %v", ErrUnreachable, addr, err)
+		}
 		return nil, err
 	}
 	select {
@@ -369,11 +375,16 @@ func (cc *tcpClientConn) close(err error) {
 	}
 }
 
+// errOrUnreachable classifies the reason a client connection died for
+// the requests stranded on it. Whatever severed the connection (EOF,
+// reset, a protocol violation), the effect for the in-flight request is
+// the same — the remote is unreachable mid-call — so the error unwraps
+// to ErrUnreachable and callers route around the dead peer.
 func errOrUnreachable(err error) error {
-	if err == nil || errors.Is(err, io.EOF) {
+	if err == nil || errors.Is(err, ErrUnreachable) {
 		return ErrUnreachable
 	}
-	return err
+	return fmt.Errorf("%w: %v", ErrUnreachable, err)
 }
 
 // Close tears down all client connections.

@@ -381,6 +381,18 @@ func (w *Worker) handleRPC(method string, payload []byte) ([]byte, error) {
 			d.ID = core.SandboxID(v)
 		}
 		return nil, w.killSandbox(d.ID)
+	case proto.MethodKillSandboxBatch:
+		batch, err := proto.UnmarshalKillSandboxBatch(payload)
+		if err != nil {
+			return nil, err
+		}
+		w.metrics.Counter("kill_batches_received").Inc()
+		// Unknown IDs (already crashed, or torn down by a racing drain)
+		// must not fail the rest of the batch.
+		for _, id := range batch.IDs {
+			_ = w.killSandbox(id)
+		}
+		return nil, nil
 	case proto.MethodListSandboxes:
 		return w.listSandboxes().Marshal(), nil
 	case proto.MethodInvokeSandbox:
