@@ -36,6 +36,9 @@ func main() {
 	autoscale := flag.Duration("autoscale-interval", 2*time.Second, "autoscaling loop period")
 	hbTimeout := flag.Duration("heartbeat-timeout", 2*time.Second, "worker heartbeat timeout")
 	dpTimeout := flag.Duration("dataplane-timeout", 0, "data plane heartbeat timeout before the replica is pruned from the fan-out set (0 = 3x heartbeat-timeout)")
+	relayTimeout := flag.Duration("relay-timeout", 0, "relay batch-arrival timeout before a relay is treated as a correlated mass-timeout candidate (0 = heartbeat-timeout)")
+	deadGC := flag.Duration("dead-worker-gc", 0, "how long a failed worker's record lingers (revivable by a late heartbeat) before it is garbage collected (0 = 10x heartbeat-timeout, negative = never)")
+	fullScanEvery := flag.Int("full-scan-every", 0, "with relays current, run a full registry scan every Nth health sweep; fast sweeps in between check only relays and suspects (0 = default 4, 1 = always full scan)")
 	persistAll := flag.Bool("persist-sandbox-state", false, "ablation: persist sandbox state on the critical path")
 	flag.Parse()
 
@@ -72,6 +75,9 @@ func main() {
 		AutoscaleInterval:   *autoscale,
 		HeartbeatTimeout:    *hbTimeout,
 		DataPlaneTimeout:    *dpTimeout,
+		RelayTimeout:        *relayTimeout,
+		DeadWorkerGC:        *deadGC,
+		FullScanEvery:       *fullScanEvery,
 		PersistSandboxState: *persistAll,
 		// TCP deployments need wider election windows than in-process.
 		RaftHeartbeat:   50 * time.Millisecond,

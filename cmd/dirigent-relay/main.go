@@ -1,0 +1,54 @@
+// Command dirigent-relay runs a standalone liveness relay over TCP. It
+// sits between worker daemons and the control plane: workers point their
+// -relay flag here and keep speaking the unmodified per-worker protocol
+// (register, heartbeat), and the relay ships the control plane one
+// aggregated batch RPC per flush period. Relays are stateless — kill one
+// and its workers fail over to the next relay on their list (or to the
+// direct control plane path) while the control plane re-verifies the
+// silent relay's members from its own arrival stamps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dirigent/internal/relay"
+	"dirigent/internal/transport"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7100", "address to listen on")
+	cps := flag.String("control-planes", "127.0.0.1:7000", "comma-separated control plane addresses")
+	flush := flag.Duration("flush-interval", 100*time.Millisecond, "batching period for aggregated heartbeat RPCs")
+	chunk := flag.Int("chunk", 0, "max samples or registrations per CP RPC (0 = default 1024)")
+	missTimeout := flag.Duration("miss-timeout", 0, "silence before a once-seen worker is reported missing (0 = 3x flush-interval)")
+	flag.Parse()
+
+	r := relay.New(relay.Config{
+		Addr:          *addr,
+		Transport:     transport.NewTCP(),
+		ControlPlanes: strings.Split(*cps, ","),
+		FlushInterval: *flush,
+		Chunk:         *chunk,
+		MissTimeout:   *missTimeout,
+	})
+	if err := r.Start(); err != nil {
+		log.Fatalf("start relay: %v", err)
+	}
+	fmt.Printf("dirigent-relay listening on %s (control planes: %s)\n", *addr, *cps)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+	r.Stop()
+	// Surface batching telemetry (flush latency, batch sizes, absorbed
+	// samples, flush errors) for post-mortem inspection.
+	fmt.Print(r.Metrics().Dump())
+}

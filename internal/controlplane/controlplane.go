@@ -98,6 +98,27 @@ type Config struct {
 	// HeartbeatTimeout is how long without a worker heartbeat before the
 	// health monitor declares the worker failed.
 	HeartbeatTimeout time.Duration
+	// RelayTimeout is how long without a batch from a relay before the
+	// health monitor declares the relay silent and re-verifies its
+	// workers' CP-side stamps individually (a silent relay is a
+	// correlated mass-timeout candidate, not automatically a mass
+	// failure — workers that failed over to another relay or to direct
+	// mode have fresh stamps and survive). 0 selects HeartbeatTimeout.
+	RelayTimeout time.Duration
+	// DeadWorkerGC is how long a crash-failed worker's registry entry
+	// lingers before being garbage-collected (entry and persisted record
+	// both removed, counted by dead_worker_gc). A late heartbeat within
+	// the window still revives the worker. 0 selects the default
+	// (10 × HeartbeatTimeout); negative disables collection.
+	DeadWorkerGC time.Duration
+	// FullScanEvery makes every N-th health sweep a full registry scan
+	// when relays are active. In-between sweeps are fast passes that only
+	// check relay freshness and relay-reported suspects — at 5000 workers
+	// the full scan is the dominant sweep cost, and with relays vouching
+	// for their members it only needs to run as the periodic ground
+	// truth. 0 selects the default (4); 1 forces every sweep full (and
+	// direct mode always scans fully regardless).
+	FullScanEvery int
 	// DataPlaneTimeout is how long without a data plane heartbeat before
 	// the health monitor prunes the replica from the broadcast fan-out
 	// set (and from the live set the front end polls). Data planes
@@ -146,6 +167,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DataPlaneTimeout == 0 {
 		c.DataPlaneTimeout = 3 * c.HeartbeatTimeout
+	}
+	if c.RelayTimeout == 0 {
+		c.RelayTimeout = c.HeartbeatTimeout
+	}
+	if c.DeadWorkerGC == 0 {
+		c.DeadWorkerGC = 10 * c.HeartbeatTimeout
+	}
+	if c.FullScanEvery <= 0 {
+		c.FullScanEvery = 4
 	}
 	if c.NoDownscaleWindow == 0 {
 		c.NoDownscaleWindow = 60 * time.Second
@@ -218,6 +248,14 @@ type workerState struct {
 	util    core.NodeUtilization
 	lastHB  time.Time
 	healthy bool
+	// via is the relay whose batch last carried this worker's sample
+	// ("" = direct heartbeat). lastHB is always the CP-side arrival time
+	// of that heartbeat or batch — never a relay-side timestamp.
+	via string
+	// failedAt is when the health monitor failed the worker (zero while
+	// healthy); crash-failed entries are garbage-collected once it is
+	// older than Config.DeadWorkerGC.
+	failedAt time.Time
 }
 
 // ControlPlane is one control plane replica.
@@ -237,6 +275,16 @@ type ControlPlane struct {
 	// workerCount tracks registered entries for the fleet_size gauge.
 	wshards     []*workerShard
 	workerCount atomic.Int64
+
+	// Relay tier tracking (see relays.go). The relay set is small (tens
+	// of relays front thousands of workers), so one mutex suffices; it is
+	// never held while touching worker shards. suspects accumulates
+	// relay-reported missing workers for the fast health sweeps; sweepSeq
+	// schedules the periodic full scans.
+	relayMu  sync.Mutex
+	relays   map[string]*relayState
+	suspects map[core.NodeID]struct{}
+	sweepSeq atomic.Uint64
 
 	// Data plane registry (see dataplanes.go). The set is small (a
 	// handful of replicas), so one RWMutex suffices; it is never taken on
@@ -258,17 +306,26 @@ type ControlPlane struct {
 
 	// Hot-path metric handles, resolved once so sandbox transitions skip
 	// the registry's name-lookup lock.
-	mSandboxReady   *telemetry.Histogram
-	mShardWait      *telemetry.Histogram
-	mShardContended *telemetry.Counter
-	mSchedLatency   *telemetry.Histogram
-	mCreateBatch    *telemetry.Histogram
-	mKillBatch      *telemetry.Histogram
-	mEndpointFanout *telemetry.Histogram
-	mRegWait        *telemetry.Histogram
-	mRegContended   *telemetry.Counter
-	mHealthSweep    *telemetry.Histogram
-	gFleetSize      *telemetry.Gauge
+	mSandboxReady    *telemetry.Histogram
+	mShardWait       *telemetry.Histogram
+	mShardContended  *telemetry.Counter
+	mSchedLatency    *telemetry.Histogram
+	mCreateBatch     *telemetry.Histogram
+	mKillBatch       *telemetry.Histogram
+	mEndpointFanout  *telemetry.Histogram
+	mRegWait         *telemetry.Histogram
+	mRegContended    *telemetry.Counter
+	mHealthSweep     *telemetry.Histogram
+	gFleetSize       *telemetry.Gauge
+	mIngestWait      *telemetry.Histogram
+	mIngestContended *telemetry.Counter
+	mHBBatchSize     *telemetry.Histogram
+	mRegBatchSize    *telemetry.Histogram
+	gRelayCount      *telemetry.Gauge
+	cHBRPCs          *telemetry.Counter
+	cHBBatchRPCs     *telemetry.Counter
+	cDeadWorkerGC    *telemetry.Counter
+	cRelayFailures   *telemetry.Counter
 }
 
 // New creates a control plane replica; call Start to serve.
@@ -281,6 +338,8 @@ func New(cfg Config) *ControlPlane {
 		shards:     newShards(cfg.StateShards),
 		wshards:    newWorkerShards(cfg.WorkerShards),
 		dataplanes: make(map[core.DataPlaneID]*dataPlaneState),
+		relays:     make(map[string]*relayState),
+		suspects:   make(map[core.NodeID]struct{}),
 		stopCh:     make(chan struct{}),
 	}
 	cp.mSandboxReady = cp.metrics.Histogram("sandbox_ready_ms")
@@ -294,6 +353,15 @@ func New(cfg Config) *ControlPlane {
 	cp.mRegContended = cp.metrics.Counter("reg_lock_contended")
 	cp.mHealthSweep = cp.metrics.Histogram("health_sweep_ms")
 	cp.gFleetSize = cp.metrics.Gauge("fleet_size")
+	cp.mIngestWait = cp.metrics.Histogram("ingest_lock_wait_ms")
+	cp.mIngestContended = cp.metrics.Counter("ingest_lock_contended")
+	cp.mHBBatchSize = cp.metrics.CountHistogram("heartbeat_batch_size")
+	cp.mRegBatchSize = cp.metrics.CountHistogram("register_batch_size")
+	cp.gRelayCount = cp.metrics.Gauge("relay_count")
+	cp.cHBRPCs = cp.metrics.Counter("worker_hb_rpcs")
+	cp.cHBBatchRPCs = cp.metrics.Counter("worker_hb_batch_rpcs")
+	cp.cDeadWorkerGC = cp.metrics.Counter("dead_worker_gc")
+	cp.cRelayFailures = cp.metrics.Counter("relay_failures_detected")
 	return cp
 }
 
@@ -538,6 +606,10 @@ func (cp *ControlPlane) handleRPC(method string, payload []byte) ([]byte, error)
 		return cp.handleDeregisterWorker(payload)
 	case proto.MethodWorkerHeartbeat:
 		return cp.handleWorkerHeartbeat(payload)
+	case proto.MethodWorkerHeartbeatBatch:
+		return cp.handleWorkerHeartbeatBatch(payload)
+	case proto.MethodRegisterWorkerBatch:
+		return cp.handleRegisterWorkerBatch(payload)
 	case proto.MethodRegisterDataPlane:
 		return cp.handleRegisterDataPlane(payload)
 	case proto.MethodDeregisterDataPlane:
@@ -663,11 +735,14 @@ func (cp *ControlPlane) handleWorkerHeartbeat(payload []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	cp.cHBRPCs.Inc()
 	if w := cp.getWorker(hb.Node); w != nil {
 		w.mu.Lock()
 		w.lastHB = cp.clk.Now()
 		w.util = hb.Util
 		w.healthy = true
+		w.via = ""
+		w.failedAt = time.Time{}
 		w.mu.Unlock()
 	}
 	return nil, nil

@@ -392,6 +392,9 @@ func (cp *ControlPlane) failWorker(id core.NodeID) {
 		return
 	}
 	w.healthy = false
+	// Start the dead-entry GC clock: the entry lingers for DeadWorkerGC
+	// so a late heartbeat can revive the node, then gets collected.
+	w.failedAt = cp.clk.Now()
 	w.mu.Unlock()
 	touched := make(map[string]bool)
 	cp.forEachShard(func(sh *functionShard) {

@@ -66,6 +66,31 @@ func (cp *ControlPlane) rlockWorkerShard(ws *workerShard) {
 	cp.mRegWait.Observe(time.Since(start))
 }
 
+// lockWorkerShardIngest / rlockWorkerShardIngest are the batch-ingest
+// twins of lockWorkerShard: same TryLock fast path, but contended
+// acquisitions land in ingest_lock_* so batch-vs-batch (and
+// batch-vs-sweep) contention is distinguishable from the singleton
+// registration path's reg_lock_* in one telemetry dump.
+func (cp *ControlPlane) lockWorkerShardIngest(ws *workerShard) {
+	if ws.mu.TryLock() {
+		return
+	}
+	start := time.Now()
+	ws.mu.Lock()
+	cp.mIngestContended.Inc()
+	cp.mIngestWait.Observe(time.Since(start))
+}
+
+func (cp *ControlPlane) rlockWorkerShardIngest(ws *workerShard) {
+	if ws.mu.TryRLock() {
+		return
+	}
+	start := time.Now()
+	ws.mu.RLock()
+	cp.mIngestContended.Inc()
+	cp.mIngestWait.Observe(time.Since(start))
+}
+
 // getWorker returns the registry entry for a node, or nil. It takes only
 // the owning shard's read lock, so a heartbeat never serializes against
 // registrations or lookups on other shards.
@@ -178,24 +203,110 @@ func (cp *ControlPlane) rebuildWorkers(load func() []*workerState) []*workerStat
 // failure never stalls registrations or heartbeats on healthy shards.
 // Exported so tests and the fleet harness can drive the health monitor
 // deterministically instead of waiting for ticker periods.
+//
+// With a relay tier active the sweep is hierarchical: relay freshness is
+// checked first (a silent relay is a correlated mass-timeout candidate —
+// its declaration triggers a full scan that re-verifies every worker's
+// own CP-side stamp, so members that failed over to another relay
+// survive), and most passes are then fast sweeps over relay-reported
+// suspects only, with every FullScanEvery-th pass scanning the whole
+// registry as ground truth. Direct mode (no relays) always scans fully —
+// the seed behavior, bit for bit. Full scans also garbage-collect
+// crash-failed entries whose failure is older than DeadWorkerGC: the
+// registry entry and the persisted record are both removed (counted by
+// dead_worker_gc), so a fleet that churns nodes doesn't accrete tombstones
+// forever. A late heartbeat before collection still revives the worker.
 func (cp *ControlPlane) HealthSweep() {
 	start := cp.clk.Now()
-	var failed []core.NodeID
-	cp.forEachWorkerShard(func(ws *workerShard) {
-		for id, w := range ws.workers {
-			w.mu.Lock()
-			if w.healthy && start.Sub(w.lastHB) > cp.cfg.HeartbeatTimeout {
-				failed = append(failed, id)
+	seq := cp.sweepSeq.Add(1)
+	silentRelays := cp.sweepRelays(start)
+	fullScan := cp.relayCount() == 0 || len(silentRelays) > 0 ||
+		cp.cfg.FullScanEvery <= 1 || seq%uint64(cp.cfg.FullScanEvery) == 0
+
+	var failed, collect []core.NodeID
+	if fullScan {
+		cp.takeSuspects() // the scan below supersedes the pending hints
+		cp.forEachWorkerShard(func(ws *workerShard) {
+			for id, w := range ws.workers {
+				w.mu.Lock()
+				switch {
+				case w.healthy && start.Sub(w.lastHB) > cp.cfg.HeartbeatTimeout:
+					failed = append(failed, id)
+				case !w.healthy && cp.cfg.DeadWorkerGC > 0 && !w.failedAt.IsZero() &&
+					start.Sub(w.failedAt) > cp.cfg.DeadWorkerGC:
+					collect = append(collect, id)
+				}
+				w.mu.Unlock()
 			}
+		})
+	} else {
+		// Fast pass: relays are current, so their batches vouch for
+		// every member except the ones they reported missing. Only those
+		// suspects need a per-worker stamp check; the cost is
+		// O(relays + suspects) instead of O(fleet).
+		var requeue []core.NodeID
+		for _, id := range cp.takeSuspects() {
+			w := cp.getWorker(id)
+			if w == nil {
+				continue
+			}
+			w.mu.Lock()
+			healthy := w.healthy
+			age := start.Sub(w.lastHB)
 			w.mu.Unlock()
+			switch {
+			case !healthy:
+				// Already failed (or failed over and re-failed); done.
+			case age > cp.cfg.HeartbeatTimeout:
+				failed = append(failed, id)
+			case age > cp.cfg.HeartbeatTimeout/4:
+				// Still quiet but inside the timeout: keep watching so
+				// detection latency matches the direct path's.
+				requeue = append(requeue, id)
+			}
 		}
-	})
+		cp.addSuspects(requeue)
+	}
 	for _, id := range failed {
 		cp.failWorker(id)
+	}
+	for _, id := range collect {
+		cp.gcDeadWorker(id)
 	}
 	// Data planes share the sweep: replicas whose heartbeats stopped are
 	// pruned from the broadcast fan-out set (see dataplanes.go).
 	cp.sweepDataPlanes(start)
 	cp.gFleetSize.Set(cp.workerCount.Load())
 	cp.mHealthSweep.Observe(cp.clk.Since(start))
+}
+
+// gcDeadWorker removes a crash-failed worker's registry entry and its
+// persisted record once its failure has aged past DeadWorkerGC. The
+// health state is re-checked under the locks so a revival (late
+// heartbeat: healthy, fresh failedAt reset) or a re-registration racing
+// the collection wins and the entry stays.
+func (cp *ControlPlane) gcDeadWorker(id core.NodeID) {
+	ws := cp.workerShardFor(id)
+	cp.lockWorkerShard(ws)
+	w := ws.workers[id]
+	removed := false
+	var name string
+	if w != nil {
+		w.mu.Lock()
+		if !w.healthy && !w.failedAt.IsZero() &&
+			cp.clk.Now().Sub(w.failedAt) > cp.cfg.DeadWorkerGC {
+			delete(ws.workers, id)
+			removed = true
+			name = w.node.Name
+		}
+		w.mu.Unlock()
+	}
+	ws.mu.Unlock()
+	if !removed {
+		return
+	}
+	_ = cp.cfg.DB.HDel(hashWorkers, name)
+	cp.workerCount.Add(-1)
+	cp.gFleetSize.Set(cp.workerCount.Load())
+	cp.cDeadWorkerGC.Inc()
 }

@@ -2,8 +2,10 @@ package experiments
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -18,7 +20,7 @@ import (
 func init() {
 	register(Experiment{
 		ID:    "fleet",
-		Title: "Worker-registry fleet sweep: striped registry vs single lock under 1k-worker registration storms, heartbeat floods, scale bursts and correlated failures (paper §5.2.3)",
+		Title: "Paper-scale fleet sweep: direct vs relayed liveness at 1k/2.5k/5k workers — registration storms, CP liveness RPC rates, health-sweep cost and correlated-failure detection (paper §5.2.3)",
 		Run:   runFleet,
 	})
 }
@@ -44,6 +46,14 @@ type FleetConfig struct {
 	// ReadyDelay simulates per-sandbox creation latency on the
 	// emulated workers (default 0: readiness is immediate).
 	ReadyDelay time.Duration
+	// Relays, when > 0, stands up a relay tier of this many relays
+	// between the emulated workers and the control plane: liveness
+	// traffic arrives at the CP as aggregated batches. 0 keeps the
+	// seed's direct per-worker protocol (the -relay off ablation).
+	Relays int
+	// RelayFlush is each relay's batching period (default 100 ms —
+	// one CP RPC per relay per worker-heartbeat interval).
+	RelayFlush time.Duration
 }
 
 func (c FleetConfig) withDefaults() FleetConfig {
@@ -64,12 +74,13 @@ func (c FleetConfig) withDefaults() FleetConfig {
 // driven explicitly); the health loop runs on its normal period so
 // correlated failures are detected the way a deployment would.
 type FleetHarness struct {
-	cfg FleetConfig
-	tr  *transport.InProc
-	cp  *controlplane.ControlPlane
-	fl  *fleet.Fleet
-	db  *store.Store
-	seq int
+	cfg    FleetConfig
+	tr     *transport.InProc
+	cp     *controlplane.ControlPlane
+	fl     *fleet.Fleet
+	relays *fleet.Relays // nil in direct mode
+	db     *store.Store
+	seq    int
 }
 
 // NewFleetHarness builds the control plane and the (not yet started)
@@ -88,10 +99,25 @@ func NewFleetHarness(cfg FleetConfig) (*FleetHarness, error) {
 	if err := h.cp.Start(); err != nil {
 		return nil, err
 	}
+	var relayAddrs []string
+	if cfg.Relays > 0 {
+		h.relays = fleet.NewRelays(fleet.RelaysConfig{
+			Count:         cfg.Relays,
+			Transport:     h.tr,
+			ControlPlanes: []string{"fleet-cp"},
+			FlushInterval: cfg.RelayFlush,
+		})
+		if err := h.relays.Start(); err != nil {
+			h.cp.Stop()
+			return nil, err
+		}
+		relayAddrs = h.relays.Addrs()
+	}
 	h.fl = fleet.New(fleet.Config{
 		Size:              cfg.Workers,
 		Transport:         h.tr,
 		ControlPlanes:     []string{"fleet-cp"},
+		Relays:            relayAddrs,
 		HeartbeatInterval: cfg.HeartbeatInterval,
 		ReadyDelay:        cfg.ReadyDelay,
 	})
@@ -232,30 +258,67 @@ func (h *FleetHarness) Fleet() *fleet.Fleet { return h.fl }
 // "fleet-cp".
 func (h *FleetHarness) Transport() *transport.InProc { return h.tr }
 
+// Relays exposes the relay tier (nil in direct mode).
+func (h *FleetHarness) Relays() *fleet.Relays { return h.relays }
+
+// FlushRelays drives one explicit flush on every relay; harnesses that
+// park the relay flush loops call it once per emulated heartbeat period.
+func (h *FleetHarness) FlushRelays() {
+	if h.relays != nil {
+		h.relays.FlushAll()
+	}
+}
+
 // Close tears the cluster down.
 func (h *FleetHarness) Close() {
 	h.fl.Stop()
+	if h.relays != nil {
+		h.relays.Stop()
+	}
 	h.cp.Stop()
 	h.db.Close()
 }
 
-// runFleet sweeps fleet sizes across the striped registry and the
-// single-lock ablation, reporting the four fleet phases plus the
-// registry-contention and health-sweep telemetry that explains them.
+// fleetBenchRow is one row of BENCH_fleet.json: the fleet sweep's
+// machine-readable output, committed so CI can diff liveness-path
+// regressions across revisions.
+type fleetBenchRow struct {
+	Mode              string  `json:"mode"`
+	Workers           int     `json:"workers"`
+	Relays            int     `json:"relays"`
+	RegStormMs        float64 `json:"reg_storm_ms"`
+	CPLivenessRPCsSec float64 `json:"cp_liveness_rpcs_per_s"`
+	HBBatchP50        float64 `json:"heartbeat_batch_p50"`
+	HealthSweepP50Ms  float64 `json:"health_sweep_p50_ms"`
+	FailDetectMs      float64 `json:"fail_detect_ms"`
+}
+
+// runFleet sweeps the paper's fleet sizes (§5.2.3 runs the control plane
+// against 5000 workers) across the liveness-path ablation: the seed's
+// direct per-worker protocol vs a 16-relay tier batching heartbeats and
+// registrations. For each arm it reports the registration storm, the
+// steady-state CP liveness RPC rate and health-sweep cost (measured over
+// a live window with every background loop running), and the
+// correlated-failure detection time — the relay win is valid only if
+// detection latency holds. Results are also written to BENCH_fleet.json.
 func runFleet(w io.Writer, scale float64) error {
-	sizes := []int{scaleInt(256, scale, 64), scaleInt(1024, scale, 128)}
-	configs := []struct {
+	sizes := []int{scaleInt(1000, scale, 96), scaleInt(2500, scale, 160), scaleInt(5000, scale, 256)}
+	modes := []struct {
 		name   string
-		shards int
+		relays int
 	}{
-		{"sharded (32 stripes)", 0},
-		{"global (-worker-shards 1)", 1},
+		{"direct (-relay off)", 0},
+		{"relay (16 relays)", 16},
 	}
-	t := newTable("config", "workers", "reg_storm_ms", "hb_round_ms", "burst_ms",
-		"fail_detect_ms", "reg_contended", "health_sweep_p99_ms")
-	for _, cfg := range configs {
+	// Long enough for ~8 health sweeps (187.5 ms period) and hundreds of
+	// relay flushes, so the p50s and the RPC rate are steady-state.
+	const window = 1500 * time.Millisecond
+	t := newTable("mode", "workers", "reg_storm_ms", "cp_rpcs_per_s", "hb_batch_p50",
+		"health_sweep_p50_ms", "fail_detect_ms")
+	var rows []fleetBenchRow
+	for _, mode := range modes {
 		for _, size := range sizes {
-			h, err := NewFleetHarness(FleetConfig{Workers: size, WorkerShards: cfg.shards})
+			h, err := NewFleetHarness(FleetConfig{Workers: size, Relays: mode.relays})
 			if err != nil {
 				return err
 			}
@@ -264,41 +327,56 @@ func runFleet(w io.Writer, scale float64) error {
 				h.Close()
 				return err
 			}
-			// Steady state: a few explicit full-fleet heartbeat rounds on
-			// top of the background loops.
-			var hbTotal time.Duration
-			const rounds = 5
-			for i := 0; i < rounds; i++ {
-				hbTotal += h.HeartbeatRound(32)
-			}
-			burstMs, err := h.ScaleBurst(size)
-			if err != nil {
-				h.Close()
-				return err
-			}
+			// Steady-state liveness window: worker heartbeat loops, relay
+			// flush loops and the CP health loop all run on the wall
+			// clock; the counters' delta is the CP's liveness RPC rate.
+			m := h.CP().Metrics()
+			m.Histogram("health_sweep_ms").Reset()
+			base := m.Counter("worker_hb_rpcs").Value() + m.Counter("worker_hb_batch_rpcs").Value()
+			time.Sleep(window)
+			delta := m.Counter("worker_hb_rpcs").Value() + m.Counter("worker_hb_batch_rpcs").Value() - base
+			rpcsPerSec := float64(delta) / window.Seconds()
+			sweepP50 := m.Histogram("health_sweep_ms").Percentile(50)
+			batchP50 := m.Histogram("heartbeat_batch_size").Percentile(50)
 			failMs, err := h.CorrelatedFailure(0.25)
 			if err != nil {
 				h.Close()
 				return err
 			}
-			m := h.CP().Metrics()
 			t.addRow(
-				cfg.name,
+				mode.name,
 				size,
 				float64(regMs)/float64(time.Millisecond),
-				float64(hbTotal)/float64(rounds)/float64(time.Millisecond),
-				float64(burstMs)/float64(time.Millisecond),
+				rpcsPerSec,
+				batchP50,
+				sweepP50,
 				float64(failMs)/float64(time.Millisecond),
-				int(m.Counter("reg_lock_contended").Value()),
-				m.Histogram("health_sweep_ms").Percentile(99),
 			)
+			rows = append(rows, fleetBenchRow{
+				Mode:              map[bool]string{true: "relay", false: "direct"}[mode.relays > 0],
+				Workers:           size,
+				Relays:            mode.relays,
+				RegStormMs:        float64(regMs) / float64(time.Millisecond),
+				CPLivenessRPCsSec: rpcsPerSec,
+				HBBatchP50:        batchP50,
+				HealthSweepP50Ms:  sweepP50,
+				FailDetectMs:      float64(failMs) / float64(time.Millisecond),
+			})
 			h.Close()
 		}
 	}
 	t.write(w)
-	fmt.Fprintln(w, "# Expected shape: the striped registry keeps reg_contended near zero while the")
-	fmt.Fprintln(w, "# single-lock ablation serializes registration storms, heartbeat floods and")
-	fmt.Fprintln(w, "# health sweeps on one RWMutex. fail_detect_ms is floored by the heartbeat")
-	fmt.Fprintln(w, "# timeout (750 ms); the striping win is the sweep/drain cost on top of it.")
+	fmt.Fprintln(w, "# Expected shape: direct mode costs one CP RPC per worker per 100 ms")
+	fmt.Fprintln(w, "# (5k workers = 50k RPCs/s) and full-registry health scans; the relay tier")
+	fmt.Fprintln(w, "# collapses that to ~10 batch RPCs/s per relay while fast sweeps touch only")
+	fmt.Fprintln(w, "# relays + suspects. fail_detect_ms is floored by the heartbeat timeout")
+	fmt.Fprintln(w, "# (750 ms) in both modes — the relay win must not cost detection latency.")
+	if data, err := json.MarshalIndent(rows, "", "  "); err == nil {
+		if werr := os.WriteFile("BENCH_fleet.json", append(data, '\n'), 0o644); werr != nil {
+			fmt.Fprintf(w, "# warning: BENCH_fleet.json not written: %v\n", werr)
+		} else {
+			fmt.Fprintln(w, "# wrote BENCH_fleet.json")
+		}
+	}
 	return nil
 }

@@ -21,6 +21,7 @@ import (
 	"dirigent/internal/core"
 	"dirigent/internal/cpclient"
 	"dirigent/internal/proto"
+	"dirigent/internal/relay"
 	"dirigent/internal/telemetry"
 	"dirigent/internal/transport"
 )
@@ -38,6 +39,12 @@ type WorkerConfig struct {
 	Transport transport.Transport
 	// ControlPlanes are the CP replica addresses.
 	ControlPlanes []string
+	// Relays, when non-empty, switches the worker's liveness traffic
+	// (register, heartbeat) to relay mode: RPCs go to the first relay
+	// that accepts them, in preference order, falling back to the direct
+	// control plane path when every relay refuses. Empty keeps the
+	// seed's direct WN → CP protocol exactly.
+	Relays []string
 	// Clock abstracts time; nil selects the wall clock.
 	Clock clock.Clock
 	// HeartbeatInterval is the WN → CP liveness period (default 100 ms).
@@ -59,6 +66,7 @@ type Worker struct {
 	cfg      WorkerConfig
 	clk      clock.Clock
 	cp       *cpclient.Client
+	live     *relay.Client // non-nil in relay mode; carries register + heartbeat
 	listener transport.Listener
 	metrics  *telemetry.Registry
 
@@ -104,6 +112,10 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		sandboxes: make(map[core.SandboxID]core.Function),
 		stopCh:    make(chan struct{}),
 	}
+	if len(cfg.Relays) > 0 {
+		w.live = relay.NewClient(cfg.Transport, cfg.Relays, cfg.ControlPlanes)
+		w.live.Fallbacks = cfg.Metrics.Counter("relay_fallbacks")
+	}
 	w.mCreates = w.metrics.Counter("emu_creates")
 	w.mHeartbeats = w.metrics.Counter("emu_heartbeats")
 	w.mReadyBatch = w.metrics.CountHistogram("emu_ready_batch_size")
@@ -140,10 +152,21 @@ func (w *Worker) Register() error {
 	req := proto.RegisterWorkerRequest{Worker: w.cfg.Node}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if _, err := w.cp.Call(ctx, proto.MethodRegisterWorker, req.Marshal()); err != nil {
+	if _, err := w.liveCall(ctx, proto.MethodRegisterWorker, req.Marshal()); err != nil {
 		return fmt.Errorf("fleet worker %s: register: %w", w.cfg.Node.Name, err)
 	}
 	return nil
+}
+
+// liveCall routes the liveness protocol (register, heartbeat): through the
+// relay tier in relay mode, directly to the control plane otherwise. Every
+// other RPC the worker makes stays on the direct path — relays carry only
+// the per-worker traffic that dominates at fleet scale.
+func (w *Worker) liveCall(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	if w.live != nil {
+		return w.live.Call(ctx, method, payload)
+	}
+	return w.cp.Call(ctx, method, payload)
 }
 
 // Stop simulates a worker crash: heartbeats stop and RPCs stop being
@@ -184,7 +207,7 @@ func (w *Worker) SendHeartbeat() {
 	hb := proto.WorkerHeartbeat{Node: w.cfg.Node.ID, Util: w.utilization()}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	_, _ = w.cp.Call(ctx, proto.MethodWorkerHeartbeat, hb.Marshal())
+	_, _ = w.liveCall(ctx, proto.MethodWorkerHeartbeat, hb.Marshal())
 	w.mHeartbeats.Inc()
 }
 

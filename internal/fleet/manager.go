@@ -19,6 +19,12 @@ type Config struct {
 	Transport transport.Transport
 	// ControlPlanes are the CP replica addresses.
 	ControlPlanes []string
+	// Relays, when non-empty, puts the whole fleet in relay mode: worker
+	// i's preference order is the relay list rotated by i, so workers
+	// spread across relays (~Size/len(Relays) each) while every worker
+	// still holds the full list for failover. Empty keeps the seed's
+	// direct WN → CP liveness protocol.
+	Relays []string
 	// Loopback makes every worker listen on 127.0.0.1:0 (real TCP,
 	// ports resolved at bind time). When false, workers use synthetic
 	// in-process addresses in the 10.77.0.0/16 range.
@@ -88,11 +94,19 @@ func New(cfg Config) *Fleet {
 			node.Port = 9000
 			addr = fmt.Sprintf("%s:%d", node.IP, node.Port)
 		}
+		var relays []string
+		if n := len(cfg.Relays); n > 0 {
+			relays = make([]string, 0, n)
+			for j := 0; j < n; j++ {
+				relays = append(relays, cfg.Relays[(i+j)%n])
+			}
+		}
 		f.workers = append(f.workers, NewWorker(WorkerConfig{
 			Node:              node,
 			Addr:              addr,
 			Transport:         cfg.Transport,
 			ControlPlanes:     cfg.ControlPlanes,
+			Relays:            relays,
 			Clock:             cfg.Clock,
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			ReadyDelay:        cfg.ReadyDelay,

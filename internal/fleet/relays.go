@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dirigent/internal/clock"
+	"dirigent/internal/relay"
+	"dirigent/internal/telemetry"
+	"dirigent/internal/transport"
+)
+
+// The worker fleet's sibling for the relay tier: a set of real
+// relay.Relay instances managed as one unit, so fleet-scale experiments
+// can stand up N relays between the emulated workers and the control
+// plane, kill one mid-period, and observe workers fail over while the
+// control plane treats the silent relay as a correlated mass-timeout
+// candidate. Like the data plane set (and unlike the emulated workers)
+// these are the real component — the harness scales the tier, it does
+// not fake it.
+
+// RelaysConfig parameterizes a managed relay tier.
+type RelaysConfig struct {
+	// Count is the number of relays (default 4).
+	Count int
+	// Transport carries worker-side and CP-side RPCs for every relay.
+	Transport transport.Transport
+	// ControlPlanes are the CP replica addresses.
+	ControlPlanes []string
+	// Loopback makes every relay listen on 127.0.0.1:0 (real TCP, ports
+	// resolved at bind time). When false, relays use synthetic
+	// in-process addresses in the 10.99.0.0/16 range.
+	Loopback bool
+	// BaseID is the first relay's ID (default 1).
+	BaseID int
+	// Clock abstracts time for flush pacing and miss detection.
+	Clock clock.Clock
+	// FlushInterval / Chunk / MissTimeout tune each relay; zero selects
+	// relay defaults. Harnesses park the flush loops with a very large
+	// FlushInterval and drive FlushAll explicitly.
+	FlushInterval time.Duration
+	Chunk         int
+	MissTimeout   time.Duration
+	// Metrics is shared by all relays (flush latency, batch sizes and
+	// error counts aggregate across the tier); nil creates one.
+	Metrics *telemetry.Registry
+}
+
+func (c RelaysConfig) withDefaults() RelaysConfig {
+	if c.Count <= 0 {
+		c.Count = 4
+	}
+	if c.BaseID <= 0 {
+		c.BaseID = 1
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.NewRegistry()
+	}
+	return c
+}
+
+// Relays is a managed relay tier.
+type Relays struct {
+	cfg    RelaysConfig
+	relays []*relay.Relay
+}
+
+// NewRelays builds the tier's relays without starting them.
+func NewRelays(cfg RelaysConfig) *Relays {
+	cfg = cfg.withDefaults()
+	r := &Relays{cfg: cfg}
+	for i := 0; i < cfg.Count; i++ {
+		id := cfg.BaseID + i
+		addr := "127.0.0.1:0"
+		if !cfg.Loopback {
+			addr = fmt.Sprintf("10.99.%d.%d:7100", id/256, id%256)
+		}
+		r.relays = append(r.relays, relay.New(relay.Config{
+			Addr:          addr,
+			Transport:     cfg.Transport,
+			ControlPlanes: cfg.ControlPlanes,
+			Clock:         cfg.Clock,
+			FlushInterval: cfg.FlushInterval,
+			Chunk:         cfg.Chunk,
+			MissTimeout:   cfg.MissTimeout,
+			Metrics:       cfg.Metrics,
+		}))
+	}
+	return r
+}
+
+// Start launches every relay concurrently. It returns the first error.
+func (r *Relays) Start() error {
+	errs := make([]error, len(r.relays))
+	var wg sync.WaitGroup
+	for i, rl := range r.relays {
+		wg.Add(1)
+		go func(i int, rl *relay.Relay) {
+			defer wg.Done()
+			errs[i] = rl.Start()
+		}(i, rl)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Relays returns the tier's relays in ID order.
+func (r *Relays) All() []*relay.Relay { return r.relays }
+
+// Addrs returns every relay's RPC address. With Loopback, addresses are
+// only valid after Start (ports bind at listen time).
+func (r *Relays) Addrs() []string {
+	addrs := make([]string, len(r.relays))
+	for i, rl := range r.relays {
+		addrs[i] = rl.Addr()
+	}
+	return addrs
+}
+
+// FlushAll drives one explicit flush on every relay — harnesses that
+// park the flush loops call this once per emulated heartbeat period.
+func (r *Relays) FlushAll() {
+	for _, rl := range r.relays {
+		rl.Flush()
+	}
+}
+
+// Metrics returns the registry shared by the tier's relays.
+func (r *Relays) Metrics() *telemetry.Registry { return r.cfg.Metrics }
+
+// StopOne crashes relay i: no final flush, worker RPCs refused — its
+// workers must fail over and the control plane must notice the silence.
+func (r *Relays) StopOne(i int) {
+	r.relays[i].Stop()
+}
+
+// Stop crashes every relay.
+func (r *Relays) Stop() {
+	var wg sync.WaitGroup
+	for _, rl := range r.relays {
+		wg.Add(1)
+		go func(rl *relay.Relay) {
+			defer wg.Done()
+			rl.Stop()
+		}(rl)
+	}
+	wg.Wait()
+}

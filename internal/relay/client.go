@@ -1,0 +1,70 @@
+package relay
+
+import (
+	"context"
+	"sync"
+
+	"dirigent/internal/cpclient"
+	"dirigent/internal/telemetry"
+	"dirigent/internal/transport"
+)
+
+// Client is the worker-side liveness client for relay mode: it sends the
+// per-worker protocol (register, heartbeat) to the worker's relays in
+// preference order and falls back to calling the control plane directly
+// when every relay refuses or is unreachable — so a dead relay tier
+// degrades to the seed's direct path instead of timing the fleet out.
+//
+// cpclient.Client cannot serve this role on its own: it only fails over
+// on unreachable/not-leader errors, but a live relay that has lost its
+// control plane rejects calls with an application error, and the worker
+// must treat that exactly like a dead relay.
+type Client struct {
+	tr     transport.Transport
+	relays []string
+	direct *cpclient.Client
+
+	mu        sync.Mutex
+	preferred int // index of the relay that last accepted a call
+
+	// Fallbacks, if set, counts calls that fell through every relay to
+	// the direct control plane path.
+	Fallbacks *telemetry.Counter
+}
+
+// NewClient returns a relay-mode client. relays are tried in order
+// starting from the last one that accepted a call; controlPlanes is the
+// direct-mode fallback.
+func NewClient(tr transport.Transport, relays, controlPlanes []string) *Client {
+	return &Client{
+		tr:     tr,
+		relays: append([]string(nil), relays...),
+		direct: cpclient.New(tr, controlPlanes),
+	}
+}
+
+// Call sends one RPC through the first relay that accepts it, falling
+// back to the direct control plane path when none does. Any relay error
+// — unreachable or application-level — moves on to the next relay.
+func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	start := c.preferred
+	c.mu.Unlock()
+	for i := 0; i < len(c.relays); i++ {
+		idx := (start + i) % len(c.relays)
+		resp, err := c.tr.Call(ctx, c.relays[idx], method, payload)
+		if err == nil {
+			c.mu.Lock()
+			c.preferred = idx
+			c.mu.Unlock()
+			return resp, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	if c.Fallbacks != nil {
+		c.Fallbacks.Inc()
+	}
+	return c.direct.Call(ctx, method, payload)
+}

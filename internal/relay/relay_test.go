@@ -1,0 +1,358 @@
+package relay
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dirigent/internal/clock"
+	"dirigent/internal/core"
+	"dirigent/internal/proto"
+	"dirigent/internal/transport"
+)
+
+// fakeCP records the worker-liveness RPCs a relay ships, per method.
+type fakeCP struct {
+	// regDelay stalls registration RPCs so group-commit windows form:
+	// callers that arrive while an RPC is in flight must share the next.
+	regDelay time.Duration
+
+	mu      sync.Mutex
+	batches []*proto.WorkerHeartbeatBatch
+	regs    []core.WorkerNode // singletons and batch members, in order
+	methods map[string]int
+}
+
+func newFakeCP() *fakeCP { return &fakeCP{methods: make(map[string]int)} }
+
+func (f *fakeCP) handle(method string, payload []byte) ([]byte, error) {
+	if f.regDelay > 0 &&
+		(method == proto.MethodRegisterWorker || method == proto.MethodRegisterWorkerBatch) {
+		time.Sleep(f.regDelay)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.methods[method]++
+	switch method {
+	case proto.MethodWorkerHeartbeatBatch:
+		b, err := proto.UnmarshalWorkerHeartbeatBatch(payload)
+		if err != nil {
+			return nil, err
+		}
+		f.batches = append(f.batches, b)
+	case proto.MethodRegisterWorker:
+		r, err := proto.UnmarshalRegisterWorkerRequest(payload)
+		if err != nil {
+			return nil, err
+		}
+		f.regs = append(f.regs, r.Worker)
+	case proto.MethodRegisterWorkerBatch:
+		b, err := proto.UnmarshalRegisterWorkerBatch(payload)
+		if err != nil {
+			return nil, err
+		}
+		f.regs = append(f.regs, b.Workers...)
+	}
+	return nil, nil
+}
+
+func (f *fakeCP) count(method string) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.methods[method]
+}
+
+func (f *fakeCP) lastBatch() *proto.WorkerHeartbeatBatch {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.batches) == 0 {
+		return nil
+	}
+	return f.batches[len(f.batches)-1]
+}
+
+func (f *fakeCP) regCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.regs)
+}
+
+// parked returns a relay with its flush loop parked (huge interval) so
+// tests drive Flush explicitly, plus the fake CP behind it.
+func parked(t *testing.T, clk clock.Clock) (*Relay, *fakeCP, *transport.InProc) {
+	t.Helper()
+	tr := transport.NewInProc()
+	cp := newFakeCP()
+	if _, err := tr.Listen("cp", cp.handle); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{
+		Addr:          "relay-1",
+		Transport:     tr,
+		ControlPlanes: []string{"cp"},
+		Clock:         clk,
+		FlushInterval: time.Hour,
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(r.Stop)
+	return r, cp, tr
+}
+
+func beat(t *testing.T, tr *transport.InProc, relayAddr string, node core.NodeID) error {
+	t.Helper()
+	hb := proto.WorkerHeartbeat{Node: node, Util: core.NodeUtilization{Node: node, SandboxCount: int(node)}}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	_, err := tr.Call(ctx, relayAddr, proto.MethodWorkerHeartbeat, hb.Marshal())
+	return err
+}
+
+func TestRelayCoalescesHeartbeats(t *testing.T) {
+	r, cp, tr := parked(t, nil)
+	for id := core.NodeID(1); id <= 3; id++ {
+		if err := beat(t, tr, r.Addr(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Flush()
+	if got := cp.count(proto.MethodWorkerHeartbeatBatch); got != 1 {
+		t.Fatalf("flush shipped %d batch RPCs, want 1", got)
+	}
+	if b := cp.lastBatch(); len(b.Beats) != 3 || b.Relay != r.Addr() {
+		t.Fatalf("batch: relay=%q beats=%d", b.Relay, len(b.Beats))
+	}
+	// Nothing dirty: the next flush ships nothing.
+	r.Flush()
+	if got := cp.count(proto.MethodWorkerHeartbeatBatch); got != 1 {
+		t.Fatalf("idle flush shipped a batch (total %d)", got)
+	}
+	// One worker re-reports: only its sample ships.
+	if err := beat(t, tr, r.Addr(), 2); err != nil {
+		t.Fatal(err)
+	}
+	r.Flush()
+	if b := cp.lastBatch(); len(b.Beats) != 1 || b.Beats[0].Node != 2 {
+		t.Fatalf("incremental batch: %+v", b.Beats)
+	}
+	if got := cp.count(proto.MethodWorkerHeartbeat); got != 0 {
+		t.Fatalf("relay forwarded %d singleton heartbeats", got)
+	}
+}
+
+func TestRelayChunksLargeFlush(t *testing.T) {
+	tr := transport.NewInProc()
+	cp := newFakeCP()
+	if _, err := tr.Listen("cp", cp.handle); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{
+		Addr: "relay-1", Transport: tr, ControlPlanes: []string{"cp"},
+		FlushInterval: time.Hour, Chunk: 4,
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	for id := core.NodeID(1); id <= 10; id++ {
+		if err := beat(t, tr, r.Addr(), id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r.Flush()
+	if got := cp.count(proto.MethodWorkerHeartbeatBatch); got != 3 {
+		t.Fatalf("10 samples at chunk 4 shipped %d RPCs, want 3", got)
+	}
+	total := 0
+	cp.mu.Lock()
+	for _, b := range cp.batches {
+		total += len(b.Beats)
+	}
+	cp.mu.Unlock()
+	if total != 10 {
+		t.Fatalf("chunks carried %d samples, want 10", total)
+	}
+}
+
+func TestRelayRegistrationGroupCommit(t *testing.T) {
+	r, cp, tr := parked(t, nil)
+	cp.regDelay = 5 * time.Millisecond
+	const n = 64
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := proto.RegisterWorkerRequest{Worker: core.WorkerNode{
+				ID: core.NodeID(i + 1), Name: fmt.Sprintf("w%d", i+1), IP: "10.0.0.1", Port: 9000,
+			}}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_, errs[i] = tr.Call(ctx, r.Addr(), proto.MethodRegisterWorker, req.Marshal())
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("registration %d: %v", i, err)
+		}
+	}
+	if got := cp.regCount(); got != n {
+		t.Fatalf("CP saw %d registrations, want %d", got, n)
+	}
+	rpcs := cp.count(proto.MethodRegisterWorker) + cp.count(proto.MethodRegisterWorkerBatch)
+	if rpcs >= n {
+		t.Fatalf("storm used %d CP RPCs for %d registrations — no group commit", rpcs, n)
+	}
+}
+
+func TestRelaySingletonRegistrationKeepsSeedShape(t *testing.T) {
+	r, cp, tr := parked(t, nil)
+	req := proto.RegisterWorkerRequest{Worker: core.WorkerNode{ID: 1, Name: "w1", IP: "10.0.0.1", Port: 9000}}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := tr.Call(ctx, r.Addr(), proto.MethodRegisterWorker, req.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.count(proto.MethodRegisterWorker); got != 1 {
+		t.Fatalf("lone registration forwarded as %d singleton RPCs, want 1", got)
+	}
+	if got := cp.count(proto.MethodRegisterWorkerBatch); got != 0 {
+		t.Fatalf("lone registration shipped %d batch RPCs, want 0", got)
+	}
+}
+
+func TestRelayMissDetection(t *testing.T) {
+	clk := clock.NewVirtual(time.Unix(1_000_000, 0))
+	tr := transport.NewInProc()
+	cp := newFakeCP()
+	if _, err := tr.Listen("cp", cp.handle); err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{
+		Addr: "relay-1", Transport: tr, ControlPlanes: []string{"cp"},
+		Clock: clk, FlushInterval: time.Hour,
+		MissTimeout: 300 * time.Millisecond, MissGrace: time.Second,
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	if err := beat(t, tr, r.Addr(), 7); err != nil {
+		t.Fatal(err)
+	}
+	r.Flush() // ships the sample
+	clk.Advance(400 * time.Millisecond)
+	r.Flush()
+	b := cp.lastBatch()
+	if len(b.Missing) != 1 || b.Missing[0] != 7 || len(b.Beats) != 0 {
+		t.Fatalf("miss flush: beats=%v missing=%v", b.Beats, b.Missing)
+	}
+	// Past the grace window the relay forgets the worker entirely: the
+	// prune is silent, so no further batches (or Missing reports) ship.
+	clk.Advance(time.Second)
+	before := cp.count(proto.MethodWorkerHeartbeatBatch)
+	r.Flush()
+	r.Flush()
+	if got := cp.count(proto.MethodWorkerHeartbeatBatch); got != before {
+		t.Fatalf("post-grace flushes shipped %d extra batches, want 0", got-before)
+	}
+}
+
+func TestRelayRejectsHeartbeatsWhenCPUnreachable(t *testing.T) {
+	tr := transport.NewInProc()
+	cp := newFakeCP()
+	cpLn, err := tr.Listen("cp", cp.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(Config{
+		Addr: "relay-1", Transport: tr, ControlPlanes: []string{"cp"},
+		FlushInterval: time.Hour,
+	})
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer r.Stop()
+	// Fail fast over the dead CP instead of cycling the retry window.
+	r.cp.RetryWindow = 10 * time.Millisecond
+	r.cp.RetryDelay = time.Millisecond
+
+	if err := beat(t, tr, r.Addr(), 1); err != nil {
+		t.Fatal(err)
+	}
+	r.Flush()
+
+	// CP goes away: the next flush fails and the relay starts refusing,
+	// so workers fail over instead of heartbeating into a black hole.
+	cpLn.Close()
+	if err := beat(t, tr, r.Addr(), 1); err != nil {
+		t.Fatal(err) // absorbed: cpOK stays true until a flush fails
+	}
+	r.Flush()
+	if err := beat(t, tr, r.Addr(), 1); err == nil {
+		t.Fatal("relay accepted a heartbeat with the control plane unreachable")
+	}
+
+	// CP comes back: the probe flush rejoins and heartbeats flow again.
+	if _, err := tr.Listen("cp", cp.handle); err != nil {
+		t.Fatal(err)
+	}
+	r.Flush()
+	if err := beat(t, tr, r.Addr(), 1); err != nil {
+		t.Fatalf("relay still refusing after CP returned: %v", err)
+	}
+}
+
+func TestClientFailsOverAcrossRelaysAndDirect(t *testing.T) {
+	tr := transport.NewInProc()
+	cp := newFakeCP()
+	if _, err := tr.Listen("cp", cp.handle); err != nil {
+		t.Fatal(err)
+	}
+	var r2Calls int
+	var mu sync.Mutex
+	if _, err := tr.Listen("r2", func(method string, payload []byte) ([]byte, error) {
+		mu.Lock()
+		r2Calls++
+		mu.Unlock()
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// r1 is never listening: unreachable.
+	c := NewClient(tr, []string{"r1", "r2"}, []string{"cp"})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	hb := proto.WorkerHeartbeat{Node: 1}
+	if _, err := c.Call(ctx, proto.MethodWorkerHeartbeat, hb.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if r2Calls != 1 {
+		t.Fatalf("r2 served %d calls, want 1", r2Calls)
+	}
+	mu.Unlock()
+	// Preference sticks: the next call goes straight to r2.
+	if _, err := c.Call(ctx, proto.MethodWorkerHeartbeat, hb.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	if r2Calls != 2 {
+		t.Fatalf("r2 served %d calls, want 2", r2Calls)
+	}
+	mu.Unlock()
+
+	// Both relays dead: the call falls back to the direct CP path.
+	c2 := NewClient(tr, []string{"r1-down", "r2-down"}, []string{"cp"})
+	if _, err := c2.Call(ctx, proto.MethodWorkerHeartbeat, hb.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if got := cp.count(proto.MethodWorkerHeartbeat); got != 1 {
+		t.Fatalf("direct CP fallback served %d heartbeats, want 1", got)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"dirigent/internal/core"
 	"dirigent/internal/cpclient"
 	"dirigent/internal/proto"
+	"dirigent/internal/relay"
 	"dirigent/internal/sandbox"
 	"dirigent/internal/telemetry"
 	"dirigent/internal/transport"
@@ -77,6 +78,12 @@ type Config struct {
 	Transport transport.Transport
 	// ControlPlanes are the CP replica addresses.
 	ControlPlanes []string
+	// Relays, when non-empty, switches the worker's liveness traffic
+	// (register, heartbeat) to relay mode: RPCs go to the first relay
+	// that accepts them, in preference order, falling back to the direct
+	// control plane path when every relay refuses. Empty keeps the
+	// seed's direct WN → CP protocol exactly (the -relay off ablation).
+	Relays []string
 	// Clock abstracts time; nil selects the wall clock.
 	Clock clock.Clock
 	// HeartbeatInterval is the WN → CP liveness period.
@@ -107,6 +114,7 @@ type Worker struct {
 	cfg      Config
 	clk      clock.Clock
 	cp       *cpclient.Client
+	live     *relay.Client // non-nil in relay mode; carries register + heartbeat
 	listener transport.Listener
 	metrics  *telemetry.Registry
 
@@ -210,6 +218,10 @@ func New(cfg Config) *Worker {
 		functions: make(map[core.SandboxID]core.Function),
 		stopCh:    make(chan struct{}),
 	}
+	if len(cfg.Relays) > 0 {
+		w.live = relay.NewClient(cfg.Transport, cfg.Relays, cfg.ControlPlanes)
+		w.live.Fallbacks = cfg.Metrics.Counter("relay_fallbacks")
+	}
 	empty := make(map[core.SandboxID]*readySandbox)
 	w.ready.Store(&empty)
 	w.mPrewarmHits = w.metrics.Counter("prewarm_hits")
@@ -236,7 +248,7 @@ func (w *Worker) Start() error {
 	req := proto.RegisterWorkerRequest{Worker: w.cfg.Node}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if _, err := w.cp.Call(ctx, proto.MethodRegisterWorker, req.Marshal()); err != nil {
+	if _, err := w.liveCall(ctx, proto.MethodRegisterWorker, req.Marshal()); err != nil {
 		ln.Close()
 		return fmt.Errorf("worker %s: register: %w", w.cfg.Node.Name, err)
 	}
@@ -347,7 +359,18 @@ func (w *Worker) sendHeartbeat() {
 	defer cancel()
 	// Best effort; a missed heartbeat is exactly what the CP's health
 	// monitor is designed to tolerate and detect.
-	_, _ = w.cp.Call(ctx, proto.MethodWorkerHeartbeat, hb.Marshal())
+	_, _ = w.liveCall(ctx, proto.MethodWorkerHeartbeat, hb.Marshal())
+}
+
+// liveCall routes the liveness protocol (register, heartbeat): through the
+// relay tier in relay mode, directly to the control plane otherwise. Every
+// other worker RPC (readiness reports, etc.) stays on the direct path —
+// relays carry only the per-worker traffic that dominates at fleet scale.
+func (w *Worker) liveCall(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	if w.live != nil {
+		return w.live.Call(ctx, method, payload)
+	}
+	return w.cp.Call(ctx, method, payload)
 }
 
 // handleRPC serves CP → WN and DP → WN calls.
