@@ -8,6 +8,7 @@ package dirigent_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"path/filepath"
 	"sync/atomic"
 	"testing"
@@ -779,5 +780,22 @@ func BenchmarkAblationRelayHeartbeat(b *testing.B) {
 			total := m.Counter("worker_hb_rpcs").Value() + m.Counter("worker_hb_batch_rpcs").Value() - base
 			b.ReportMetric(float64(total)/float64(b.N), "cp_rpcs/op")
 		})
+	}
+}
+
+// --- Predictive warmth: per-image prewarm pools × cache-aware placement ---
+
+// BenchmarkAblationPredictiveWarmth smoke-runs the warmth experiment's
+// four-arm ablation ({static, predictive} prewarm × {kube-default,
+// cache-aware} placement) at tiny scale: a compressed Azure-like trace
+// replayed against the live in-process cluster. The full-scale run commits
+// its rows to BENCH_warmth.json; this keeps the harness and the whole
+// predictor → target push → pool partition → cache-digest placement path
+// from rotting.
+func BenchmarkAblationPredictiveWarmth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(io.Discard, "warmth", 0.05); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

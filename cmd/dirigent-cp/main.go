@@ -18,6 +18,8 @@ import (
 	"time"
 
 	"dirigent/internal/controlplane"
+	"dirigent/internal/placement"
+	"dirigent/internal/predictor"
 	"dirigent/internal/store"
 	"dirigent/internal/transport"
 	"dirigent/internal/wal"
@@ -40,7 +42,29 @@ func main() {
 	deadGC := flag.Duration("dead-worker-gc", 0, "how long a failed worker's record lingers (revivable by a late heartbeat) before it is garbage collected (0 = 10x heartbeat-timeout, negative = never)")
 	fullScanEvery := flag.Int("full-scan-every", 0, "with relays current, run a full registry scan every Nth health sweep; fast sweeps in between check only relays and suspects (0 = default 4, 1 = always full scan)")
 	persistAll := flag.Bool("persist-sandbox-state", false, "ablation: persist sandbox state on the critical path")
+	placementName := flag.String("placement", "kube-default",
+		"placement policy: kube-default | cache-aware (kube scoring plus a bonus for nodes whose image cache already holds the function's image) | random | round-robin | hermod")
+	predictive := flag.Bool("predictive-prewarm", false,
+		"partition each worker's pre-warm budget across per-image pools sized by the trace-driven demand predictor (off = workers keep their whole budget on the generic base image)")
+	prewarmWindow := flag.Duration("prewarm-window", 0, "demand predictor averaging window (0 = default 1m)")
+	prewarmLead := flag.Duration("prewarm-lead", 0, "how far ahead of a predicted burst per-image pools are raised (0 = default 30s)")
 	flag.Parse()
+
+	var placer placement.Policy
+	switch *placementName {
+	case "kube-default":
+		placer = nil // controlplane.New defaults to kube scoring
+	case "cache-aware":
+		placer = placement.NewCacheAware(1)
+	case "random":
+		placer = placement.NewRandom(1)
+	case "round-robin":
+		placer = placement.NewRoundRobin()
+	case "hermod":
+		placer = placement.NewHermod()
+	default:
+		log.Fatalf("unknown -placement policy %q (want kube-default, cache-aware, random, round-robin, or hermod)", *placementName)
+	}
 
 	var policy wal.FsyncPolicy
 	switch *fsync {
@@ -79,6 +103,9 @@ func main() {
 		DeadWorkerGC:        *deadGC,
 		FullScanEvery:       *fullScanEvery,
 		PersistSandboxState: *persistAll,
+		Placer:              placer,
+		PredictivePrewarm:   *predictive,
+		Predictor:           predictor.Config{Window: *prewarmWindow, Lead: *prewarmLead},
 		// TCP deployments need wider election windows than in-process.
 		RaftHeartbeat:   50 * time.Millisecond,
 		RaftElectionMin: 150 * time.Millisecond,

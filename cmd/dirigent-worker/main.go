@@ -37,7 +37,7 @@ func main() {
 	memMB := flag.Int("memory-mb", 65536, "node memory capacity in MB")
 	hb := flag.Duration("heartbeat", 500*time.Millisecond, "heartbeat period")
 	prewarm := flag.Int("prewarm", 0,
-		"size of the pre-warm pool: initialized-but-unassigned sandboxes any runtime-compatible function can claim (0 = disabled)")
+		"pre-warm pool *budget*: at most this many initialized-but-unassigned sandboxes are kept on the node (0 = disabled). Without control plane targets the whole budget warms the generic base image; with -predictive-prewarm on the control plane, the budget is partitioned across the predictor's hot images and cold starts claim an image-matched entry before falling back to base")
 	createConc := flag.Int("create-concurrency", 0,
 		"bound on concurrent runtime sandbox creations (0 = default 8)")
 	flag.Parse()
@@ -52,7 +52,11 @@ func main() {
 	var port uint16
 	fmt.Sscanf(portStr, "%d", &port)
 
-	cfg := sandbox.Config{LatencyScale: *latencyScale, Seed: int64(*id)}
+	// The image cache is shared between the runtime (which pulls into it)
+	// and the worker daemon, whose heartbeats carry its digest to the
+	// control plane for cache-locality-aware placement.
+	cache := sandbox.NewImageCache()
+	cfg := sandbox.Config{LatencyScale: *latencyScale, Seed: int64(*id), Images: cache}
 	var rt sandbox.Runtime
 	switch *runtimeName {
 	case "containerd":
@@ -85,6 +89,7 @@ func main() {
 		HeartbeatInterval: *hb,
 		Prewarm:           *prewarm,
 		CreateConcurrency: *createConc,
+		Cache:             cache,
 	})
 	if err := w.Start(); err != nil {
 		log.Fatalf("start worker: %v", err)

@@ -102,7 +102,12 @@ func main() {
 		fmt.Printf("   killing worker %d (hosting %d sandboxes)...\n", victim, c.Workers[victim].SandboxCount())
 		c.KillWorker(victim)
 		t0 = time.Now()
-		for c.Leader().WorkerCount() == len(c.Workers) {
+		for {
+			// Leader() can be nil for a moment if a re-election from the
+			// earlier CP kill is still settling.
+			if cp := c.Leader(); cp != nil && cp.WorkerCount() < len(c.Workers) {
+				break
+			}
 			time.Sleep(time.Millisecond)
 		}
 		fmt.Printf("   heartbeat loss detected in %v; endpoints drained\n", time.Since(t0).Round(time.Millisecond))

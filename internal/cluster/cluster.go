@@ -20,6 +20,7 @@ import (
 	"dirigent/internal/dataplane"
 	"dirigent/internal/frontend"
 	"dirigent/internal/placement"
+	"dirigent/internal/predictor"
 	"dirigent/internal/proto"
 	"dirigent/internal/sandbox"
 	"dirigent/internal/store"
@@ -64,6 +65,15 @@ type Options struct {
 	WorkerMemMB    int
 	// Placer overrides the placement policy.
 	Placer placement.Policy
+	// Prewarm is each worker's pre-warm pool budget (0 disables pools).
+	Prewarm int
+	// PredictivePrewarm turns on the control plane's demand predictor,
+	// which partitions each worker's Prewarm budget across the hot images
+	// it forecasts. Off, the whole budget warms the generic base image
+	// (the seed's static pool).
+	PredictivePrewarm bool
+	// Predictor tunes the demand predictor (zero values select defaults).
+	Predictor predictor.Config
 	// Seed seeds all stochastic models.
 	Seed int64
 	// PrefetchImages pre-caches these images on every worker, matching
@@ -121,6 +131,9 @@ type Cluster struct {
 	LB        *frontend.LB
 	Images    *worker.ImageRegistry
 	Metrics   *telemetry.Registry
+	// Caches holds each worker's image/snapshot cache (index-aligned with
+	// Workers); experiments sum their miss counts to measure image pulls.
+	Caches []*sandbox.ImageCache
 
 	stores  []*store.Store
 	cpAddrs []string
@@ -168,6 +181,8 @@ func New(opts Options) (*Cluster, error) {
 			PersistSandboxState: opts.PersistSandboxState,
 			StateShards:         opts.StateShards,
 			Placer:              opts.Placer,
+			PredictivePrewarm:   opts.PredictivePrewarm,
+			Predictor:           opts.Predictor,
 			Metrics:             metrics,
 		})
 		c.CPs = append(c.CPs, cp)
@@ -271,10 +286,13 @@ func (c *Cluster) newWorker(i int) (*worker.Worker, error) {
 		HeartbeatInterval: opts.HeartbeatTimeout / 4,
 		Images:            c.Images,
 		Metrics:           c.Metrics,
+		Prewarm:           opts.Prewarm,
+		Cache:             images,
 	})
 	if err := w.Start(); err != nil {
 		return nil, err
 	}
+	c.Caches = append(c.Caches, images)
 	return w, nil
 }
 

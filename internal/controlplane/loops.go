@@ -100,6 +100,13 @@ func (cp *ControlPlane) Reconcile() {
 	var kills []*sandboxState
 	drained := make(map[string]bool)
 	for _, a := range actions {
+		if a.create > 0 && cp.pred != nil {
+			// Every creation the sweep stages is cold-start demand for the
+			// function's image — a signal that stays live even when worker
+			// pre-warm pools absorb the actual boot cost, because the
+			// reconciler still places the replacement sandbox.
+			cp.pred.Observe(now, a.fn.Image, a.create)
+		}
 		for i := 0; i < a.create; i++ {
 			if sc := cp.placeSandbox(a.fn); sc != nil {
 				staged = append(staged, sc)
@@ -113,6 +120,7 @@ func (cp *ControlPlane) Reconcile() {
 	cp.dispatchCreates(staged, now)
 	cp.dispatchKills(kills)
 	cp.broadcastEndpointsBatch(sortedKeys(drained))
+	cp.pushPrewarmTargets(now)
 }
 
 // stagedCreate is one placement decision awaiting RPC dispatch: the
@@ -142,7 +150,13 @@ func (cp *ControlPlane) placeSandbox(fn core.Function) *stagedCreate {
 			w.mu.Unlock()
 		}
 	})
-	req := placement.Requirements{CPUMilli: fn.Scaling.CPUMilli, MemoryMB: fn.Scaling.MemoryMB}
+	req := placement.Requirements{
+		CPUMilli: fn.Scaling.CPUMilli,
+		MemoryMB: fn.Scaling.MemoryMB,
+		// Cache-aware policies match this against the digests workers
+		// report in heartbeats; locality-blind policies ignore it.
+		ImageHash: core.HashImage(fn.Image),
+	}
 	nodeID, err := cp.cfg.Placer.Place(candidates, req)
 	if err != nil {
 		cp.metrics.Counter("placement_failures").Inc()

@@ -1,0 +1,95 @@
+package controlplane
+
+import (
+	"context"
+	"time"
+
+	"dirigent/internal/proto"
+)
+
+// pushPrewarmTargets recomputes the predictor's per-image pre-warm
+// targets and pushes them to every healthy worker whose acknowledged
+// generation is stale. Piggybacked on the end of each reconcile sweep, so
+// steady state costs one Targets() call and zero RPCs; a target change
+// (or a worker that re-registered after a restart, resetting its
+// generation) triggers exactly one PrewarmTargets RPC per affected
+// worker. No-op unless PredictivePrewarm is on and this replica leads.
+func (cp *ControlPlane) pushPrewarmTargets(now time.Time) {
+	if cp.pred == nil || !cp.IsLeader() {
+		return
+	}
+	targets := cp.pred.Targets(now)
+	set := make([]proto.PrewarmTarget, len(targets))
+	for i, t := range targets {
+		set[i] = proto.PrewarmTarget{Image: t.Image, Want: uint32(t.Want)}
+	}
+	cp.prewarmMu.Lock()
+	if !equalPrewarmSets(cp.prewarmSet, set) {
+		cp.prewarmGen++
+		cp.prewarmSet = set
+	}
+	gen := cp.prewarmGen
+	set = cp.prewarmSet
+	cp.prewarmMu.Unlock()
+	if gen == 0 {
+		// The predictor has never produced a target; workers stay in
+		// static mode (whole budget on the base image, the seed behavior).
+		return
+	}
+
+	var stale []*workerState
+	cp.forEachWorkerShard(func(ws *workerShard) {
+		for _, w := range ws.workers {
+			w.mu.Lock()
+			if w.healthy && w.prewarmGen != gen {
+				stale = append(stale, w)
+			}
+			w.mu.Unlock()
+		}
+	})
+	if len(stale) == 0 {
+		return
+	}
+	payload := (&proto.PrewarmTargets{Gen: gen, Targets: set}).Marshal()
+	for _, w := range stale {
+		w := w
+		cp.wg.Add(1)
+		go func() {
+			defer cp.wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			if _, err := cp.cfg.Transport.Call(ctx, w.addr, proto.MethodPrewarmTargets, payload); err != nil {
+				cp.metrics.Counter("prewarm_push_errors").Inc()
+				return
+			}
+			cp.metrics.Counter("prewarm_pushes").Inc()
+			// Mark acknowledged only on success; an unreachable worker is
+			// retried by the next sweep (its generation stays stale).
+			w.mu.Lock()
+			if w.prewarmGen < gen {
+				w.prewarmGen = gen
+			}
+			w.mu.Unlock()
+		}()
+	}
+}
+
+func equalPrewarmSets(a, b []proto.PrewarmTarget) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PrewarmTargetSnapshot returns the current target set and generation,
+// for tests and experiments.
+func (cp *ControlPlane) PrewarmTargetSnapshot() (uint64, []proto.PrewarmTarget) {
+	cp.prewarmMu.Lock()
+	defer cp.prewarmMu.Unlock()
+	return cp.prewarmGen, append([]proto.PrewarmTarget(nil), cp.prewarmSet...)
+}

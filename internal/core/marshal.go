@@ -64,6 +64,27 @@ func FunctionHash(name string) uint16 {
 	return uint16(h ^ (h >> 16))
 }
 
+// HashImage returns a 64-bit FNV-1a hash of a container image reference,
+// used in node cache digests and placement requirements so the placer
+// can test cache residency without shipping image name lists in every
+// heartbeat. Never returns 0: placement treats a zero hash as "image
+// unknown" (locality-blind).
+func HashImage(image string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(image); i++ {
+		h ^= uint64(image[i])
+		h *= prime64
+	}
+	if h == 0 {
+		return 1
+	}
+	return h
+}
+
 // Splitmix64 is the splitmix64 step function: a stateless 64-bit mixer
 // for allocation-free, lock-free pseudo-random decisions. The data plane
 // load balancers seed it from the invocation key for tie-breaks, the

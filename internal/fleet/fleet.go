@@ -14,6 +14,7 @@ package fleet
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -75,6 +76,21 @@ type Worker struct {
 	creating  int
 	stopped   bool
 
+	// Emulated image cache: every image a create instruction ever named,
+	// hashed and reported in heartbeats exactly like the real worker's
+	// cache digest, so cache-aware placement and relay-path digest
+	// aggregation can be driven at fleet scale. The sorted digest is
+	// memoized and rebuilt only when an image is first seen.
+	images      map[string]struct{}
+	digest      []uint64
+	digestStale bool
+
+	// Last per-image prewarm target push from the control plane
+	// (generation-tagged, see proto.PrewarmTargets); recorded rather than
+	// acted on — emulated workers hold no pools.
+	prewarmGen     uint64
+	prewarmTargets []proto.PrewarmTarget
+
 	// Readiness coalescing, mirroring the real worker: batch-delivered
 	// creations queue events and a single flusher drains whatever
 	// accumulated while its previous RPC was in flight.
@@ -110,6 +126,7 @@ func NewWorker(cfg WorkerConfig) *Worker {
 		cp:        cpclient.New(cfg.Transport, cfg.ControlPlanes),
 		metrics:   cfg.Metrics,
 		sandboxes: make(map[core.SandboxID]core.Function),
+		images:    make(map[string]struct{}),
 		stopCh:    make(chan struct{}),
 	}
 	if len(cfg.Relays) > 0 {
@@ -225,7 +242,31 @@ func (w *Worker) utilization() core.NodeUtilization {
 		MemoryMBUsed:  mem,
 		SandboxCount:  len(w.sandboxes),
 		CreationQueue: w.creating,
+		CacheDigest:   w.digestLocked(),
 	}
+}
+
+// digestLocked returns the sorted image-cache digest, rebuilding it only
+// when a new image appeared since the last call. Callers must hold w.mu;
+// the returned slice is shared and treated as read-only.
+func (w *Worker) digestLocked() []uint64 {
+	if w.digestStale {
+		w.digest = w.digest[:0]
+		for img := range w.images {
+			w.digest = append(w.digest, core.HashImage(img))
+		}
+		sort.Slice(w.digest, func(i, j int) bool { return w.digest[i] < w.digest[j] })
+		w.digestStale = false
+	}
+	return w.digest
+}
+
+// PrewarmTargets returns the last generation-tagged per-image prewarm
+// target set the control plane pushed, for fleet-scale push tests.
+func (w *Worker) PrewarmTargets() (uint64, []proto.PrewarmTarget) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.prewarmGen, append([]proto.PrewarmTarget(nil), w.prewarmTargets...)
 }
 
 func (w *Worker) heartbeatLoop() {
@@ -286,6 +327,18 @@ func (w *Worker) handleRPC(method string, payload []byte) ([]byte, error) {
 		return nil, nil
 	case proto.MethodListSandboxes:
 		return w.listSandboxes().Marshal(), nil
+	case proto.MethodPrewarmTargets:
+		pt, err := proto.UnmarshalPrewarmTargets(payload)
+		if err != nil {
+			return nil, err
+		}
+		w.mu.Lock()
+		if pt.Gen > w.prewarmGen {
+			w.prewarmGen = pt.Gen
+			w.prewarmTargets = pt.Targets
+		}
+		w.mu.Unlock()
+		return nil, nil
 	case proto.MethodInvokeSandbox:
 		req, err := proto.UnmarshalInvokeSandboxRequest(payload)
 		if err != nil {
@@ -315,6 +368,12 @@ func (w *Worker) createSandbox(req *proto.CreateSandboxRequest, batched bool) er
 		return fmt.Errorf("fleet worker %s: stopped", w.cfg.Node.Name)
 	}
 	w.creating++
+	if img := req.Function.Image; img != "" {
+		if _, ok := w.images[img]; !ok {
+			w.images[img] = struct{}{}
+			w.digestStale = true
+		}
+	}
 	w.mu.Unlock()
 	w.wg.Add(1)
 	go func() {

@@ -1,6 +1,7 @@
 package placement
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -191,6 +192,7 @@ func TestPolicyNames(t *testing.T) {
 		want string
 	}{
 		{NewKubeDefault(1), "kube-default"},
+		{NewCacheAware(1), "cache-aware"},
 		{NewRandom(1), "random"},
 		{NewRoundRobin(), "round-robin"},
 		{NewHermod(), "hermod"},
@@ -198,5 +200,129 @@ func TestPolicyNames(t *testing.T) {
 		if tc.p.Name() != tc.want {
 			t.Errorf("Name = %q, want %q", tc.p.Name(), tc.want)
 		}
+	}
+}
+
+// CacheAware sends a cold start to the feasible node holding the image,
+// even when the kube score prefers an emptier node.
+func TestCacheAwarePrefersImageHolder(t *testing.T) {
+	p := NewCacheAware(1)
+	img := core.HashImage("registry.local/fn-a")
+	cands := nodes([2]int{100, 1000}, [2]int{6000, 40000})
+	// The busier node holds the image.
+	cands[1].Util.CacheDigest = []uint64{1, img, ^uint64(0)}
+	id, err := p.Place(cands, Requirements{CPUMilli: 100, MemoryMB: 128, ImageHash: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Errorf("placed on node %d, want 2 (image holder)", id)
+	}
+}
+
+// Among several holders, the kube score still arbitrates.
+func TestCacheAwareScoresAmongHolders(t *testing.T) {
+	p := NewCacheAware(1)
+	img := core.HashImage("registry.local/fn-a")
+	cands := nodes([2]int{9000, 60000}, [2]int{100, 1000})
+	cands[0].Util.CacheDigest = []uint64{img}
+	cands[1].Util.CacheDigest = []uint64{img}
+	id, err := p.Place(cands, Requirements{CPUMilli: 100, MemoryMB: 128, ImageHash: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Errorf("placed on node %d, want 2 (least utilized holder)", id)
+	}
+}
+
+// A full image holder is never chosen over a feasible non-holder: cache
+// affinity does not override capacity.
+func TestCacheAwareRespectsCapacity(t *testing.T) {
+	p := NewCacheAware(1)
+	img := core.HashImage("registry.local/fn-a")
+	cands := nodes([2]int{10000, 65536}, [2]int{3000, 20000})
+	cands[0].Util.CacheDigest = []uint64{img}
+	id, err := p.Place(cands, Requirements{CPUMilli: 100, MemoryMB: 128, ImageHash: img})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 2 {
+		t.Errorf("placed on node %d, want 2 (only feasible)", id)
+	}
+}
+
+// Seed-parity ablation: with no digests reported — or no image hash in
+// the request — CacheAware degrades to exactly the KubeDefault choice on
+// every input, so switching the Placer knob back is a pure no-op.
+func TestCacheAwareBlindMatchesKubeDefault(t *testing.T) {
+	blind := NewCacheAware(7)
+	kube := NewKubeDefault(7)
+	inputs := [][]NodeStatus{
+		nodes([2]int{9000, 60000}, [2]int{100, 1000}, [2]int{5000, 30000}),
+		nodes([2]int{8000, 0}, [2]int{4000, 26214}),
+		nodes([2]int{0, 0}, [2]int{0, 0}, [2]int{0, 0}, [2]int{0, 0}),
+	}
+	for gi, cands := range inputs {
+		for trial := 0; trial < 32; trial++ {
+			// No digests anywhere: identical scoring and an identically
+			// seeded tie-break stream must agree call for call.
+			a, errA := blind.Place(cands, Requirements{CPUMilli: 100, MemoryMB: 128, ImageHash: 9999})
+			b, errB := kube.Place(cands, Requirements{CPUMilli: 100, MemoryMB: 128, ImageHash: 9999})
+			if errA != nil || errB != nil {
+				t.Fatalf("group %d: %v %v", gi, errA, errB)
+			}
+			if a != b {
+				t.Fatalf("group %d trial %d: cache-aware(blind) chose %d, kube-default chose %d", gi, trial, a, b)
+			}
+		}
+	}
+}
+
+// The tie-break satellite: Place allocates nothing and takes no locks on
+// the hot path.
+func TestPlaceAllocationFree(t *testing.T) {
+	cands := nodes([2]int{0, 0}, [2]int{0, 0}, [2]int{0, 0}, [2]int{0, 0})
+	img := core.HashImage("registry.local/fn-a")
+	cands[2].Util.CacheDigest = []uint64{img}
+	reqs := Requirements{CPUMilli: 100, MemoryMB: 128, ImageHash: img}
+	for _, tc := range []struct {
+		name string
+		p    Policy
+	}{
+		{"kube-default", NewKubeDefault(1)},
+		{"cache-aware", NewCacheAware(1)},
+		{"random", NewRandom(1)},
+	} {
+		if avg := testing.AllocsPerRun(100, func() {
+			if _, err := tc.p.Place(cands, reqs); err != nil {
+				t.Fatal(err)
+			}
+		}); avg != 0 {
+			t.Errorf("%s: Place allocates %.1f per call, want 0", tc.name, avg)
+		}
+	}
+}
+
+// Concurrent placements through one policy instance stay correct (the
+// old mutex-guarded rng serialized here; run with -race).
+func TestConcurrentPlacements(t *testing.T) {
+	cands := nodes([2]int{0, 0}, [2]int{0, 0}, [2]int{0, 0}, [2]int{0, 0})
+	for _, p := range []Policy{NewKubeDefault(1), NewCacheAware(1), NewRandom(1), NewRoundRobin()} {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					id, err := p.Place(cands, req)
+					if err != nil || id < 1 || id > 4 {
+						t.Errorf("%s: id=%d err=%v", p.Name(), id, err)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
 	}
 }

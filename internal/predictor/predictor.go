@@ -1,0 +1,249 @@
+// Package predictor estimates per-image sandbox demand from the same
+// invocation history the autoscaler sees, so the control plane can turn
+// the workers' static pre-warm pools into demand-driven ones (paper §2:
+// the Azure trace's synchronized timer bursts and long tail of rare
+// functions defeat static warm pools).
+//
+// Two signals are tracked per image:
+//
+//   - A per-window EWMA of cold-start demand (sandbox creations staged by
+//     the reconciler). This captures steady and Poisson-like load.
+//   - Timer-period detection: the trace's timer class fires in unison at
+//     exact period boundaries (1/2/5/10/15 min), producing bursts with a
+//     quiet gap between them. The predictor clusters observations into
+//     "spikes", measures the gap between consecutive spike starts, and
+//     once the gap repeats consistently it raises the image's target
+//     shortly *before* the next predicted firing — warming the pool ahead
+//     of the burst instead of reacting to it.
+//
+// All methods take the current time as a parameter; the predictor holds
+// no clock and spawns no goroutines, so tests drive it with a virtual
+// timeline.
+package predictor
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config tunes the demand estimator. The zero value selects defaults
+// sized for the Azure-like trace's real-time periods; experiments that
+// compress wall time scale Window and Lead by the same factor as the
+// trace timestamps.
+type Config struct {
+	// Window is the demand accounting window (default 1 minute, matching
+	// the trace generator's per-minute rates).
+	Window time.Duration
+	// Alpha is the EWMA weight of the newest closed window (default 0.5).
+	Alpha float64
+	// Lead is how far ahead of a predicted timer firing the target is
+	// raised, covering sandbox boot time plus one push sweep (default 20s).
+	Lead time.Duration
+	// Tolerance is the relative jitter allowed between consecutive
+	// spike gaps for them to count as the same period (default 0.25).
+	Tolerance float64
+	// MaxImages caps the emitted target set so a push RPC stays small
+	// under a long-tailed trace (default 64; targets are emitted in
+	// descending-want order, so the cap drops the coldest images first).
+	MaxImages int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Window <= 0 {
+		c.Window = time.Minute
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		c.Alpha = 0.5
+	}
+	if c.Lead <= 0 {
+		c.Lead = 20 * time.Second
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.25
+	}
+	if c.MaxImages <= 0 {
+		c.MaxImages = 64
+	}
+	return c
+}
+
+// Target is one image's desired cluster-wide pre-warm pool size.
+type Target struct {
+	Image string
+	Want  int
+}
+
+// Predictor aggregates per-image demand. Safe for concurrent use.
+type Predictor struct {
+	cfg Config
+
+	mu     sync.Mutex
+	images map[string]*imageStats
+}
+
+type imageStats struct {
+	// Windowed EWMA of creations per window.
+	winStart time.Time
+	winCount float64
+	ewma     float64
+	seeded   bool
+
+	// Spike clustering for timer-period detection.
+	spikeStart time.Time // start of the current activity cluster
+	spikeCount float64   // creations observed in the current cluster
+	lastAt     time.Time // most recent observation
+	inSpike    bool
+
+	period     time.Duration // candidate gap between spike starts
+	periodRuns int           // consecutive gaps agreeing with period
+	spikeEwma  float64       // EWMA of per-spike creation counts
+}
+
+// New returns a Predictor with cfg's zero fields defaulted.
+func New(cfg Config) *Predictor {
+	return &Predictor{cfg: cfg.withDefaults(), images: make(map[string]*imageStats)}
+}
+
+// Observe records n sandbox creations for image at time now. The control
+// plane calls this for every creation its reconciler stages, which keeps
+// the signal live even when the pre-warm pool absorbs the actual cold
+// start (the reconciler still places a replacement sandbox).
+func (p *Predictor) Observe(now time.Time, image string, n int) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.images[image]
+	if s == nil {
+		s = &imageStats{winStart: now, spikeStart: now, inSpike: true}
+		p.images[image] = s
+	} else {
+		p.rollWindows(s, now)
+		// A quiet gap of half a window separates activity clusters; the
+		// timer bursts of interest complete in far less.
+		quiet := p.cfg.Window / 2
+		if now.Sub(s.lastAt) > quiet {
+			p.closeSpike(s, now)
+		}
+	}
+	s.winCount += float64(n)
+	s.spikeCount += float64(n)
+	s.lastAt = now
+}
+
+// rollWindows closes any windows that have fully elapsed before now,
+// folding their counts into the EWMA. Long idle gaps decay the EWMA by
+// (1-alpha) per empty window without iterating them one by one.
+func (p *Predictor) rollWindows(s *imageStats, now time.Time) {
+	elapsed := now.Sub(s.winStart)
+	if elapsed < p.cfg.Window {
+		return
+	}
+	missed := int64(elapsed / p.cfg.Window)
+	// Close the window that was accumulating.
+	if s.seeded {
+		s.ewma = p.cfg.Alpha*s.winCount + (1-p.cfg.Alpha)*s.ewma
+	} else {
+		s.ewma = s.winCount
+		s.seeded = true
+	}
+	// Then decay across the fully-empty windows in between.
+	if empty := missed - 1; empty > 0 {
+		s.ewma *= math.Pow(1-p.cfg.Alpha, float64(empty))
+	}
+	s.winStart = s.winStart.Add(time.Duration(missed) * p.cfg.Window)
+	s.winCount = 0
+}
+
+// closeSpike finalizes the current activity cluster: its size feeds the
+// per-spike EWMA, and the gap since the previous spike start is matched
+// against the candidate period.
+func (p *Predictor) closeSpike(s *imageStats, now time.Time) {
+	if s.inSpike && s.spikeCount > 0 {
+		if s.spikeEwma == 0 {
+			s.spikeEwma = s.spikeCount
+		} else {
+			s.spikeEwma = p.cfg.Alpha*s.spikeCount + (1-p.cfg.Alpha)*s.spikeEwma
+		}
+	}
+	gap := now.Sub(s.spikeStart)
+	if s.period > 0 && withinTolerance(gap, s.period, p.cfg.Tolerance) {
+		s.periodRuns++
+		// Smooth the period estimate toward the observed gap.
+		s.period = (s.period + gap) / 2
+	} else {
+		s.period = gap
+		s.periodRuns = 0
+	}
+	s.spikeStart = now
+	s.spikeCount = 0
+	s.inSpike = true
+}
+
+func withinTolerance(got, want time.Duration, tol float64) bool {
+	diff := float64(got - want)
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff <= tol*float64(want)
+}
+
+// Targets returns the per-image desired cluster-wide pool sizes at time
+// now, in descending-want order (ties broken by image name for
+// determinism), capped at MaxImages. An image's base want is its demand
+// EWMA rounded up; if a timer period has been confirmed (two consecutive
+// agreeing gaps) and the next predicted firing is within Lead, the want
+// is raised to the per-spike EWMA so the pool is warm before the burst.
+func (p *Predictor) Targets(now time.Time) []Target {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Target, 0, len(p.images))
+	for image, s := range p.images {
+		p.rollWindows(s, now)
+		want := 0
+		if ewma := s.ewma; ewma >= 0.25 {
+			want = int(math.Ceil(ewma))
+		}
+		if burst := p.predictedBurst(s, now); burst > want {
+			want = burst
+		}
+		if want > 0 {
+			out = append(out, Target{Image: image, Want: want})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Want != out[j].Want {
+			return out[i].Want > out[j].Want
+		}
+		return out[i].Image < out[j].Image
+	})
+	if len(out) > p.cfg.MaxImages {
+		out = out[:p.cfg.MaxImages]
+	}
+	return out
+}
+
+// predictedBurst returns the spike-sized want if now falls inside the
+// prewarm window [next-Lead, next+slack] of the next predicted timer
+// firing, else 0. Requires two consecutive agreeing gaps (three spikes)
+// so a single gap does not pin pool capacity.
+func (p *Predictor) predictedBurst(s *imageStats, now time.Time) int {
+	if s.periodRuns < 1 || s.period <= 0 || s.spikeEwma <= 0 {
+		return 0
+	}
+	slack := time.Duration(p.cfg.Tolerance * float64(s.period))
+	// Project the most recent spike start forward to the first predicted
+	// firing not already in the past (beyond slack), in case firings were
+	// missed while demand was absorbed elsewhere.
+	next := s.spikeStart.Add(s.period)
+	for next.Add(slack).Before(now) {
+		next = next.Add(s.period)
+	}
+	if !now.Before(next.Add(-p.cfg.Lead)) && !now.After(next.Add(slack)) {
+		return int(math.Ceil(s.spikeEwma))
+	}
+	return 0
+}

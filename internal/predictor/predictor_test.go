@@ -1,0 +1,154 @@
+package predictor
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func wantFor(targets []Target, image string) int {
+	for _, t := range targets {
+		if t.Image == image {
+			return t.Want
+		}
+	}
+	return 0
+}
+
+// Steady demand inside one window yields a target once the window closes,
+// and the EWMA follows demand across subsequent windows.
+func TestSteadyDemand(t *testing.T) {
+	p := New(Config{Window: time.Minute, Alpha: 0.5})
+	for i := 0; i < 4; i++ {
+		p.Observe(t0.Add(time.Duration(i)*15*time.Second), "img/a", 1)
+	}
+	// Window still open: nothing seeded yet.
+	if got := wantFor(p.Targets(t0.Add(59*time.Second)), "img/a"); got != 0 {
+		t.Fatalf("want 0 before first window closes, got %d", got)
+	}
+	if got := wantFor(p.Targets(t0.Add(61*time.Second)), "img/a"); got != 4 {
+		t.Fatalf("want 4 after first window closes, got %d", got)
+	}
+}
+
+// Window rollover: an idle stretch decays the EWMA one factor per empty
+// window — including windows skipped in a single jump — until the image
+// drops out of the target set entirely.
+func TestWindowRollover(t *testing.T) {
+	p := New(Config{Window: time.Minute, Alpha: 0.5})
+	p.Observe(t0, "img/a", 8)
+	if got := wantFor(p.Targets(t0.Add(time.Minute+time.Second)), "img/a"); got != 8 {
+		t.Fatalf("seeded EWMA: want 8, got %d", got)
+	}
+	// Two empty windows: 8 * 0.5^2 = 2.
+	if got := wantFor(p.Targets(t0.Add(3*time.Minute+time.Second)), "img/a"); got != 2 {
+		t.Fatalf("after 2 idle windows: want 2, got %d", got)
+	}
+	// Far jump: 8 * 0.5^9 < 0.25 drops below the emission floor.
+	if got := wantFor(p.Targets(t0.Add(10*time.Minute+time.Second)), "img/a"); got != 0 {
+		t.Fatalf("after long idle: want 0, got %d", got)
+	}
+}
+
+// Mid-window observations accumulate into the window that was open when
+// the idle stretch ended, not a stale one.
+func TestRolloverReanchorsWindow(t *testing.T) {
+	p := New(Config{Window: time.Minute, Alpha: 0.5})
+	p.Observe(t0, "img/a", 2)
+	// 2.5 windows later: the open window is [2m, 3m).
+	p.Observe(t0.Add(150*time.Second), "img/a", 6)
+	// At 3m+1s that window closes: EWMA = 0.5*6 + 0.5*(2*0.5) = 3.5 → 4.
+	if got := wantFor(p.Targets(t0.Add(3*time.Minute+time.Second)), "img/a"); got != 4 {
+		t.Fatalf("want 4, got %d", got)
+	}
+}
+
+// Timer-period detection: after three unison bursts a minute apart, the
+// target rises to the burst size *before* the fourth firing — inside the
+// lead window — even though the EWMA alone would not sustain it, and is
+// quiet before the lead window opens.
+func TestTimerPeriodPredictsBeforeBurst(t *testing.T) {
+	p := New(Config{Window: time.Minute, Alpha: 0.5, Lead: 10 * time.Second})
+	period := 5 * time.Minute
+	for i := 0; i < 3; i++ {
+		at := t0.Add(time.Duration(i) * period)
+		p.Observe(at, "img/timer", 6)
+		p.Observe(at.Add(time.Second), "img/timer", 6)
+	}
+	// Last burst at t=10m; next predicted at t=15m. With a 5-minute
+	// period the EWMA decays across the empty windows in between, so any
+	// demand seen mid-gap is residual, not predictive.
+	mid := t0.Add(13 * time.Minute)
+	if got := wantFor(p.Targets(mid), "img/timer"); got >= 12 {
+		t.Fatalf("mid-gap target %d should be below the burst size 12", got)
+	}
+	// Inside the lead window the full burst size is requested, ahead of
+	// any observation from the burst itself.
+	lead := t0.Add(15*time.Minute - 5*time.Second)
+	if got := wantFor(p.Targets(lead), "img/timer"); got != 12 {
+		t.Fatalf("lead-window target: want 12, got %d", got)
+	}
+}
+
+// A missed firing (demand absorbed elsewhere) does not strand the
+// prediction in the past: the next window is projected forward.
+func TestPredictionProjectsPastMissedFirings(t *testing.T) {
+	p := New(Config{Window: time.Minute, Alpha: 0.5, Lead: 10 * time.Second})
+	period := 2 * time.Minute
+	for i := 0; i < 3; i++ {
+		p.Observe(t0.Add(time.Duration(i)*period), "img/timer", 4)
+	}
+	// Two periods with no observations; the firing at 8m should still be
+	// anticipated at 8m-5s.
+	at := t0.Add(8*time.Minute - 5*time.Second)
+	if got := wantFor(p.Targets(at), "img/timer"); got != 4 {
+		t.Fatalf("projected firing: want 4, got %d", got)
+	}
+}
+
+// Irregular gaps never confirm a period, so no burst prediction fires.
+func TestIrregularGapsDoNotPredict(t *testing.T) {
+	p := New(Config{Window: time.Minute, Alpha: 0.5, Lead: 10 * time.Second})
+	for _, at := range []time.Duration{0, 3 * time.Minute, 5 * time.Minute, 9 * time.Minute} {
+		p.Observe(t0.Add(at), "img/rare", 5)
+	}
+	// Probe several future instants: the EWMA decays away and no period
+	// should ever resurrect the target to the spike size.
+	for _, at := range []time.Duration{12 * time.Minute, 13 * time.Minute, 14 * time.Minute} {
+		if got := wantFor(p.Targets(t0.Add(at)), "img/rare"); got >= 5 {
+			t.Fatalf("at %v: irregular image predicted burst target %d", at, got)
+		}
+	}
+}
+
+// Targets are emitted hottest-first and capped at MaxImages.
+func TestTargetsOrderedAndCapped(t *testing.T) {
+	p := New(Config{Window: time.Minute, Alpha: 0.5, MaxImages: 2})
+	p.Observe(t0, "img/a", 2)
+	p.Observe(t0, "img/b", 9)
+	p.Observe(t0, "img/c", 5)
+	got := p.Targets(t0.Add(time.Minute + time.Second))
+	if len(got) != 2 || got[0].Image != "img/b" || got[1].Image != "img/c" {
+		t.Fatalf("want [img/b img/c], got %v", got)
+	}
+}
+
+func TestConcurrentObserveTargets(t *testing.T) {
+	p := New(Config{Window: time.Minute})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				p.Observe(t0.Add(time.Duration(i)*time.Second), "img/a", 1)
+				if i%10 == 0 {
+					p.Targets(t0.Add(time.Duration(i) * time.Second))
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

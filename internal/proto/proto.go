@@ -51,6 +51,10 @@ const (
 	// single RPC, mirroring MethodCreateSandboxBatch on the way down.
 	MethodKillSandboxBatch = "wn.KillSandboxBatch"
 	MethodListSandboxes    = "wn.ListSandboxes"
+	// MethodPrewarmTargets pushes the predictor's per-image pre-warm pool
+	// targets to a worker. Piggybacked on the reconcile sweep: a worker is
+	// contacted only when its last acknowledged generation is stale.
+	MethodPrewarmTargets = "wn.PrewarmTargets"
 	// WN → CP.
 	MethodRegisterWorker   = "cp.RegisterWorker"
 	MethodDeregisterWorker = "cp.DeregisterWorker"
@@ -380,14 +384,21 @@ type WorkerHeartbeat struct {
 	Util core.NodeUtilization
 }
 
-// Marshal encodes the heartbeat.
+// Marshal encodes the heartbeat. The trailing cache digest (sorted image
+// hashes, see core.NodeUtilization) feeds cache-locality-aware placement;
+// it also rides relay heartbeat batches unchanged, since the batch nests
+// whole marshaled heartbeats.
 func (m *WorkerHeartbeat) Marshal() []byte {
-	e := codec.NewEncoder(48)
+	e := codec.NewEncoder(48 + 8*len(m.Util.CacheDigest))
 	e.U16(uint16(m.Node))
 	e.I64(int64(m.Util.CPUMilliUsed))
 	e.I64(int64(m.Util.MemoryMBUsed))
 	e.I64(int64(m.Util.SandboxCount))
 	e.I64(int64(m.Util.CreationQueue))
+	e.U32(uint32(len(m.Util.CacheDigest)))
+	for _, h := range m.Util.CacheDigest {
+		e.U64(h)
+	}
 	return e.Bytes()
 }
 
@@ -401,6 +412,9 @@ func UnmarshalWorkerHeartbeat(b []byte) (*WorkerHeartbeat, error) {
 	m.Util.MemoryMBUsed = int(d.I64())
 	m.Util.SandboxCount = int(d.I64())
 	m.Util.CreationQueue = int(d.I64())
+	for n := int(d.U32()); n > 0 && d.Err() == nil; n-- {
+		m.Util.CacheDigest = append(m.Util.CacheDigest, d.U64())
+	}
 	return m, wrap(d.Err(), "WorkerHeartbeat")
 }
 
@@ -479,6 +493,48 @@ func UnmarshalWorkerHeartbeatBatch(b []byte) (*WorkerHeartbeatBatch, error) {
 		m.Beats = append(m.Beats, *hb)
 	}
 	return m, wrap(d.Err(), "WorkerHeartbeatBatch")
+}
+
+// PrewarmTarget is one image's desired cluster-wide pre-warm pool size.
+type PrewarmTarget struct {
+	Image string
+	Want  uint32
+}
+
+// PrewarmTargets is the CP → WN push of the predictor's per-image demand
+// estimates. Wants are cluster-wide; each worker apportions its own
+// -prewarm budget across them proportionally (leftover capacity keeps
+// warming the generic base image). Gen is the CP-side target generation,
+// bumped whenever the estimates change, so the sweep re-pushes only to
+// workers holding a stale generation (and to freshly re-registered ones,
+// which start at generation zero).
+type PrewarmTargets struct {
+	Gen     uint64
+	Targets []PrewarmTarget
+}
+
+// Marshal encodes the push.
+func (m *PrewarmTargets) Marshal() []byte {
+	e := codec.NewEncoder(16 + 32*len(m.Targets))
+	e.U64(m.Gen)
+	e.U32(uint32(len(m.Targets)))
+	for i := range m.Targets {
+		e.String(m.Targets[i].Image)
+		e.U32(m.Targets[i].Want)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalPrewarmTargets decodes a PrewarmTargets.
+func UnmarshalPrewarmTargets(b []byte) (*PrewarmTargets, error) {
+	d := codec.NewDecoder(b)
+	m := &PrewarmTargets{}
+	m.Gen = d.U64()
+	n := int(d.U32())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Targets = append(m.Targets, PrewarmTarget{Image: d.String(), Want: d.U32()})
+	}
+	return m, wrap(d.Err(), "PrewarmTargets")
 }
 
 // RegisterWorkerBatch group-commits a registration storm through a relay:

@@ -3,12 +3,35 @@ package proto
 import (
 	"bytes"
 	"fmt"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
 
 	"dirigent/internal/core"
 )
+
+func TestPrewarmTargetsRoundTrip(t *testing.T) {
+	m := &PrewarmTargets{
+		Gen: 42,
+		Targets: []PrewarmTarget{
+			{Image: "registry.local/fn-a", Want: 3},
+			{Image: "registry.local/fn-b", Want: 1},
+		},
+	}
+	got, err := UnmarshalPrewarmTargets(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip: %+v", got)
+	}
+
+	empty, err := UnmarshalPrewarmTargets((&PrewarmTargets{Gen: 7}).Marshal())
+	if err != nil || empty.Gen != 7 || len(empty.Targets) != 0 {
+		t.Errorf("empty push: %v %+v", err, empty)
+	}
+}
 
 func TestInvokeRequestRoundTrip(t *testing.T) {
 	m := &InvokeRequest{Function: "fn", Async: true, Payload: []byte{1, 2, 3}}
@@ -119,14 +142,24 @@ func TestScalingMetricReportRoundTrip(t *testing.T) {
 func TestWorkerHeartbeatRoundTrip(t *testing.T) {
 	m := &WorkerHeartbeat{
 		Node: 4,
-		Util: core.NodeUtilization{Node: 4, CPUMilliUsed: 500, MemoryMBUsed: 1024, SandboxCount: 3, CreationQueue: 1},
+		Util: core.NodeUtilization{
+			Node: 4, CPUMilliUsed: 500, MemoryMBUsed: 1024, SandboxCount: 3, CreationQueue: 1,
+			CacheDigest: []uint64{7, 99, 12345678901234567},
+		},
 	}
 	got, err := UnmarshalWorkerHeartbeat(m.Marshal())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Node != m.Node || got.Util != m.Util {
+	if got.Node != m.Node || !reflect.DeepEqual(got.Util, m.Util) {
 		t.Errorf("round trip: %+v", got)
+	}
+
+	// A heartbeat with no cached images round-trips to a nil digest.
+	bare := &WorkerHeartbeat{Node: 5, Util: core.NodeUtilization{Node: 5}}
+	got, err = UnmarshalWorkerHeartbeat(bare.Marshal())
+	if err != nil || got.Util.CacheDigest != nil {
+		t.Errorf("bare heartbeat: %v %+v", err, got)
 	}
 }
 
@@ -372,7 +405,10 @@ func TestWorkerHeartbeatBatchRoundTrip(t *testing.T) {
 		id := core.NodeID(40 + i)
 		m.Beats = append(m.Beats, WorkerHeartbeat{
 			Node: id,
-			Util: core.NodeUtilization{Node: id, CPUMilliUsed: 100 * i, MemoryMBUsed: 256 * i, SandboxCount: i},
+			Util: core.NodeUtilization{
+				Node: id, CPUMilliUsed: 100 * i, MemoryMBUsed: 256 * i, SandboxCount: i,
+				CacheDigest: []uint64{uint64(i), uint64(1000 + i)},
+			},
 		})
 	}
 	got, err := UnmarshalWorkerHeartbeatBatch(m.Marshal())
@@ -389,7 +425,7 @@ func TestWorkerHeartbeatBatchRoundTrip(t *testing.T) {
 		t.Fatalf("round trip kept %d beats, want 3", len(got.Beats))
 	}
 	for i := range m.Beats {
-		if got.Beats[i].Node != m.Beats[i].Node || got.Beats[i].Util != m.Beats[i].Util {
+		if got.Beats[i].Node != m.Beats[i].Node || !reflect.DeepEqual(got.Beats[i].Util, m.Beats[i].Util) {
 			t.Errorf("beat %d: %+v", i, got.Beats[i])
 		}
 	}

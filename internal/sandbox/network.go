@@ -3,10 +3,12 @@ package sandbox
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"dirigent/internal/clock"
+	"dirigent/internal/core"
 )
 
 // NetConfig is one recyclable network configuration: a pre-created virtual
@@ -122,10 +124,12 @@ const (
 // and snapshot cache to reduce image pulling"). The evaluation prefetches
 // images on every node (§5.1); Prefetch reproduces that.
 type ImageCache struct {
-	mu    sync.Mutex
-	kinds map[string]map[ArtifactKind]bool
-	hits  int
-	miss  int
+	mu          sync.Mutex
+	kinds       map[string]map[ArtifactKind]bool
+	hits        int
+	miss        int
+	digest      []uint64
+	digestStale bool
 }
 
 // NewImageCache returns an empty cache.
@@ -165,6 +169,7 @@ func (c *ImageCache) Put(image string, kind ArtifactKind) {
 	if !ok {
 		m = make(map[ArtifactKind]bool)
 		c.kinds[image] = m
+		c.digestStale = true
 	}
 	m[kind] = true
 }
@@ -176,6 +181,29 @@ func (c *ImageCache) Prefetch(images ...string) {
 		c.Put(img, ArtifactImage)
 		c.Put(img, ArtifactSnapshot)
 	}
+}
+
+// Digest returns the sorted core.HashImage values of all cached images,
+// the form node heartbeats carry to the placer for cache-locality-aware
+// scoring. The slice is rebuilt only when the cache contents changed
+// since the last call (heartbeats are far more frequent than pulls) and
+// is shared between callers: treat it as read-only.
+func (c *ImageCache) Digest() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.digestStale {
+		return c.digest
+	}
+	d := make([]uint64, 0, len(c.kinds))
+	for img, kinds := range c.kinds {
+		if len(kinds) > 0 {
+			d = append(d, core.HashImage(img))
+		}
+	}
+	sort.Slice(d, func(i, j int) bool { return d[i] < d[j] })
+	c.digest = d
+	c.digestStale = false
+	return d
 }
 
 // Stats reports hit/miss counts.

@@ -68,6 +68,17 @@ type Runtime interface {
 	Name() string
 }
 
+// ImagePreparer is an optional runtime capability used by the worker's
+// per-image pre-warm pool: specialize a generic pre-warmed sandbox for a
+// concrete image, paying the pull/snapshot cost only on a node-local
+// cache miss. Runtimes that do not implement it simply hand over the
+// generic sandbox (the seed's behavior).
+type ImagePreparer interface {
+	// PrepareImage ensures image is usable on this node, blocking for the
+	// pull/boot cost if it is not cached yet.
+	PrepareImage(image string)
+}
+
 // Config carries the shared knobs of the simulated runtimes.
 type Config struct {
 	// Clock is used for all sleeps; tests substitute a virtual clock.
@@ -286,6 +297,17 @@ func (c *Containerd) Create(ctx context.Context, spec Spec) (*Instance, error) {
 	return inst, nil
 }
 
+// PrepareImage implements ImagePreparer: pull the image on a cache miss.
+// Claiming a generic pre-warmed container for a function whose image is
+// not on the node costs the pull; image-matched pool entries (and nodes
+// chosen by cache-aware placement) skip it.
+func (c *Containerd) PrepareImage(image string) {
+	if !c.cfg.Images.Has(image) {
+		c.cfg.Clock.Sleep(c.pullLat.sample())
+		c.cfg.Images.Put(image, ArtifactImage)
+	}
+}
+
 // Firecracker is the simulated Firecracker microVM runtime. With snapshots
 // enabled, creation restores a pre-booted microVM image (~40 ms p50); the
 // kernel section is short because TAP devices and iptables rules come from
@@ -315,6 +337,21 @@ func NewFirecracker(cfg FirecrackerConfig) *Firecracker {
 		restoreLat: newLatencyModel(c.Seed+11, c.LatencyScale, 40*time.Millisecond, 0.20),
 		bootVMLat:  newLatencyModel(c.Seed+12, c.LatencyScale, 700*time.Millisecond, 0.25),
 		readyLat:   newLatencyModel(c.Seed+13, c.LatencyScale, 10*time.Millisecond, 0.30),
+	}
+}
+
+// PrepareImage implements ImagePreparer: with snapshots enabled, a cache
+// miss boots the VM image and captures a snapshot; a hit loads the cached
+// snapshot state into the generic microVM at restore cost.
+func (f *Firecracker) PrepareImage(image string) {
+	if !f.snapshots {
+		return
+	}
+	if !f.cfg.Images.HasKind(image, ArtifactSnapshot) {
+		f.cfg.Clock.Sleep(f.bootVMLat.sample())
+		f.cfg.Images.Put(image, ArtifactSnapshot)
+	} else {
+		f.cfg.Clock.Sleep(f.restoreLat.sample())
 	}
 }
 

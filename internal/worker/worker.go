@@ -17,6 +17,7 @@ package worker
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -98,15 +99,31 @@ type Config struct {
 	// section from being hammered by unbounded goroutines. 0 selects the
 	// default (8).
 	CreateConcurrency int
-	// Prewarm keeps a pool of this many initialized-but-unassigned
-	// sandboxes on the node. A cold start whose function has a matching
-	// runtime spec claims one instead of creating from scratch, skipping
-	// runtime init and boot; the pool refills asynchronously after each
-	// claim. 0 disables pre-warming.
+	// Prewarm is the node's pre-warm pool *budget*: at most this many
+	// initialized-but-unassigned sandboxes are kept on the node. Until the
+	// control plane pushes per-image targets the whole budget warms the
+	// generic PrewarmImage (the seed's static pool, and the behavior of
+	// the predictive-prewarm-off ablation); with targets applied, the
+	// budget is partitioned across the predictor's hot images, leftover
+	// capacity staying on the base image. A cold start whose function has
+	// a matching runtime spec claims an entry — by image first, falling
+	// back to base — instead of creating from scratch; pools refill
+	// asynchronously after each claim. 0 disables pre-warming.
 	Prewarm int
 	// PrewarmImage is the image prewarm sandboxes boot from (a generic
 	// base snapshot); empty selects "prewarm/base".
 	PrewarmImage string
+	// PrewarmMemoryMB is the per-entry memory estimate used for pool
+	// eviction under memory pressure: when real sandbox allocations plus
+	// the pool estimate exceed the node's capacity, idle pool entries are
+	// evicted LRU so pre-warming never starves real sandboxes. 0 selects
+	// the default (128). Pressure eviction is skipped entirely when
+	// Node.MemoryMB is 0 (capacity unknown).
+	PrewarmMemoryMB int
+	// Cache, when non-nil, is the node's image/snapshot cache; its digest
+	// rides heartbeats so the control plane can place cold starts onto
+	// nodes that already hold the image (cache-locality-aware placement).
+	Cache *sandbox.ImageCache
 }
 
 // Worker is a running worker daemon.
@@ -135,10 +152,18 @@ type Worker struct {
 	// create instructions are queued.
 	createSem chan struct{}
 
-	// Pre-warm pool: initialized-but-unassigned instances, guarded by mu.
-	// prewarmPending counts fills in flight so claims don't over-refill.
-	prewarmPool    []*sandbox.Instance
-	prewarmPending int
+	// Pre-warm pools: initialized-but-unassigned instances keyed by the
+	// image they were warmed for, guarded by mu. Entries append in
+	// completion order, so index 0 is each pool's least-recently-idle
+	// entry (the LRU eviction victim) and claims pop from the tail.
+	// prewarmPending counts fills in flight per image so claims don't
+	// over-refill; prewarmTargets is the per-image partition of the
+	// budget (nil until the first control-plane push: static mode, the
+	// whole budget on the base image).
+	prewarmPools   map[string][]poolEntry
+	prewarmPending map[string]int
+	prewarmTargets map[string]int
+	prewarmGen     uint64
 	prewarmSeq     atomic.Uint64
 
 	// Readiness report coalescing: events queue under readyEvMu and a
@@ -152,10 +177,20 @@ type Worker struct {
 	wg      sync.WaitGroup
 	stopped bool
 
-	mPrewarmHits   *telemetry.Counter
-	mPrewarmMisses *telemetry.Counter
-	mReadyBatch    *telemetry.Histogram
-	mCreateWait    *telemetry.Histogram
+	mPrewarmHits      *telemetry.Counter
+	mPrewarmMisses    *telemetry.Counter
+	mPrewarmImageHits *telemetry.Counter
+	mPrewarmBaseHits  *telemetry.Counter
+	mPrewarmEvicted   *telemetry.Counter
+	mReadyBatch       *telemetry.Histogram
+	mCreateWait       *telemetry.Histogram
+}
+
+// poolEntry is one pre-warmed instance plus the moment it became idle,
+// the ordering key for LRU eviction.
+type poolEntry struct {
+	inst      *sandbox.Instance
+	idleSince time.Time
 }
 
 type readySandbox struct {
@@ -209,14 +244,19 @@ func New(cfg Config) *Worker {
 	if cfg.PrewarmImage == "" {
 		cfg.PrewarmImage = "prewarm/base"
 	}
+	if cfg.PrewarmMemoryMB <= 0 {
+		cfg.PrewarmMemoryMB = 128
+	}
 	w := &Worker{
-		cfg:       cfg,
-		clk:       cfg.Clock,
-		cp:        cpclient.New(cfg.Transport, cfg.ControlPlanes),
-		metrics:   cfg.Metrics,
-		createSem: make(chan struct{}, cfg.CreateConcurrency),
-		functions: make(map[core.SandboxID]core.Function),
-		stopCh:    make(chan struct{}),
+		cfg:            cfg,
+		clk:            cfg.Clock,
+		cp:             cpclient.New(cfg.Transport, cfg.ControlPlanes),
+		metrics:        cfg.Metrics,
+		createSem:      make(chan struct{}, cfg.CreateConcurrency),
+		functions:      make(map[core.SandboxID]core.Function),
+		prewarmPools:   make(map[string][]poolEntry),
+		prewarmPending: make(map[string]int),
+		stopCh:         make(chan struct{}),
 	}
 	if len(cfg.Relays) > 0 {
 		w.live = relay.NewClient(cfg.Transport, cfg.Relays, cfg.ControlPlanes)
@@ -226,6 +266,9 @@ func New(cfg Config) *Worker {
 	w.ready.Store(&empty)
 	w.mPrewarmHits = w.metrics.Counter("prewarm_hits")
 	w.mPrewarmMisses = w.metrics.Counter("prewarm_misses")
+	w.mPrewarmImageHits = w.metrics.Counter("prewarm_image_hits")
+	w.mPrewarmBaseHits = w.metrics.Counter("prewarm_base_hits")
+	w.mPrewarmEvicted = w.metrics.Counter("prewarm_evictions")
 	w.mReadyBatch = w.metrics.CountHistogram("ready_batch_size")
 	w.mCreateWait = w.metrics.Histogram("create_pool_wait_ms")
 	return w
@@ -257,7 +300,7 @@ func (w *Worker) Start() error {
 	// Fill the pre-warm pool asynchronously through the creation pool;
 	// the node serves create instructions while the pool warms up.
 	for i := 0; i < w.cfg.Prewarm; i++ {
-		w.spawnPrewarmFill()
+		w.spawnPrewarmFill("")
 	}
 	return nil
 }
@@ -283,11 +326,13 @@ func (w *Worker) Stop() {
 	// pooled instances are known only to this daemon and would leak in
 	// the runtime forever.
 	w.mu.Lock()
-	pool := w.prewarmPool
-	w.prewarmPool = nil
+	pools := w.prewarmPools
+	w.prewarmPools = make(map[string][]poolEntry)
 	w.mu.Unlock()
-	for _, inst := range pool {
-		_ = w.cfg.Runtime.Kill(inst.ID)
+	for _, pool := range pools {
+		for _, e := range pool {
+			_ = w.cfg.Runtime.Kill(e.inst.ID)
+		}
 	}
 }
 
@@ -342,6 +387,12 @@ func (w *Worker) heartbeatLoop() {
 }
 
 func (w *Worker) utilization() core.NodeUtilization {
+	// The cache digest has its own lock and a memoized slice; fetch it
+	// before taking w.mu to keep the registry lock hold short.
+	var digest []uint64
+	if w.cfg.Cache != nil {
+		digest = w.cfg.Cache.Digest()
+	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	return core.NodeUtilization{
@@ -350,6 +401,7 @@ func (w *Worker) utilization() core.NodeUtilization {
 		MemoryMBUsed:  w.allocMem,
 		SandboxCount:  len(w.readyMap()),
 		CreationQueue: w.creating,
+		CacheDigest:   digest,
 	}
 }
 
@@ -416,6 +468,13 @@ func (w *Worker) handleRPC(method string, payload []byte) ([]byte, error) {
 			_ = w.killSandbox(id)
 		}
 		return nil, nil
+	case proto.MethodPrewarmTargets:
+		targets, err := proto.UnmarshalPrewarmTargets(payload)
+		if err != nil {
+			return nil, err
+		}
+		w.applyPrewarmTargets(targets)
+		return nil, nil
 	case proto.MethodListSandboxes:
 		return w.listSandboxes().Marshal(), nil
 	case proto.MethodInvokeSandbox:
@@ -448,7 +507,12 @@ func (w *Worker) createSandbox(req *proto.CreateSandboxRequest, batched bool) er
 	w.creating++
 	w.allocCPU += req.Function.Scaling.CPUMilli
 	w.allocMem += req.Function.Scaling.MemoryMB
+	// Under memory pressure the pool yields to real sandboxes: evict idle
+	// pre-warmed entries (least-recently-idle first) until the allocation
+	// plus the pool's estimated footprint fits the node again.
+	victims := w.evictForMemoryLocked()
 	w.mu.Unlock()
+	w.killEvicted(victims)
 
 	w.wg.Add(1)
 	go func() {
@@ -462,8 +526,18 @@ func (w *Worker) doCreate(req *proto.CreateSandboxRequest, batched bool) {
 	start := w.clk.Now()
 
 	// Fast path: claim an initialized-but-unassigned sandbox from the
-	// pre-warm pool, skipping runtime creation and boot entirely.
-	if inst := w.claimPrewarm(&req.Function); inst != nil {
+	// pre-warm pool — by image first (skipping runtime creation, boot,
+	// and any image pull), falling back to a generic base entry.
+	if inst, imageHit := w.claimPrewarm(&req.Function); inst != nil {
+		if !imageHit {
+			// A base entry was warmed for the generic image: specialize it
+			// for the claiming function, paying the pull/snapshot cost if
+			// the image is not in the node-local cache. Runtimes without
+			// the capability hand the sandbox over as-is.
+			if prep, ok := w.cfg.Runtime.(sandbox.ImagePreparer); ok {
+				prep.PrepareImage(req.Function.Image)
+			}
+		}
 		w.mu.Lock()
 		w.creating--
 		if w.stopped {
@@ -500,14 +574,15 @@ func (w *Worker) doCreate(req *proto.CreateSandboxRequest, batched bool) {
 			Node:      w.cfg.Node.ID,
 			Addr:      w.cfg.Addr,
 		}, batched)
-		w.spawnPrewarmFill()
+		w.spawnPrewarmFill(req.Function.Image)
 		return
 	}
 	if w.cfg.Prewarm > 0 {
 		w.mPrewarmMisses.Inc()
 		// A miss means the pool is below target (drained by a burst, or
-		// a fill failed earlier); let cold-start traffic heal it.
-		w.spawnPrewarmFill()
+		// a fill failed earlier); let cold-start traffic heal it,
+		// preferring the image that just missed.
+		w.spawnPrewarmFill(req.Function.Image)
 	}
 
 	w.acquireCreateSlot()
@@ -627,44 +702,134 @@ func (w *Worker) flushReadyLoop() {
 	}
 }
 
-// claimPrewarm pops a pre-warmed instance if the pool has one and the
+// claimPrewarm pops a pre-warmed instance if a pool has one and the
 // function's runtime spec matches this node's runtime (an empty spec
-// matches any runtime).
-func (w *Worker) claimPrewarm(fn *core.Function) *sandbox.Instance {
+// matches any runtime). The function's own image pool is preferred — an
+// image hit needs no further work at all — before falling back to the
+// generic base pool. The second return reports which case hit.
+func (w *Worker) claimPrewarm(fn *core.Function) (*sandbox.Instance, bool) {
 	if fn.Runtime != "" && fn.Runtime != w.cfg.Runtime.Name() {
-		return nil
+		return nil, false
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	n := len(w.prewarmPool)
+	if inst := w.popPoolLocked(fn.Image); inst != nil {
+		w.mPrewarmImageHits.Inc()
+		return inst, true
+	}
+	if inst := w.popPoolLocked(w.cfg.PrewarmImage); inst != nil {
+		w.mPrewarmBaseHits.Inc()
+		return inst, false
+	}
+	return nil, false
+}
+
+// popPoolLocked pops the most-recently-idle entry of one image's pool.
+// Callers hold w.mu.
+func (w *Worker) popPoolLocked(image string) *sandbox.Instance {
+	pool := w.prewarmPools[image]
+	n := len(pool)
 	if n == 0 {
 		return nil
 	}
-	inst := w.prewarmPool[n-1]
-	w.prewarmPool = w.prewarmPool[:n-1]
-	w.metrics.Gauge("prewarm_pool_size").Set(int64(n - 1))
+	inst := pool[n-1].inst
+	if n == 1 {
+		delete(w.prewarmPools, image)
+	} else {
+		w.prewarmPools[image] = pool[:n-1]
+	}
+	w.updatePoolGaugeLocked()
 	return inst
 }
 
-// spawnPrewarmFill tops the pre-warm pool back up to its configured size
-// with one asynchronous creation, if a fill isn't already pending for
-// this slot.
-func (w *Worker) spawnPrewarmFill() {
+// poolTotalLocked returns pooled + in-flight-fill entries across all
+// images. Callers hold w.mu.
+func (w *Worker) poolTotalLocked() int {
+	total := 0
+	for _, pool := range w.prewarmPools {
+		total += len(pool)
+	}
+	for _, n := range w.prewarmPending {
+		total += n
+	}
+	return total
+}
+
+func (w *Worker) updatePoolGaugeLocked() {
+	total := 0
+	for _, pool := range w.prewarmPools {
+		total += len(pool)
+	}
+	w.metrics.Gauge("prewarm_pool_size").Set(int64(total))
+}
+
+// targetLocked returns image's share of the pre-warm budget: in static
+// mode (no targets pushed yet) the whole budget sits on the base image.
+// Callers hold w.mu.
+func (w *Worker) targetLocked(image string) int {
+	if w.prewarmTargets == nil {
+		if image == w.cfg.PrewarmImage {
+			return w.cfg.Prewarm
+		}
+		return 0
+	}
+	return w.prewarmTargets[image]
+}
+
+// pickFillImageLocked chooses which image the next pool fill should warm:
+// the preferred image if it is below target, else the image with the
+// largest deficit (ties broken by name for determinism). Callers hold
+// w.mu.
+func (w *Worker) pickFillImageLocked(prefer string) (string, bool) {
+	if w.poolTotalLocked() >= w.cfg.Prewarm {
+		return "", false
+	}
+	deficit := func(img string) int {
+		return w.targetLocked(img) - len(w.prewarmPools[img]) - w.prewarmPending[img]
+	}
+	if prefer != "" && deficit(prefer) > 0 {
+		return prefer, true
+	}
+	if w.prewarmTargets == nil {
+		if deficit(w.cfg.PrewarmImage) > 0 {
+			return w.cfg.PrewarmImage, true
+		}
+		return "", false
+	}
+	best, bestD := "", 0
+	for img := range w.prewarmTargets {
+		if d := deficit(img); d > bestD || (d == bestD && d > 0 && img < best) {
+			best, bestD = img, d
+		}
+	}
+	return best, bestD > 0
+}
+
+// spawnPrewarmFill tops the pre-warm pools back up toward their targets
+// with one asynchronous creation, preferring the given image (the one a
+// claim just drained or missed), if the budget has room and some image is
+// below target.
+func (w *Worker) spawnPrewarmFill(prefer string) {
 	if w.cfg.Prewarm <= 0 {
 		return
 	}
 	w.mu.Lock()
-	if w.stopped || len(w.prewarmPool)+w.prewarmPending >= w.cfg.Prewarm {
+	if w.stopped {
 		w.mu.Unlock()
 		return
 	}
-	w.prewarmPending++
+	image, ok := w.pickFillImageLocked(prefer)
+	if !ok {
+		w.mu.Unlock()
+		return
+	}
+	w.prewarmPending[image]++
 	w.mu.Unlock()
 	w.wg.Add(1)
-	go w.fillPrewarm()
+	go w.fillPrewarm(image)
 }
 
-func (w *Worker) fillPrewarm() {
+func (w *Worker) fillPrewarm(image string) {
 	defer w.wg.Done()
 	// Pre-warm IDs live in their own range so they can never collide
 	// with control-plane-minted sandbox IDs.
@@ -673,7 +838,7 @@ func (w *Worker) fillPrewarm() {
 		ID: id,
 		Function: core.Function{
 			Name:    "_prewarm",
-			Image:   w.cfg.PrewarmImage,
+			Image:   image,
 			Port:    1,
 			Runtime: w.cfg.Runtime.Name(),
 		},
@@ -683,27 +848,213 @@ func (w *Worker) fillPrewarm() {
 	w.releaseCreateSlot()
 	if err != nil {
 		w.mu.Lock()
-		w.prewarmPending--
+		w.decPendingLocked(image)
 		w.mu.Unlock()
 		w.metrics.Counter("prewarm_create_errors").Inc()
 		return
 	}
 	// The pool holds fully initialized sandboxes: boot completes here, at
-	// fill time, which is exactly the work a claim skips.
+	// fill time — for a per-image pool that includes the image pull, which
+	// is exactly the work an image-hit claim skips.
 	if inst.BootDelay > 0 {
 		w.clk.Sleep(inst.BootDelay)
 	}
 	w.mu.Lock()
-	w.prewarmPending--
-	if w.stopped {
+	w.decPendingLocked(image)
+	// Targets may have shifted while the fill was in flight (a push, or
+	// static mode resumed): surplus entries are torn down, not pooled.
+	if w.stopped || len(w.prewarmPools[image]) >= w.targetLocked(image) {
 		w.mu.Unlock()
 		_ = w.cfg.Runtime.Kill(inst.ID)
 		return
 	}
-	w.prewarmPool = append(w.prewarmPool, inst)
-	w.metrics.Gauge("prewarm_pool_size").Set(int64(len(w.prewarmPool)))
+	w.prewarmPools[image] = append(w.prewarmPools[image], poolEntry{inst: inst, idleSince: w.clk.Now()})
+	w.updatePoolGaugeLocked()
 	w.mu.Unlock()
 	w.metrics.Counter("prewarm_filled").Inc()
+}
+
+func (w *Worker) decPendingLocked(image string) {
+	if w.prewarmPending[image] <= 1 {
+		delete(w.prewarmPending, image)
+	} else {
+		w.prewarmPending[image]--
+	}
+}
+
+// applyPrewarmTargets installs a control-plane push: the cluster-wide
+// per-image wants are apportioned to this node's budget, surplus idle
+// entries are evicted (least-recently-idle first), and deficit pools are
+// refilled asynchronously.
+func (w *Worker) applyPrewarmTargets(t *proto.PrewarmTargets) {
+	if w.cfg.Prewarm <= 0 {
+		return
+	}
+	targets := apportionPrewarm(w.cfg.Prewarm, t.Targets, w.cfg.PrewarmImage)
+	var victims []*sandbox.Instance
+	w.mu.Lock()
+	if w.stopped {
+		w.mu.Unlock()
+		return
+	}
+	// Two push sweeps can race; never let an older generation overwrite a
+	// newer one (equal generations re-apply idempotently).
+	if t.Gen < w.prewarmGen {
+		w.mu.Unlock()
+		return
+	}
+	w.prewarmGen = t.Gen
+	w.prewarmTargets = targets
+	for img, pool := range w.prewarmPools {
+		want := targets[img]
+		for len(pool) > want {
+			victims = append(victims, pool[0].inst)
+			pool = pool[1:]
+		}
+		if len(pool) == 0 {
+			delete(w.prewarmPools, img)
+		} else {
+			w.prewarmPools[img] = pool
+		}
+	}
+	w.updatePoolGaugeLocked()
+	w.mu.Unlock()
+	w.killEvicted(victims)
+	for i := 0; i < w.cfg.Prewarm; i++ {
+		w.spawnPrewarmFill("")
+	}
+}
+
+// apportionPrewarm splits a node's pre-warm budget across the cluster-wide
+// wants proportionally (largest-remainder rounding, deterministic
+// tie-break by want then image name); leftover capacity stays on the
+// generic base image.
+func apportionPrewarm(budget int, wants []proto.PrewarmTarget, base string) map[string]int {
+	out := make(map[string]int, len(wants)+1)
+	var sum int64
+	for i := range wants {
+		sum += int64(wants[i].Want)
+	}
+	if sum == 0 {
+		out[base] = budget
+		return out
+	}
+	if sum <= int64(budget) {
+		used := 0
+		for i := range wants {
+			if wants[i].Want > 0 {
+				out[wants[i].Image] += int(wants[i].Want)
+				used += int(wants[i].Want)
+			}
+		}
+		if budget > used {
+			out[base] += budget - used
+		}
+		return out
+	}
+	// Over-subscribed: proportional floor shares, remainder to the images
+	// with the largest fractional parts.
+	type share struct {
+		image string
+		want  uint32
+		rem   int64
+	}
+	shares := make([]share, 0, len(wants))
+	used := 0
+	for i := range wants {
+		if wants[i].Want == 0 {
+			continue
+		}
+		num := int64(budget) * int64(wants[i].Want)
+		out[wants[i].Image] += int(num / sum)
+		used += int(num / sum)
+		shares = append(shares, share{image: wants[i].Image, want: wants[i].Want, rem: num % sum})
+	}
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].rem != shares[j].rem {
+			return shares[i].rem > shares[j].rem
+		}
+		if shares[i].want != shares[j].want {
+			return shares[i].want > shares[j].want
+		}
+		return shares[i].image < shares[j].image
+	})
+	for i := 0; used < budget && i < len(shares); i++ {
+		out[shares[i].image]++
+		used++
+	}
+	for img, n := range out {
+		if n == 0 {
+			delete(out, img)
+		}
+	}
+	return out
+}
+
+// evictForMemoryLocked collects idle pool entries for teardown while the
+// real-sandbox allocation plus the pool's estimated footprint exceeds the
+// node's memory, least-recently-idle across all images first. Skipped
+// when capacity is unknown (Node.MemoryMB == 0). Callers hold w.mu and
+// kill the returned instances after unlocking.
+func (w *Worker) evictForMemoryLocked() []*sandbox.Instance {
+	if w.cfg.Node.MemoryMB <= 0 || w.cfg.Prewarm <= 0 {
+		return nil
+	}
+	pooled := 0
+	for _, pool := range w.prewarmPools {
+		pooled += len(pool)
+	}
+	var victims []*sandbox.Instance
+	for pooled > 0 && w.allocMem+pooled*w.cfg.PrewarmMemoryMB > w.cfg.Node.MemoryMB {
+		oldest := ""
+		for img, pool := range w.prewarmPools {
+			if oldest == "" || pool[0].idleSince.Before(w.prewarmPools[oldest][0].idleSince) {
+				oldest = img
+			}
+		}
+		pool := w.prewarmPools[oldest]
+		victims = append(victims, pool[0].inst)
+		if len(pool) == 1 {
+			delete(w.prewarmPools, oldest)
+		} else {
+			w.prewarmPools[oldest] = pool[1:]
+		}
+		pooled--
+	}
+	if len(victims) > 0 {
+		w.updatePoolGaugeLocked()
+	}
+	return victims
+}
+
+// killEvicted tears down evicted pool entries outside w.mu (runtime kills
+// sleep), counting them in telemetry.
+func (w *Worker) killEvicted(victims []*sandbox.Instance) {
+	for _, inst := range victims {
+		_ = w.cfg.Runtime.Kill(inst.ID)
+		w.mPrewarmEvicted.Inc()
+	}
+}
+
+// PrewarmGen returns the generation of the last applied target push (0
+// until one arrives — e.g. after a daemon restart, which the control
+// plane detects via re-registration and answers with a fresh push).
+func (w *Worker) PrewarmGen() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.prewarmGen
+}
+
+// PrewarmPoolSizes returns the current per-image pool sizes, for tests
+// and experiments.
+func (w *Worker) PrewarmPoolSizes() map[string]int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make(map[string]int, len(w.prewarmPools))
+	for img, pool := range w.prewarmPools {
+		out[img] = len(pool)
+	}
+	return out
 }
 
 func (w *Worker) releaseResources(f *core.Function) {
