@@ -608,6 +608,62 @@ func BenchmarkAblationMultiDP(b *testing.B) {
 	}
 }
 
+// --- Durable async failover: leased takeover vs seed wait-for-restart ---
+
+// BenchmarkAblationAsyncLease measures one full async failover cycle —
+// flood the replicas' shared durable queue, kill a replica mid-drain,
+// and wait for the acknowledged backlog to reach zero — with the control
+// plane leasing the victim's records to survivors vs the seed ablation
+// (-async-lease=false), where the backlog is stranded until the victim
+// restarts. Each op is one kill-to-empty cycle; the lease path's cycle
+// excludes the restart the seed needs.
+func BenchmarkAblationAsyncLease(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		lease bool
+	}{
+		{"lease", true},
+		{"seed-wait-for-restart", false},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			h, err := experiments.NewAsyncLeaseHarness(experiments.AsyncLeaseConfig{
+				Replicas:      3,
+				LeaseDisabled: !cfg.lease,
+				HandlerDelay:  time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer h.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := h.Flood(96); err != nil {
+					b.Fatal(err)
+				}
+				victims := h.KillFraction(0.34)
+				if !cfg.lease {
+					// The seed's only path to the victim's records.
+					time.Sleep(600 * time.Millisecond) // past the prune
+					if err := h.RestartVictims(victims); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if _, stranded := h.AwaitDrain(30 * time.Second); stranded != 0 {
+					b.Fatalf("%d acknowledged tasks stranded", stranded)
+				}
+				b.StopTimer()
+				if cfg.lease {
+					// Revive for the next cycle (recalls the lease).
+					if err := h.RestartVictims(victims); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+			}
+		})
+	}
+}
+
 // --- Transport cost: in-process vs TCP round trip ---
 
 func benchTransportRTT(b *testing.B, tr transport.Transport, addr string) {

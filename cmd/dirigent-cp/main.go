@@ -48,6 +48,7 @@ func main() {
 		"partition each worker's pre-warm budget across per-image pools sized by the trace-driven demand predictor (off = workers keep their whole budget on the generic base image)")
 	prewarmWindow := flag.Duration("prewarm-window", 0, "demand predictor averaging window (0 = default 1m)")
 	prewarmLead := flag.Duration("prewarm-lead", 0, "how far ahead of a predicted burst per-image pools are raised (0 = default 30s)")
+	asyncLease := flag.Bool("async-lease", true, "lease a pruned durable data plane's async queue records to surviving replicas (false = ablation: records wait for the replica to restart)")
 	flag.Parse()
 
 	var placer placement.Policy
@@ -106,6 +107,7 @@ func main() {
 		Placer:              placer,
 		PredictivePrewarm:   *predictive,
 		Predictor:           predictor.Config{Window: *prewarmWindow, Lead: *prewarmLead},
+		AsyncLeaseDisabled:  !*asyncLease,
 		// TCP deployments need wider election windows than in-process.
 		RaftHeartbeat:   50 * time.Millisecond,
 		RaftElectionMin: 150 * time.Millisecond,

@@ -34,6 +34,7 @@ func main() {
 	shards := flag.Int("invoke-shards", 0, "stripes in the function registry (0 = default 32, 1 = single global invoke lock ablation)")
 	asyncShards := flag.Int("async-shards", 0, "stripes in the async queue: per-shard dispatch loops and store hashes (0 = default 32, 1 = seed single-queue ablation)")
 	asyncStore := flag.String("async-store", "", "append-only store file for the durable async queue (empty = memory-only queue)")
+	asyncFnQuota := flag.Int("async-fn-quota", 0, "max queued async tasks one function may hold per queue shard; excess accepts are rejected (0 = no quota, seed admission)")
 	flag.Parse()
 
 	var balancer loadbalancer.Policy
@@ -71,6 +72,7 @@ func main() {
 		InvokeShards:      *shards,
 		AsyncShards:       *asyncShards,
 		AsyncStore:        db,
+		AsyncFnQuota:      *asyncFnQuota,
 	})
 	if err := dp.Start(); err != nil {
 		log.Fatalf("start data plane: %v", err)

@@ -62,22 +62,31 @@ func main() {
 	invoke("baseline")
 
 	fmt.Println("\n2. Control plane leader crash")
-	fmt.Printf("   killing leader %s...\n", c.Leader().Addr())
+	// Snapshot the leader: Leader() re-resolves every call and returns nil
+	// during elections, so back-to-back calls may not agree — dereferencing
+	// a second lookup is a crash waiting for an election blip.
+	if leader := c.Leader(); leader != nil {
+		fmt.Printf("   killing leader %s...\n", leader.Addr())
+	}
 	t0 := time.Now()
 	c.KillCPLeader()
-	for c.Leader() == nil {
+	leader := c.Leader()
+	for leader == nil {
 		time.Sleep(200 * time.Microsecond)
+		leader = c.Leader()
 	}
-	fmt.Printf("   new leader %s elected in %v\n", c.Leader().Addr(), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("   new leader %s elected in %v\n", leader.Addr(), time.Since(t0).Round(time.Millisecond))
 	invoke("during-failover") // warm traffic is unaffected
+	ready := 0
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		if ready, _ := c.Leader().FunctionScale("resilient"); ready >= 2 {
-			break
+		if cp := c.Leader(); cp != nil {
+			if ready, _ = cp.FunctionScale("resilient"); ready >= 2 {
+				break
+			}
 		}
 		time.Sleep(2 * time.Millisecond)
 	}
-	ready, _ := c.Leader().FunctionScale("resilient")
 	fmt.Printf("   sandbox state reconstructed from worker reports: %d ready\n", ready)
 
 	fmt.Println("\n3. Data plane crash + restart")

@@ -82,6 +82,19 @@ type Options struct {
 	// Versions optionally installs a version router in the front-end LB
 	// for canary/blue-green traffic splits (see internal/versioning).
 	Versions *versioning.Router
+	// AsyncPersist backs every data plane's async queue with one shared
+	// in-memory store (the paper co-locates the durable queue with the
+	// cluster store), so accepted async invocations survive DP crashes
+	// and the control plane can lease a dead replica's records to the
+	// surviving replicas. Off, async tasks live only in DP memory (the
+	// seed default).
+	AsyncPersist bool
+	// AsyncFnQuota caps per-function occupancy of each DP's async queue
+	// shards (0 = no quota, seed admission).
+	AsyncFnQuota int
+	// AsyncLeaseDisabled turns off lease failover of dead replicas'
+	// async records (ablation: persisted tasks wait for a restart).
+	AsyncLeaseDisabled bool
 }
 
 func (o Options) withDefaults() Options {
@@ -136,9 +149,14 @@ type Cluster struct {
 	Caches []*sandbox.ImageCache
 
 	stores  []*store.Store
+	asyncDB *store.Store
 	cpAddrs []string
 	client  *cpclient.Client
 }
+
+// AsyncStore returns the shared async queue store (nil without
+// AsyncPersist).
+func (c *Cluster) AsyncStore() *store.Store { return c.asyncDB }
 
 // New builds and starts a cluster.
 func New(opts Options) (*Cluster, error) {
@@ -183,6 +201,7 @@ func New(opts Options) (*Cluster, error) {
 			Placer:              opts.Placer,
 			PredictivePrewarm:   opts.PredictivePrewarm,
 			Predictor:           opts.Predictor,
+			AsyncLeaseDisabled:  opts.AsyncLeaseDisabled,
 			Metrics:             metrics,
 		})
 		c.CPs = append(c.CPs, cp)
@@ -200,6 +219,9 @@ func New(opts Options) (*Cluster, error) {
 	c.client = cpclient.New(tr, c.cpAddrs)
 
 	// Data planes.
+	if opts.AsyncPersist {
+		c.asyncDB = store.NewMemory()
+	}
 	var dpAddrs []string
 	for i := 0; i < opts.DataPlanes; i++ {
 		dp := dataplane.New(dataplane.Config{
@@ -209,6 +231,8 @@ func New(opts Options) (*Cluster, error) {
 			ControlPlanes:  c.cpAddrs,
 			MetricInterval: opts.MetricInterval,
 			QueueTimeout:   opts.QueueTimeout,
+			AsyncStore:     c.asyncDB,
+			AsyncFnQuota:   opts.AsyncFnQuota,
 			Metrics:        metrics,
 		})
 		if err := dp.Start(); err != nil {
@@ -384,7 +408,9 @@ func (c *Cluster) KillDataPlane(i int) { c.DPs[i].Stop() }
 
 // RestartDataPlane recovers data plane i as a fresh replica (systemd
 // restart in the paper's deployment): it re-registers with the control
-// plane, which repopulates its function and endpoint caches.
+// plane, which repopulates its function and endpoint caches, recalls any
+// lease issued on the replica's async records while it was down, and
+// assigns the replica a fresh queue epoch that out-fences the lessees.
 func (c *Cluster) RestartDataPlane(i int) error {
 	old := c.DPs[i]
 	dp := dataplane.New(dataplane.Config{
@@ -394,6 +420,8 @@ func (c *Cluster) RestartDataPlane(i int) error {
 		ControlPlanes:  c.cpAddrs,
 		MetricInterval: c.opts.MetricInterval,
 		QueueTimeout:   c.opts.QueueTimeout,
+		AsyncStore:     c.asyncDB,
+		AsyncFnQuota:   c.opts.AsyncFnQuota,
 		Metrics:        c.Metrics,
 	})
 	if err := dp.Start(); err != nil {

@@ -60,6 +60,14 @@ const (
 	hashSandboxes  = "sandboxes" // used only by the persist-all ablation
 	hashMeta       = "meta"      // cluster metadata: leadership epoch
 	fieldEpoch     = "epoch"
+	// hashDPAsync persists each durable data plane's advertised async
+	// queue hashes, so a control plane that failed over can still lease
+	// a dead replica's shards to survivors.
+	hashDPAsync = "dataplane-async"
+	// fieldAsyncEpoch is the cluster-wide async queue epoch counter
+	// (hashMeta field): monotonic across CP failovers, so every lease
+	// grant and every revival outranks all earlier ones.
+	fieldAsyncEpoch = "async-epoch"
 )
 
 // Config parameterizes a control plane replica.
@@ -130,6 +138,11 @@ type Config struct {
 	// NoDownscaleWindow suppresses downscaling after a failover while
 	// autoscaling metrics repopulate (60 s in the paper, §3.4.1).
 	NoDownscaleWindow time.Duration
+	// AsyncLeaseDisabled turns off durable async queue lease failover
+	// (the seed ablation): a pruned replica's persisted async tasks then
+	// wait for that exact replica to restart with its store, and no
+	// queue epochs are assigned.
+	AsyncLeaseDisabled bool
 	// PersistSandboxState enables the paper's ablation (§5.2.1,
 	// "Dirigent optimization breakdown"): persist every sandbox state
 	// change, putting a durable write on the cold-start critical path.
@@ -313,6 +326,14 @@ type ControlPlane struct {
 	dpMu       sync.RWMutex
 	dataplanes map[core.DataPlaneID]*dataPlaneState
 
+	// Async queue lease state (see asynclease.go): outstanding leases on
+	// dead durable replicas' queue hashes, keyed by the dead owner.
+	// asyncLeaseMu also serializes async epoch minting, so a revival
+	// racing a sweep's lease issuance always ends with the revived owner
+	// holding the higher epoch.
+	asyncLeaseMu sync.Mutex
+	asyncLeases  map[core.DataPlaneID]*asyncLeaseState
+
 	// Predictive pre-warm state (pred is nil unless enabled). The current
 	// target set and its generation are recomputed after each reconcile
 	// sweep under prewarmMu; workers are pushed asynchronously when their
@@ -361,15 +382,16 @@ type ControlPlane struct {
 func New(cfg Config) *ControlPlane {
 	cfg = cfg.withDefaults()
 	cp := &ControlPlane{
-		cfg:        cfg,
-		clk:        cfg.Clock,
-		metrics:    cfg.Metrics,
-		shards:     newShards(cfg.StateShards),
-		wshards:    newWorkerShards(cfg.WorkerShards),
-		dataplanes: make(map[core.DataPlaneID]*dataPlaneState),
-		relays:     make(map[string]*relayState),
-		suspects:   make(map[core.NodeID]struct{}),
-		stopCh:     make(chan struct{}),
+		cfg:         cfg,
+		clk:         cfg.Clock,
+		metrics:     cfg.Metrics,
+		shards:      newShards(cfg.StateShards),
+		wshards:     newWorkerShards(cfg.WorkerShards),
+		dataplanes:  make(map[core.DataPlaneID]*dataPlaneState),
+		asyncLeases: make(map[core.DataPlaneID]*asyncLeaseState),
+		relays:      make(map[string]*relayState),
+		suspects:    make(map[core.NodeID]struct{}),
+		stopCh:      make(chan struct{}),
 	}
 	if cfg.PredictivePrewarm {
 		cp.pred = predictor.New(cfg.Predictor)
@@ -529,16 +551,23 @@ func (cp *ControlPlane) recover() {
 		}
 		return out
 	})
+	asyncInfo := cp.cfg.DB.HGetAll(hashDPAsync)
 	cp.dpMu.Lock()
 	cp.dataplanes = make(map[core.DataPlaneID]*dataPlaneState)
 	for _, b := range cp.cfg.DB.HGetAll(hashDataPlanes) {
 		if p, err := core.UnmarshalDataPlane(b); err == nil {
-			cp.dataplanes[p.ID] = &dataPlaneState{
+			st := &dataPlaneState{
 				dp:      *p,
 				addr:    dataPlaneAddr(p),
 				lastHB:  now,
 				healthy: true,
 			}
+			// Reload the replica's advertised async hashes so a prune
+			// after this failover can still lease its durable shards.
+			// The queue epoch restarts at 0 — every later mint outranks
+			// it (fieldAsyncEpoch is persisted and monotonic).
+			st.durable, st.asyncHashes = unmarshalAsyncInfo(asyncInfo[fmt.Sprintf("%d", p.ID)])
+			cp.dataplanes[p.ID] = st
 		}
 	}
 	cp.dpMu.Unlock()
@@ -789,12 +818,22 @@ func (cp *ControlPlane) handleRegisterDataPlane(payload []byte) ([]byte, error) 
 	if err := cp.cfg.DB.HSet(hashDataPlanes, fmt.Sprintf("%d", p.ID), core.MarshalDataPlane(&p)); err != nil {
 		return nil, fmt.Errorf("register data plane %d: persist: %w", p.ID, err)
 	}
-	cp.putDataPlane(p)
+	if req.Durable {
+		if err := cp.cfg.DB.HSet(hashDPAsync, fmt.Sprintf("%d", p.ID), marshalAsyncInfo(req.Durable, req.AsyncHashes)); err != nil {
+			return nil, fmt.Errorf("register data plane %d: persist async info: %w", p.ID, err)
+		}
+	}
+	cp.putDataPlane(p, req.Durable, req.AsyncHashes)
+	// A (re-)registering replica is a new incarnation of its queue:
+	// revoke any leases still draining its records and assign it a fresh
+	// epoch that out-fences them, before re-warming its caches.
+	epoch := cp.reviveAsyncOwner(p.ID)
 	// Warm the new data plane's caches: functions, then endpoints —
 	// every function's endpoint set in one coalesced RPC (per-function
 	// RPCs in the CreateBatch=1 ablation).
 	cp.warmDataPlane(dataPlaneAddr(&p))
-	return nil, nil
+	ack := proto.DataPlaneEpochAck{Epoch: epoch}
+	return ack.Marshal(), nil
 }
 
 func (cp *ControlPlane) handleDeregisterDataPlane(payload []byte) ([]byte, error) {
@@ -805,6 +844,7 @@ func (cp *ControlPlane) handleDeregisterDataPlane(payload []byte) ([]byte, error
 	if err := cp.cfg.DB.HDel(hashDataPlanes, fmt.Sprintf("%d", req.DataPlane.ID)); err != nil {
 		return nil, err
 	}
+	_ = cp.cfg.DB.HDel(hashDPAsync, fmt.Sprintf("%d", req.DataPlane.ID))
 	cp.dpMu.Lock()
 	delete(cp.dataplanes, req.DataPlane.ID)
 	cp.dpMu.Unlock()

@@ -1,6 +1,7 @@
 package controlplane
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -26,20 +27,33 @@ import (
 type dataPlaneState struct {
 	dp   core.DataPlane
 	addr string
+	// durable/asyncHashes describe the replica's durable async queue
+	// (advertised at registration, immutable per incarnation): the
+	// hashes the lease manager reassigns to survivors if this replica is
+	// pruned.
+	durable     bool
+	asyncHashes []string
 
 	mu      sync.Mutex
 	lastHB  time.Time
 	healthy bool
+	// epoch is the async queue epoch last assigned to this replica
+	// (minted at registration and at every revival); heartbeat acks
+	// repeat it so the replica converges even if the assigning reply was
+	// lost.
+	epoch uint64
 }
 
 // putDataPlane inserts or replaces a registry entry for a (re-)registered
 // replica.
-func (cp *ControlPlane) putDataPlane(p core.DataPlane) {
+func (cp *ControlPlane) putDataPlane(p core.DataPlane, durable bool, asyncHashes []string) {
 	st := &dataPlaneState{
-		dp:      p,
-		addr:    dataPlaneAddr(&p),
-		lastHB:  cp.clk.Now(),
-		healthy: true,
+		dp:          p,
+		addr:        dataPlaneAddr(&p),
+		durable:     durable,
+		asyncHashes: asyncHashes,
+		lastHB:      cp.clk.Now(),
+		healthy:     true,
 	}
 	cp.dpMu.Lock()
 	cp.dataplanes[p.ID] = st
@@ -83,23 +97,31 @@ func (cp *ControlPlane) handleDataPlaneHeartbeat(payload []byte) ([]byte, error)
 	}
 	st := cp.getDataPlane(hb.DataPlane.ID)
 	if st == nil {
-		cp.putDataPlane(hb.DataPlane)
+		durable, hashes := unmarshalAsyncInfo(cp.cfg.DB.HGetAll(hashDPAsync)[fmt.Sprintf("%d", hb.DataPlane.ID)])
+		cp.putDataPlane(hb.DataPlane, durable, hashes)
 		cp.metrics.Counter("dataplane_revivals").Inc()
+		// Revoke-before-rewarm: any lease on this replica's records must
+		// be out-fenced before the replica resumes settling them.
+		epoch := cp.reviveAsyncOwner(hb.DataPlane.ID)
 		cp.warmDataPlane(dataPlaneAddr(&hb.DataPlane))
-		return nil, nil
+		ack := proto.DataPlaneEpochAck{Epoch: epoch}
+		return ack.Marshal(), nil
 	}
 	st.mu.Lock()
 	st.lastHB = cp.clk.Now()
 	revived := !st.healthy
 	st.healthy = true
 	addr := st.addr
+	epoch := st.epoch
 	st.mu.Unlock()
 	if revived {
 		cp.metrics.Counter("dataplane_revivals").Inc()
 		cp.refreshDataPlaneGauge()
+		epoch = cp.reviveAsyncOwner(st.dp.ID)
 		cp.warmDataPlane(addr)
 	}
-	return nil, nil
+	ack := proto.DataPlaneEpochAck{Epoch: epoch}
+	return ack.Marshal(), nil
 }
 
 // warmDataPlane pushes the full function list and every function's
@@ -145,6 +167,10 @@ func (cp *ControlPlane) sweepDataPlanes(now time.Time) {
 		cp.metrics.Counter("dataplane_failures_detected").Add(int64(failed))
 		cp.refreshDataPlaneGauge()
 	}
+	// Lease dead durable replicas' queue hashes to survivors (and
+	// re-lease any lease whose lessee has itself died) — see
+	// asynclease.go.
+	cp.sweepAsyncLeases()
 }
 
 // dataPlaneCounts reports (healthy, total) registered replicas.

@@ -1,0 +1,37 @@
+package core
+
+import "fmt"
+
+// AsyncTaskKey mints the durable store key for an async task accepted by
+// the given data plane replica: "<owner>-<seq>". The owner prefix lets
+// replicas that share one durable store tell their records apart, and
+// lets a lease target exactly one dead owner's records inside a hash.
+func AsyncTaskKey(owner DataPlaneID, seq uint64) string {
+	return fmt.Sprintf("%d-%d", owner, seq)
+}
+
+// AsyncTaskOwner parses the owning replica out of a key minted by
+// AsyncTaskKey, reporting false for keys in any other shape.
+func AsyncTaskOwner(key string) (DataPlaneID, bool) {
+	dash := -1
+	for i := 0; i < len(key); i++ {
+		if key[i] == '-' {
+			dash = i
+		}
+	}
+	if dash <= 0 || dash == len(key)-1 {
+		return 0, false
+	}
+	var id uint64
+	for i := 0; i < dash; i++ {
+		c := key[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		id = id*10 + uint64(c-'0')
+		if id > 1<<16-1 {
+			return 0, false
+		}
+	}
+	return DataPlaneID(id), true
+}

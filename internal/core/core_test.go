@@ -189,3 +189,28 @@ func TestDefaultScalingConfigMatchesKnative(t *testing.T) {
 		t.Errorf("PanicThreshold = %v, want 2.0", cfg.PanicThreshold)
 	}
 }
+
+func TestAsyncTaskKeyOwner(t *testing.T) {
+	key := AsyncTaskKey(7, 123)
+	if key != "7-123" {
+		t.Fatalf("AsyncTaskKey = %q", key)
+	}
+	if owner, ok := AsyncTaskOwner(key); !ok || owner != 7 {
+		t.Fatalf("AsyncTaskOwner(%q) = %d, %v", key, owner, ok)
+	}
+	// Large sequence numbers keep the last dash as the separator.
+	if owner, ok := AsyncTaskOwner(AsyncTaskKey(65535, 1<<60)); !ok || owner != 65535 {
+		t.Fatalf("max owner: %d, %v", owner, ok)
+	}
+	for _, bad := range []string{"", "7", "-1", "7-", "x-1", "7x-1", "99999-1", "18446744073709551615-1"} {
+		if _, ok := AsyncTaskOwner(bad); ok {
+			t.Errorf("AsyncTaskOwner(%q) accepted", bad)
+		}
+	}
+	if err := quick.Check(func(owner uint16, seq uint64) bool {
+		got, ok := AsyncTaskOwner(AsyncTaskKey(DataPlaneID(owner), seq))
+		return ok && got == DataPlaneID(owner)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}

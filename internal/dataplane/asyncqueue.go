@@ -1,11 +1,14 @@
 package dataplane
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"dirigent/internal/codec"
 	"dirigent/internal/core"
+	"dirigent/internal/store"
 )
 
 // Asynchronous invocations provide at-least-once semantics "through
@@ -19,11 +22,24 @@ import (
 // idempotent functions (paper §2.1).
 //
 // The queue is sharded by function hash (Config.AsyncShards, default 32):
-// each shard owns its own pending channel, its own dispatch loop, and its
+// each shard owns its own pending buffer, its own dispatch loop, and its
 // own store hash, so acceptance, dispatch, persistence and crash replay
-// all scale with the shard count instead of serializing on one channel
+// all scale with the shard count instead of serializing on one buffer
 // and one store hash. AsyncShards=1 restores the seed single-queue design
 // (including the seed's exact store hash) for the ablation.
+//
+// Inside a shard, pending tasks are kept in per-function FIFO queues
+// dispatched deficit-round-robin, so one hot function's burst fills only
+// its own queue's share of dispatch slots instead of head-of-line
+// blocking every co-resident function the way the old single FIFO
+// channel did. Order within a function is unchanged (still FIFO), so the
+// seed's per-function semantics are preserved.
+//
+// Records carry their owner replica in the store key ("<id>-<seq>"), so
+// replicas that share one durable store coexist in the same hashes; the
+// control plane can lease a dead owner's records to survivors (see
+// asynclease.go) instead of stranding them until that exact replica
+// restarts.
 
 // asyncQueueHash is the seed's store hash for pending async invocations:
 // the only hash in the AsyncShards=1 ablation, and the legacy hash a
@@ -47,29 +63,167 @@ const defaultAsyncShards = 32
 // sharded queue.
 const seedAsyncQueueCap = 4096
 
+// asyncDRRQuantum is the deficit-round-robin quantum: how many tasks one
+// function's queue may dispatch before yielding the shard to the next
+// active function. Small enough that a co-resident function waits at
+// most quantum×(active functions) dispatches, large enough to keep a
+// single-function workload's dispatch loop tight.
+const asyncDRRQuantum = 8
+
 var asyncSeq atomic.Uint64
 
-// asyncShard is one stripe of the asynchronous queue: a pending-task
-// channel drained by its own dispatch loop, plus the store hash its
-// durable records live under. indexed flips once the hash has been
-// registered in asyncIndexHash, so the index write costs one HSet per
-// shard per store lifetime.
-type asyncShard struct {
-	hash    string
-	ch      chan asyncTask
-	indexed atomic.Bool
+var (
+	errAsyncQueueFull = errors.New("data plane: async queue full")
+	errAsyncQuota     = errors.New("data plane: async per-function quota exceeded")
+)
+
+// asyncFnQueue is one function's FIFO inside a shard. A queue is present
+// in the shard's map and dispatch ring exactly while it has tasks.
+type asyncFnQueue struct {
+	name    string
+	tasks   []asyncTask
+	deficit int
 }
 
-func newAsyncShards(n int) []*asyncShard {
+// asyncShard is one stripe of the asynchronous queue: per-function
+// pending FIFOs dispatched deficit-round-robin by the shard's own
+// dispatch loop, plus the store hash its durable records live under.
+// indexed flips once the hash has been registered in asyncIndexHash, so
+// the index write costs one HSet per shard per store lifetime.
+type asyncShard struct {
+	hash    string
+	indexed atomic.Bool
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	fns     map[string]*asyncFnQueue
+	ring    []*asyncFnQueue // active (non-empty) queues, DRR order
+	ringIdx int
+	size    int // total queued tasks across fns
+	capa    int // admission bound on size (seed channel capacity)
+	quota   int // per-function bound for client accepts, 0 = off
+	stopped bool
+}
+
+func newAsyncShard(hash string, capa, quota int) *asyncShard {
+	sh := &asyncShard{hash: hash, capa: capa, quota: quota, fns: make(map[string]*asyncFnQueue)}
+	sh.cond = sync.NewCond(&sh.mu)
+	return sh
+}
+
+func newAsyncShards(n, quota int) []*asyncShard {
 	shards := make([]*asyncShard, n)
 	for i := range shards {
 		hash := asyncQueueHash
 		if n > 1 {
 			hash = fmt.Sprintf("%s-%d", asyncQueueHash, i)
 		}
-		shards[i] = &asyncShard{hash: hash, ch: make(chan asyncTask, seedAsyncQueueCap)}
+		shards[i] = newAsyncShard(hash, seedAsyncQueueCap, quota)
 	}
 	return shards
+}
+
+// pushLocked appends t to its function's FIFO, activating the queue in
+// the dispatch ring if it was empty. Callers hold sh.mu.
+func (sh *asyncShard) pushLocked(t asyncTask) {
+	fq := sh.fns[t.function]
+	if fq == nil {
+		fq = &asyncFnQueue{name: t.function}
+		sh.fns[t.function] = fq
+		sh.ring = append(sh.ring, fq)
+	}
+	fq.tasks = append(fq.tasks, t)
+	sh.size++
+	sh.cond.Broadcast()
+}
+
+// tryAdmit queues t without blocking: errAsyncQueueFull when the shard is
+// at capacity (or stopping), errAsyncQuota when enforceQuota is set and
+// the function already has quota tasks pending. Quota applies only to
+// client accepts — recovery, lease drains and retries bypass it, since
+// rejecting an already-acknowledged task cannot un-acknowledge it.
+func (sh *asyncShard) tryAdmit(t asyncTask, enforceQuota bool) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.stopped || sh.size >= sh.capa {
+		return errAsyncQueueFull
+	}
+	if enforceQuota && sh.quota > 0 {
+		if fq := sh.fns[t.function]; fq != nil && len(fq.tasks) >= sh.quota {
+			return errAsyncQuota
+		}
+	}
+	sh.pushLocked(t)
+	return nil
+}
+
+// admitBlocking queues t, waiting for capacity if the shard is full.
+// Returns false only when the shard is stopping (the caller's durable
+// record stays put for the next incarnation). Used by crash recovery and
+// lease drains, whose tasks were acknowledged long ago and must be
+// dispatched in this incarnation rather than dropped on overflow.
+func (sh *asyncShard) admitBlocking(t asyncTask) bool {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for sh.size >= sh.capa && !sh.stopped {
+		sh.cond.Wait()
+	}
+	if sh.stopped {
+		return false
+	}
+	sh.pushLocked(t)
+	return true
+}
+
+// next blocks until a task is dispatchable and pops it deficit-round-
+// robin: each active function's FIFO dispatches up to asyncDRRQuantum
+// tasks per ring visit, so a hot function's burst cannot starve
+// co-resident functions. Returns false when the shard is stopping.
+func (sh *asyncShard) next() (asyncTask, bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for sh.size == 0 && !sh.stopped {
+		sh.cond.Wait()
+	}
+	if sh.stopped {
+		return asyncTask{}, false
+	}
+	if sh.ringIdx >= len(sh.ring) {
+		sh.ringIdx = 0
+	}
+	fq := sh.ring[sh.ringIdx]
+	if fq.deficit <= 0 {
+		fq.deficit = asyncDRRQuantum
+	}
+	t := fq.tasks[0]
+	fq.tasks[0] = asyncTask{} // drop payload reference
+	fq.tasks = fq.tasks[1:]
+	fq.deficit--
+	sh.size--
+	if len(fq.tasks) == 0 {
+		delete(sh.fns, fq.name)
+		sh.ring = append(sh.ring[:sh.ringIdx], sh.ring[sh.ringIdx+1:]...)
+	} else if fq.deficit == 0 {
+		sh.ringIdx++
+	}
+	sh.cond.Broadcast()
+	return t, true
+}
+
+// pending reports the shard's queued task count.
+func (sh *asyncShard) pending() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.size
+}
+
+// stop wakes every blocked admitter and the dispatch loop; tasks still
+// queued are abandoned in memory (their durable records survive).
+func (sh *asyncShard) stop() {
+	sh.mu.Lock()
+	sh.stopped = true
+	sh.cond.Broadcast()
+	sh.mu.Unlock()
 }
 
 // asyncShardFor maps a function to its queue stripe (same FNV-1a striping
@@ -114,7 +268,7 @@ func (dp *DataPlane) persistAsync(sh *asyncShard, t *asyncTask) error {
 		}
 		sh.indexed.Store(true)
 	}
-	key := fmt.Sprintf("%d-%d", dp.cfg.ID, asyncSeq.Add(1))
+	key := core.AsyncTaskKey(dp.cfg.ID, asyncSeq.Add(1))
 	if err := dp.cfg.AsyncStore.HSet(sh.hash, key, marshalAsyncTask(*t)); err != nil {
 		return err
 	}
@@ -152,13 +306,65 @@ func observeAsyncKey(key string) {
 	}
 }
 
+// observeAsyncKeys scans every durable record before the listener opens:
+// fresh keys must never collide with a surviving record's key, including
+// records owned by other replicas sharing the store — a collision would
+// overwrite (or cross-settle) whichever task loses the race, silently
+// dropping an acknowledged invocation on the next crash.
+func (dp *DataPlane) observeAsyncKeys() {
+	if dp.cfg.AsyncStore == nil {
+		return
+	}
+	for _, hash := range dp.asyncStoreHashes() {
+		for key := range dp.cfg.AsyncStore.HGetAll(hash) {
+			observeAsyncKey(key)
+		}
+	}
+}
+
 // settleAsync removes a completed (or permanently failed) task from the
-// durable queue.
+// durable queue. Every settlement is fenced by the epoch of whoever owns
+// the record right now: the replica's own queue epoch for tasks it
+// accepted, the lease epoch for tasks drained on behalf of a dead owner.
+// A fence rejection means a newer epoch took the records over — a lessee
+// abandons the lease; an owner parks the settle until it adopts its
+// revival epoch (the task ran, so it must not be re-dispatched here, but
+// the record may only be deleted once this replica out-fences the lease).
 func (dp *DataPlane) settleAsync(t *asyncTask) {
 	if t.storeKey == "" || dp.cfg.AsyncStore == nil {
 		return
 	}
-	if err := dp.cfg.AsyncStore.HDel(t.storeHash, t.storeKey); err != nil {
+	owner, epoch := dp.cfg.ID, dp.queueEpoch.Load()
+	if t.leased {
+		owner, epoch = t.leaseOwner, t.leaseEpoch
+	}
+	err := dp.cfg.AsyncStore.HDelFenced(t.storeHash, t.storeKey, asyncFenceHash, asyncFenceField(owner), epoch)
+	switch {
+	case err == nil:
+		if t.leased {
+			dp.forgetLeasedKey(t.storeHash, t.storeKey)
+		}
+	case errors.Is(err, store.ErrFenced):
+		dp.metrics.Counter("async_settle_fenced").Inc()
+		if t.leased {
+			// The lease may have been re-granted to this same replica at
+			// a higher epoch while the task executed (a co-lessee died
+			// and the sweep re-minted the owner's lease). This replica is
+			// still the legitimate lessee, so retry at the upgraded epoch
+			// — abandoning here would strand a record the re-grant's
+			// rescan already skipped as queued.
+			if e, ok := dp.currentLeaseEpoch(t.leaseOwner); ok && e > t.leaseEpoch {
+				t.leaseEpoch = e
+				dp.metrics.Counter("async_settle_upgraded").Inc()
+				dp.settleAsync(t)
+				return
+			}
+			dp.abandonLease(t.leaseOwner, t.leaseEpoch)
+			dp.forgetLeasedKey(t.storeHash, t.storeKey)
+		} else {
+			dp.parkSettle(t.storeHash, t.storeKey)
+		}
+	default:
 		dp.metrics.Counter("async_settle_errors").Inc()
 	}
 }
@@ -194,13 +400,30 @@ func (dp *DataPlane) asyncStoreHashes() []string {
 // recoverAsync re-enqueues tasks that were durably accepted but not yet
 // settled when the previous replica incarnation crashed. Each task is
 // routed to the shard that owns its function under the current
-// configuration, regardless of which hash it was persisted under.
+// configuration, regardless of which hash it was persisted under. It
+// runs as a background goroutine after the listener opens, admitting
+// with backpressure: a recovery backlog larger than the shard buffers
+// drains as dispatch frees space instead of overflowing — every
+// acknowledged task is dispatched in this incarnation, not the next one.
+//
+// In a store shared by several replicas, only records this replica owns
+// (key prefix "<own id>-") are recovered: live co-owners drain their
+// own, and a dead co-owner's are the lease manager's to reassign. Keys
+// in any other shape (hand-seeded or pre-owner-format records) have no
+// other owner to claim them, so they recover here.
 func (dp *DataPlane) recoverAsync() {
+	defer dp.wg.Done()
 	if dp.cfg.AsyncStore == nil {
 		return
 	}
 	for _, hash := range dp.asyncStoreHashes() {
 		for key, raw := range dp.cfg.AsyncStore.HGetAll(hash) {
+			if dp.stopped.Load() {
+				return
+			}
+			if owner, ok := core.AsyncTaskOwner(key); ok && owner != dp.cfg.ID {
+				continue
+			}
 			task, err := unmarshalAsyncTask(raw)
 			if err != nil {
 				// Unreadable record: drop it rather than crash-loop.
@@ -211,35 +434,47 @@ func (dp *DataPlane) recoverAsync() {
 			task.storeKey = key
 			task.storeHash = hash
 			task.attempt = 0 // restart the retry budget after recovery
-			// Fresh keys must never collide with this record's key: a
-			// collision would overwrite (or cross-settle) whichever
-			// task loses the race, silently dropping an acknowledged
-			// invocation on the next crash.
-			observeAsyncKey(key)
-			select {
-			case dp.asyncShardFor(task.function).ch <- task:
-				dp.metrics.Counter("async_recovered").Inc()
-			default:
-				dp.metrics.Counter("async_recover_overflow").Inc()
+			if !dp.asyncShardFor(task.function).admitBlocking(task) {
+				return
 			}
+			dp.metrics.Counter("async_recovered").Inc()
 		}
 	}
 }
 
 // PendingAsync reports the number of queued async invocations: durable
 // records across every shard hash when persistence is on, buffered
-// channel depth otherwise.
+// queue depth otherwise. With a store shared across replicas this counts
+// the whole tier's records, not just this replica's.
 func (dp *DataPlane) PendingAsync() int {
 	if dp.cfg.AsyncStore == nil {
 		n := 0
 		for _, sh := range dp.asyncShards {
-			n += len(sh.ch)
+			n += sh.pending()
 		}
 		return n
 	}
 	n := 0
 	for _, hash := range dp.asyncStoreHashes() {
 		n += dp.cfg.AsyncStore.HLen(hash)
+	}
+	return n
+}
+
+// AsyncBacklog counts the durable async records remaining in st — the
+// seed hash plus every hash the index lists. For a store shared by a DP
+// tier this is the tier-wide ground truth ("zero stranded" means zero
+// here), where summing PendingAsync over replicas would multiply-count
+// the shared hashes.
+func AsyncBacklog(st *store.Store) int {
+	if st == nil {
+		return 0
+	}
+	n := st.HLen(asyncQueueHash)
+	for h := range st.HGetAll(asyncIndexHash) {
+		if h != asyncQueueHash {
+			n += st.HLen(h)
+		}
 	}
 	return n
 }

@@ -13,6 +13,21 @@ import (
 	"dirigent/internal/transport"
 )
 
+// waitCounter polls for a metrics counter to reach want — recovery and
+// lease drains run in background goroutines, so counters converge rather
+// than being synchronous with Start.
+func waitCounter(t *testing.T, dp *DataPlane, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if dp.metrics.Counter(name).Value() >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("counter %s = %d, want >= %d", name, dp.metrics.Counter(name).Value(), want)
+}
+
 func TestAsyncTaskMarshalRoundTrip(t *testing.T) {
 	task := asyncTask{function: "f", payload: []byte{1, 2, 3}, attempt: 2}
 	got, err := unmarshalAsyncTask(marshalAsyncTask(task))
@@ -114,9 +129,7 @@ func TestAsyncSurvivesDataPlaneRestart(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer dp2.Stop()
-	if got := dp2.metrics.Counter("async_recovered").Value(); got != 3 {
-		t.Fatalf("recovered = %d, want 3", got)
-	}
+	waitCounter(t, dp2, "async_recovered", 3)
 	pushFunction(t, tr, dp2.Addr(), "f")
 	pushEndpoints(t, tr, dp2.Addr(), "f", []core.SandboxID{1}, "w1:9000")
 	deadline := time.Now().Add(10 * time.Second)
@@ -146,11 +159,9 @@ func TestAsyncCorruptRecordDropped(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer dp.Stop()
+	waitCounter(t, dp, "async_recover_corrupt", 1)
 	if db.HLen(asyncQueueHash) != 0 {
 		t.Errorf("corrupt record not dropped")
-	}
-	if dp.metrics.Counter("async_recover_corrupt").Value() != 1 {
-		t.Errorf("corrupt recovery not counted")
 	}
 }
 
@@ -192,7 +203,7 @@ func TestAsyncShardsAblationSeedParity(t *testing.T) {
 	if got := dp.asyncShards[0].hash; got != asyncQueueHash {
 		t.Fatalf("seed ablation store hash = %q, want %q", got, asyncQueueHash)
 	}
-	if got := cap(dp.asyncShards[0].ch); got != seedAsyncQueueCap {
+	if got := dp.asyncShards[0].capa; got != seedAsyncQueueCap {
 		t.Fatalf("seed ablation queue capacity = %d, want %d", got, seedAsyncQueueCap)
 	}
 	pushFunction(t, tr, dp.Addr(), "f")
@@ -311,9 +322,7 @@ func TestAsyncRecoverAcrossShardConfigs(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer dp2.Stop()
-			if got := dp2.metrics.Counter("async_recovered").Value(); got != 3 {
-				t.Fatalf("recovered = %d, want 3", got)
-			}
+			waitCounter(t, dp2, "async_recovered", 3)
 			pushFunction(t, tr, dp2.Addr(), "f")
 			pushEndpoints(t, tr, dp2.Addr(), "f", []core.SandboxID{1}, "w1:9000")
 			deadline := time.Now().Add(10 * time.Second)
@@ -357,9 +366,7 @@ func TestAsyncRecoveredKeyNotReused(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer dp.Stop()
-	if got := dp.metrics.Counter("async_recovered").Value(); got != 1 {
-		t.Fatalf("recovered = %d, want 1", got)
-	}
+	waitCounter(t, dp, "async_recovered", 1)
 	pushFunction(t, tr, dp.Addr(), "f")
 	req := proto.InvokeRequest{Function: "f", Async: true}
 	if _, err := tr.Call(context.Background(), dp.Addr(), proto.MethodInvoke, req.Marshal()); err != nil {

@@ -79,6 +79,12 @@ type Config struct {
 	// one channel, one dispatch loop, and the seed's exact store hash
 	// (mirroring -invoke-shards 1 on the sync path).
 	AsyncShards int
+	// AsyncFnQuota caps how many pending async tasks a single function
+	// may hold per queue shard at admission time (client accepts only —
+	// recovery, lease drains and retries bypass it, since those tasks
+	// were already acknowledged). 0 disables the quota, preserving the
+	// seed's capacity-only admission.
+	AsyncFnQuota int
 	// InvokeShards is the number of stripes in the function registry.
 	// 0 selects the default (32). 1 is the global-lock ablation: every
 	// function shares one invoke mutex and warm-start picks rebuild the
@@ -203,6 +209,19 @@ type DataPlane struct {
 	// asyncShards stripes the asynchronous queue (see asyncqueue.go).
 	asyncShards []*asyncShard
 
+	// queueEpoch is the async queue epoch the CP assigned this replica
+	// (registration/heartbeat acks); settles of own records are fenced
+	// by it. leases/leasedKeys track records this replica drains on
+	// behalf of dead owners; parked holds own-record settles rejected by
+	// a newer fence, retried after the next epoch adoption (see
+	// asynclease.go).
+	queueEpoch atomic.Uint64
+	leaseMu    sync.Mutex
+	leases     map[core.DataPlaneID]*heldLease
+	leasedKeys map[string]bool
+	parkMu     sync.Mutex
+	parked     []parkedSettle
+
 	stopCh  chan struct{}
 	wg      sync.WaitGroup
 	stopped atomic.Bool
@@ -218,6 +237,12 @@ type asyncTask struct {
 	// unsharded hash) still settles where it was persisted.
 	storeKey  string
 	storeHash string
+	// leased marks a task drained on behalf of a dead owner under an
+	// epoch-numbered lease; its settle is fenced by leaseEpoch against
+	// the owner's fence instead of this replica's own epoch.
+	leased     bool
+	leaseOwner core.DataPlaneID
+	leaseEpoch uint64
 }
 
 // New creates a data plane replica; call Start to register and serve.
@@ -230,7 +255,9 @@ func New(cfg Config) *DataPlane {
 		metrics:       cfg.Metrics,
 		shards:        newInvokeShards(cfg.InvokeShards),
 		snapshotPicks: cfg.InvokeShards > 1,
-		asyncShards:   newAsyncShards(cfg.AsyncShards),
+		asyncShards:   newAsyncShards(cfg.AsyncShards, cfg.AsyncFnQuota),
+		leases:        make(map[core.DataPlaneID]*heldLease),
+		leasedKeys:    make(map[string]bool),
 		stopCh:        make(chan struct{}),
 	}
 	if !dp.snapshotPicks {
@@ -265,14 +292,15 @@ func (dp *DataPlane) newRuntime(name string) *functionRuntime {
 }
 
 // Start listens, registers with the control plane (which pushes function
-// and endpoint caches back), and starts the metric and async loops.
+// and endpoint caches back), and starts the metric, recovery, and async
+// dispatch loops.
 func (dp *DataPlane) Start() error {
-	// Replay crash-surviving async invocations before the listener
-	// opens: replay also raises the store-key high-water mark past every
-	// recovered record (observeAsyncKey), and a new acceptance racing in
-	// ahead of that could mint a colliding key and overwrite an
-	// acknowledged task's only durable record.
-	dp.recoverAsync()
+	// Raise the store-key high-water mark past every durable record
+	// before the listener opens: a new acceptance racing ahead of this
+	// could mint a colliding key and overwrite an acknowledged task's
+	// only durable record. The replay itself runs in the background
+	// (recoverAsync) once dispatch loops exist to apply backpressure.
+	dp.observeAsyncKeys()
 	ln, err := dp.cfg.Transport.Listen(dp.cfg.Addr, dp.handleRPC)
 	if err != nil {
 		return fmt.Errorf("data plane %d: %w", dp.cfg.ID, err)
@@ -284,16 +312,26 @@ func (dp *DataPlane) Start() error {
 	if _, port := splitAddr(dp.cfg.Addr); port == 0 {
 		dp.cfg.Addr = ln.Addr()
 	}
-	req := proto.RegisterDataPlaneRequest{DataPlane: dp.identity()}
+	req := proto.RegisterDataPlaneRequest{
+		DataPlane:   dp.identity(),
+		Durable:     dp.cfg.AsyncStore != nil,
+		AsyncHashes: dp.asyncStoreHashes(),
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
-	if _, err := dp.cp.Call(ctx, proto.MethodRegisterDataPlane, req.Marshal()); err != nil {
+	resp, err := dp.cp.Call(ctx, proto.MethodRegisterDataPlane, req.Marshal())
+	if err != nil {
 		ln.Close()
 		return fmt.Errorf("data plane %d: register: %w", dp.cfg.ID, err)
 	}
-	dp.wg.Add(2 + len(dp.asyncShards))
+	// The registration ack assigns this incarnation's queue epoch,
+	// fencing out any lessee still draining records from a previous
+	// incarnation (asynclease.go).
+	dp.adoptEpochAck(resp)
+	dp.wg.Add(3 + len(dp.asyncShards))
 	go dp.metricLoop()
 	go dp.heartbeatLoop()
+	go dp.recoverAsync()
 	for _, sh := range dp.asyncShards {
 		go dp.asyncLoop(sh)
 	}
@@ -341,6 +379,9 @@ func (dp *DataPlane) Stop() {
 		}
 	}
 	close(dp.stopCh)
+	for _, sh := range dp.asyncShards {
+		sh.stop()
+	}
 	if dp.listener != nil {
 		dp.listener.Close()
 	}
@@ -369,6 +410,10 @@ func (dp *DataPlane) handleRPC(method string, payload []byte) ([]byte, error) {
 		return dp.handleUpdateEndpoints(payload)
 	case proto.MethodUpdateEndpointsBatch:
 		return dp.handleUpdateEndpointsBatch(payload)
+	case proto.MethodAsyncLeaseGrant:
+		return dp.handleAsyncLeaseGrant(payload)
+	case proto.MethodAsyncLeaseRevoke:
+		return dp.handleAsyncLeaseRevoke(payload)
 	default:
 		return nil, fmt.Errorf("data plane: unknown method %q", method)
 	}

@@ -607,7 +607,7 @@ func TestAsyncRetryBackoffNotStranded(t *testing.T) {
 	})
 	// Shrink the function's queue shard so a retry colliding with one
 	// accepted task overflows deterministically.
-	dp.asyncShardFor("f").ch = make(chan asyncTask, 1)
+	dp.asyncShardFor("f").capa = 1
 	if err := dp.Start(); err != nil {
 		t.Fatal(err)
 	}

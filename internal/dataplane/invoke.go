@@ -24,6 +24,13 @@ const (
 	maxPickRetries = 8
 )
 
+// errUnknownFunction marks invocations of functions absent from the
+// local cache. For async dispatch this is almost always a
+// not-yet-warmed cache (the CP's function push races recovery and lease
+// drains), so the async loop retries it with backoff instead of burning
+// the whole retry budget in microseconds of instant failures.
+var errUnknownFunction = errors.New("data plane: unknown function")
+
 // handleInvoke is the life of a request inside the data plane (paper §3.3):
 // warm starts are proxied immediately through the concurrency throttler;
 // cold starts wait in the per-function request queue until the control
@@ -46,7 +53,7 @@ func (dp *DataPlane) invokeSync(function string, payload []byte) ([]byte, error)
 	fr := dp.lookup(function)
 	if fr == nil {
 		dp.metrics.Counter("invocations_unknown_function").Inc()
-		return nil, fmt.Errorf("data plane: unknown function %q", function)
+		return nil, fmt.Errorf("%w %q", errUnknownFunction, function)
 	}
 	for staleRetries := 0; staleRetries < maxStaleRetries; {
 		st, info, ok := dp.acquireWarm(fr)
@@ -98,7 +105,7 @@ func (dp *DataPlane) invokeSync(function string, payload []byte) ([]byte, error)
 		fr.mu.Unlock()
 		if fr = dp.lookup(function); fr == nil {
 			dp.metrics.Counter("invocations_unknown_function").Inc()
-			return nil, fmt.Errorf("data plane: unknown function %q", function)
+			return nil, fmt.Errorf("%w %q", errUnknownFunction, function)
 		}
 	}
 	fr.queue = append(fr.queue, p)
@@ -410,16 +417,14 @@ func (dp *DataPlane) acceptAsync(req *proto.InvokeRequest) ([]byte, error) {
 		dp.metrics.Counter("async_rejected").Inc()
 		return nil, fmt.Errorf("data plane: persist async invocation: %w", err)
 	}
-	select {
-	case sh.ch <- task:
-		dp.metrics.Counter("async_accepted").Inc()
-		resp := proto.InvokeResponse{Body: []byte("accepted")}
-		return resp.Marshal(), nil
-	default:
+	if err := sh.tryAdmit(task, true); err != nil {
 		dp.settleAsync(&task)
 		dp.metrics.Counter("async_rejected").Inc()
-		return nil, fmt.Errorf("data plane: async queue full")
+		return nil, err
 	}
+	dp.metrics.Counter("async_accepted").Inc()
+	resp := proto.InvokeResponse{Body: []byte("accepted")}
+	return resp.Marshal(), nil
 }
 
 // asyncLoop drains one queue shard. Each shard runs its own loop, so a
@@ -428,32 +433,39 @@ func (dp *DataPlane) acceptAsync(req *proto.InvokeRequest) ([]byte, error) {
 func (dp *DataPlane) asyncLoop(sh *asyncShard) {
 	defer dp.wg.Done()
 	for {
-		select {
-		case <-dp.stopCh:
+		task, ok := sh.next()
+		if !ok {
 			return
-		case task := <-sh.ch:
-			if _, err := dp.invokeSync(task.function, task.payload); err != nil {
-				task.attempt++
-				if task.attempt <= dp.cfg.AsyncRetries {
-					dp.metrics.Counter("async_retries").Inc()
-					select {
-					case sh.ch <- task:
-					default:
-						// Queue overflow: hold the retry back and
-						// re-enqueue with backoff instead of stranding
-						// it until the next restart.
-						dp.metrics.Counter("async_backoff").Inc()
-						dp.wg.Add(1)
-						go dp.requeueAsync(sh, task)
-					}
-				} else {
-					dp.settleAsync(&task)
-					dp.metrics.Counter("async_failed").Inc()
+		}
+		// A leased task is re-validated at dispatch: a lease revoked (or
+		// re-granted elsewhere) while the task sat queued must not
+		// execute here — its durable record belongs to a newer epoch.
+		if task.leased && !dp.leaseCheck(&task) {
+			dp.forgetLeasedKey(task.storeHash, task.storeKey)
+			dp.metrics.Counter("async_lease_dropped").Inc()
+			continue
+		}
+		if _, err := dp.invokeSync(task.function, task.payload); err != nil {
+			task.attempt++
+			if task.attempt <= dp.cfg.AsyncRetries {
+				dp.metrics.Counter("async_retries").Inc()
+				// Unknown function fails in microseconds (the CP's
+				// function push races recovery and lease drains), so an
+				// instant retry would burn the whole budget before the
+				// cache warms: take the backoff path. Overflowed
+				// instant retries back off too rather than strand.
+				if errors.Is(err, errUnknownFunction) || sh.tryAdmit(task, false) != nil {
+					dp.metrics.Counter("async_backoff").Inc()
+					dp.wg.Add(1)
+					go dp.requeueAsync(sh, task)
 				}
 			} else {
 				dp.settleAsync(&task)
-				dp.metrics.Counter("async_completed").Inc()
+				dp.metrics.Counter("async_failed").Inc()
 			}
+		} else {
+			dp.settleAsync(&task)
+			dp.metrics.Counter("async_completed").Inc()
 		}
 	}
 }
@@ -471,14 +483,12 @@ func (dp *DataPlane) requeueAsync(sh *asyncShard, task asyncTask) {
 			return
 		case <-dp.clk.After(backoff):
 		}
-		select {
-		case sh.ch <- task:
+		if sh.tryAdmit(task, false) == nil {
 			dp.metrics.Counter("async_requeued").Inc()
 			return
-		default:
-			if backoff < time.Second {
-				backoff *= 2
-			}
+		}
+		if backoff < time.Second {
+			backoff *= 2
 		}
 	}
 }
@@ -505,8 +515,13 @@ func (dp *DataPlane) sendHeartbeat() {
 	ctx, cancel := context.WithTimeout(context.Background(), dp.cfg.HeartbeatInterval*4)
 	defer cancel()
 	// Best effort: a missed heartbeat is exactly what the CP's health
-	// monitor is designed to tolerate and detect.
-	_, _ = dp.cp.Call(ctx, proto.MethodDataPlaneHeartbeat, hb.Marshal())
+	// monitor is designed to tolerate and detect. The ack carries the
+	// replica's current queue epoch — after a prune-and-revive it is the
+	// fresh revival epoch that out-fences any lease on our records.
+	resp, err := dp.cp.Call(ctx, proto.MethodDataPlaneHeartbeat, hb.Marshal())
+	if err == nil {
+		dp.adoptEpochAck(resp)
+	}
 }
 
 // metricLoop periodically reports per-function scaling metrics to the

@@ -40,6 +40,14 @@ type DataPlanesConfig struct {
 	// accepted async invocations survive a Stop/restart of the replica
 	// and killing a replica exercises the durable-queue path.
 	Persistent bool
+	// SharedStore makes every replica persist async records into the
+	// same store (the shared-database layout lease failover needs:
+	// records are owner-prefixed, so survivors can drain a dead
+	// replica's records in place). Overrides Persistent.
+	SharedStore *store.Store
+	// AsyncFnQuota caps per-function occupancy of each replica's async
+	// queue shards (0 = seed admission, no quota).
+	AsyncFnQuota int
 	// Clock abstracts time.
 	Clock clock.Clock
 	// MetricInterval / HeartbeatInterval / QueueTimeout tune each
@@ -62,6 +70,7 @@ func (c DataPlanesConfig) withDefaults() DataPlanesConfig {
 // DataPlanes is a managed set of data plane replicas.
 type DataPlanes struct {
 	cfg    DataPlanesConfig
+	dpCfgs []dataplane.Config
 	dps    []*dataplane.DataPlane
 	stores []*store.Store
 }
@@ -76,12 +85,12 @@ func NewDataPlanes(cfg DataPlanesConfig) *DataPlanes {
 		if !cfg.Loopback {
 			addr = fmt.Sprintf("10.88.%d.%d:8000", id/256, id%256)
 		}
-		var db *store.Store
-		if cfg.Persistent {
+		db := cfg.SharedStore
+		if db == nil && cfg.Persistent {
 			db = store.NewMemory()
 		}
 		d.stores = append(d.stores, db)
-		d.dps = append(d.dps, dataplane.New(dataplane.Config{
+		dpCfg := dataplane.Config{
 			ID:                core.DataPlaneID(id),
 			Addr:              addr,
 			Transport:         cfg.Transport,
@@ -92,7 +101,10 @@ func NewDataPlanes(cfg DataPlanesConfig) *DataPlanes {
 			QueueTimeout:      cfg.QueueTimeout,
 			AsyncStore:        db,
 			AsyncShards:       cfg.AsyncShards,
-		}))
+			AsyncFnQuota:      cfg.AsyncFnQuota,
+		}
+		d.dpCfgs = append(d.dpCfgs, dpCfg)
+		d.dps = append(d.dps, dataplane.New(dpCfg))
 	}
 	return d
 }
@@ -141,7 +153,10 @@ func (d *DataPlanes) Store(i int) *store.Store { return d.stores[i] }
 // a correlated data plane failure. In-flight requests inside the victims
 // fail over at the front end; the control plane prunes the victims from
 // its fan-out set by heartbeat timeout; persisted async tasks on the
-// victims wait for a restart. Returns the stopped replicas' indices.
+// victims are leased to the surviving replicas once the prune lands
+// (with SharedStore and leasing enabled — with per-replica stores they
+// wait for a Restart, the seed behavior). Returns the stopped replicas'
+// indices.
 func (d *DataPlanes) StopFraction(frac float64) []int {
 	n := int(float64(len(d.dps))*frac + 0.999999)
 	if n > len(d.dps) {
@@ -165,6 +180,19 @@ func (d *DataPlanes) StopFraction(frac float64) []int {
 // serving a function's home, so a kill provably lands on live traffic.
 func (d *DataPlanes) StopOne(i int) {
 	d.dps[i].Stop()
+}
+
+// Restart brings replica i back as a fresh incarnation on the same ID
+// and store — the paper's §3.4.2 restart path. With a shared store the
+// revival also recalls any lease the CP issued on the replica's records
+// while it was down. Returns the restart error.
+func (d *DataPlanes) Restart(i int) error {
+	dp := dataplane.New(d.dpCfgs[i])
+	if err := dp.Start(); err != nil {
+		return err
+	}
+	d.dps[i] = dp
+	return nil
 }
 
 // Stop crashes every replica.

@@ -39,6 +39,15 @@ const (
 	// changes for every touched function into a single diff RPC per data
 	// plane, replacing the seed's per-function broadcast fan-out.
 	MethodUpdateEndpointsBatch = "dp.UpdateEndpointsBatch"
+	// MethodAsyncLeaseGrant leases a dead replica's durable async queue
+	// hashes to a surviving replica at an epoch; the lessee drains the
+	// dead owner's records through its own dispatch loops, fencing every
+	// settlement with the epoch.
+	MethodAsyncLeaseGrant = "dp.AsyncLeaseGrant"
+	// MethodAsyncLeaseRevoke retracts outstanding leases on an owner's
+	// hashes (the owner revived at a newer epoch); lessees stop draining
+	// and drop still-queued leased tasks without executing them.
+	MethodAsyncLeaseRevoke = "dp.AsyncLeaseRevoke"
 	// CP → WN.
 	MethodCreateSandbox = "wn.CreateSandbox"
 	// MethodCreateSandboxBatch carries every placement decision an
@@ -579,22 +588,134 @@ func UnmarshalRegisterWorkerBatch(b []byte) (*RegisterWorkerBatch, error) {
 }
 
 // RegisterDataPlaneRequest announces a data plane replica to the CP.
+// Durable replicas also advertise the store hashes their async queue
+// writes, so the control plane knows what to lease to survivors if this
+// replica is later pruned.
 type RegisterDataPlaneRequest struct {
-	DataPlane core.DataPlane
+	DataPlane   core.DataPlane
+	Durable     bool     // replica persists async tasks to a store
+	AsyncHashes []string // store hashes holding this replica's async records
 }
 
 // Marshal encodes the request.
 func (m *RegisterDataPlaneRequest) Marshal() []byte {
-	return core.MarshalDataPlane(&m.DataPlane)
+	e := codec.NewEncoder(48 + 16*len(m.AsyncHashes))
+	e.RawBytes(core.MarshalDataPlane(&m.DataPlane))
+	e.Bool(m.Durable)
+	e.U32(uint32(len(m.AsyncHashes)))
+	for _, h := range m.AsyncHashes {
+		e.String(h)
+	}
+	return e.Bytes()
 }
 
 // UnmarshalRegisterDataPlaneRequest decodes a RegisterDataPlaneRequest.
 func UnmarshalRegisterDataPlaneRequest(b []byte) (*RegisterDataPlaneRequest, error) {
-	p, err := core.UnmarshalDataPlane(b)
+	d := codec.NewDecoder(b)
+	m := &RegisterDataPlaneRequest{}
+	pb := d.RawBytes()
+	if d.Err() != nil {
+		return nil, wrap(d.Err(), "RegisterDataPlaneRequest")
+	}
+	p, err := core.UnmarshalDataPlane(pb)
 	if err != nil {
 		return nil, wrap(err, "RegisterDataPlaneRequest")
 	}
-	return &RegisterDataPlaneRequest{DataPlane: *p}, nil
+	m.DataPlane = *p
+	m.Durable = d.Bool()
+	n := int(d.U32())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.AsyncHashes = append(m.AsyncHashes, d.String())
+	}
+	return m, wrap(d.Err(), "RegisterDataPlaneRequest")
+}
+
+// DataPlaneEpochAck is the CP's reply to a data plane registration or
+// heartbeat: the queue epoch assigned to the replica. The replica adopts
+// the maximum epoch it has seen, bumping its settlement fence, so a
+// revived replica re-admitted at a newer epoch out-fences any lessee
+// still draining its records at an older one.
+type DataPlaneEpochAck struct {
+	Epoch uint64
+}
+
+// Marshal encodes the ack.
+func (m *DataPlaneEpochAck) Marshal() []byte {
+	e := codec.NewEncoder(8)
+	e.U64(m.Epoch)
+	return e.Bytes()
+}
+
+// UnmarshalDataPlaneEpochAck decodes a DataPlaneEpochAck. An empty
+// payload (a control plane predating queue epochs) decodes as epoch 0,
+// which replicas treat as "no epoch assigned".
+func UnmarshalDataPlaneEpochAck(b []byte) (*DataPlaneEpochAck, error) {
+	if len(b) == 0 {
+		return &DataPlaneEpochAck{}, nil
+	}
+	d := codec.NewDecoder(b)
+	m := &DataPlaneEpochAck{Epoch: d.U64()}
+	return m, wrap(d.Err(), "DataPlaneEpochAck")
+}
+
+// AsyncLease grants the receiving replica the right to drain a dead
+// owner's async records from the listed store hashes at the given epoch.
+// All settlements under the lease are fenced by the epoch: if the owner
+// revives (or the lease is re-issued elsewhere) at a newer epoch, the
+// store rejects this lessee's settles and it abandons the lease.
+type AsyncLease struct {
+	Owner  core.DataPlaneID
+	Epoch  uint64
+	Hashes []string
+}
+
+// Marshal encodes the lease grant.
+func (m *AsyncLease) Marshal() []byte {
+	e := codec.NewEncoder(16 + 16*len(m.Hashes))
+	e.U16(uint16(m.Owner))
+	e.U64(m.Epoch)
+	e.U32(uint32(len(m.Hashes)))
+	for _, h := range m.Hashes {
+		e.String(h)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalAsyncLease decodes an AsyncLease.
+func UnmarshalAsyncLease(b []byte) (*AsyncLease, error) {
+	d := codec.NewDecoder(b)
+	m := &AsyncLease{}
+	m.Owner = core.DataPlaneID(d.U16())
+	m.Epoch = d.U64()
+	n := int(d.U32())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		m.Hashes = append(m.Hashes, d.String())
+	}
+	return m, wrap(d.Err(), "AsyncLease")
+}
+
+// AsyncLeaseRevoke retracts every lease on the owner's records older
+// than Epoch (the owner's revival epoch). Lessees drop still-queued
+// leased tasks without executing them; the records stay durable for the
+// revived owner to drain.
+type AsyncLeaseRevoke struct {
+	Owner core.DataPlaneID
+	Epoch uint64
+}
+
+// Marshal encodes the revocation.
+func (m *AsyncLeaseRevoke) Marshal() []byte {
+	e := codec.NewEncoder(10)
+	e.U16(uint16(m.Owner))
+	e.U64(m.Epoch)
+	return e.Bytes()
+}
+
+// UnmarshalAsyncLeaseRevoke decodes an AsyncLeaseRevoke.
+func UnmarshalAsyncLeaseRevoke(b []byte) (*AsyncLeaseRevoke, error) {
+	d := codec.NewDecoder(b)
+	m := &AsyncLeaseRevoke{Owner: core.DataPlaneID(d.U16()), Epoch: d.U64()}
+	return m, wrap(d.Err(), "AsyncLeaseRevoke")
 }
 
 // DataPlaneHeartbeat is the DP → CP liveness signal. It carries the full

@@ -467,3 +467,58 @@ func TestTruncatedRelayBatchMessagesError(t *testing.T) {
 		t.Errorf("truncated RegisterWorkerBatch accepted")
 	}
 }
+
+func TestRegisterDataPlaneRequestRoundTrip(t *testing.T) {
+	m := &RegisterDataPlaneRequest{
+		DataPlane:   core.DataPlane{ID: 3, IP: "10.88.0.3", Port: 8000},
+		Durable:     true,
+		AsyncHashes: []string{"async-queue-0", "async-queue-1"},
+	}
+	got, err := UnmarshalRegisterDataPlaneRequest(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip: %+v", got)
+	}
+	// Non-durable replicas advertise no hashes.
+	plain, err := UnmarshalRegisterDataPlaneRequest((&RegisterDataPlaneRequest{
+		DataPlane: core.DataPlane{ID: 1},
+	}).Marshal())
+	if err != nil || plain.Durable || len(plain.AsyncHashes) != 0 {
+		t.Errorf("plain register: %v %+v", err, plain)
+	}
+}
+
+func TestDataPlaneEpochAckRoundTrip(t *testing.T) {
+	got, err := UnmarshalDataPlaneEpochAck((&DataPlaneEpochAck{Epoch: 42}).Marshal())
+	if err != nil || got.Epoch != 42 {
+		t.Fatalf("round trip: %v %+v", err, got)
+	}
+	// Empty reply (pre-epoch control plane) decodes as "no epoch".
+	empty, err := UnmarshalDataPlaneEpochAck(nil)
+	if err != nil || empty.Epoch != 0 {
+		t.Fatalf("empty ack: %v %+v", err, empty)
+	}
+}
+
+func TestAsyncLeaseRoundTrip(t *testing.T) {
+	m := &AsyncLease{Owner: 2, Epoch: 9, Hashes: []string{"async-queue", "async-queue-7"}}
+	got, err := UnmarshalAsyncLease(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Errorf("round trip: %+v", got)
+	}
+	b := m.Marshal()
+	if _, err := UnmarshalAsyncLease(b[:len(b)-3]); err == nil {
+		t.Errorf("truncated AsyncLease accepted")
+	}
+
+	rv := &AsyncLeaseRevoke{Owner: 2, Epoch: 10}
+	gotRv, err := UnmarshalAsyncLeaseRevoke(rv.Marshal())
+	if err != nil || *gotRv != *rv {
+		t.Fatalf("revoke round trip: %v %+v", err, gotRv)
+	}
+}

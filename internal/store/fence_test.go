@@ -1,0 +1,128 @@
+package store
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"dirigent/internal/wal"
+)
+
+func TestHBumpU64Monotonic(t *testing.T) {
+	s := NewMemory()
+	if got := s.HGetU64("fence", "1"); got != 0 {
+		t.Fatalf("absent fence = %d, want 0", got)
+	}
+	if err := s.HBumpU64("fence", "1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.HGetU64("fence", "1"); got != 5 {
+		t.Fatalf("fence = %d, want 5", got)
+	}
+	// Lower and equal bumps are durable no-ops.
+	if err := s.HBumpU64("fence", "1", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HBumpU64("fence", "1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.HGetU64("fence", "1"); got != 5 {
+		t.Fatalf("fence after stale bumps = %d, want 5", got)
+	}
+	if err := s.HBumpU64("fence", "1", 9); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.HGetU64("fence", "1"); got != 9 {
+		t.Fatalf("fence = %d, want 9", got)
+	}
+}
+
+func TestHDelFenced(t *testing.T) {
+	s := NewMemory()
+	s.HSet("queue", "1-7", []byte("task"))
+
+	// No fence recorded: any epoch (including zero) may delete.
+	if err := s.HDelFenced("queue", "1-7", "fence", "1", 0); err != nil {
+		t.Fatalf("unfenced delete: %v", err)
+	}
+	if _, ok := s.HGet("queue", "1-7"); ok {
+		t.Fatal("record survived unfenced delete")
+	}
+
+	s.HSet("queue", "1-8", []byte("task"))
+	s.HBumpU64("fence", "1", 4)
+	err := s.HDelFenced("queue", "1-8", "fence", "1", 3)
+	if !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale delete err = %v, want ErrFenced", err)
+	}
+	if _, ok := s.HGet("queue", "1-8"); !ok {
+		t.Fatal("record deleted despite fence")
+	}
+	// Epoch equal to the fence is the owner of the fence: allowed.
+	if err := s.HDelFenced("queue", "1-8", "fence", "1", 4); err != nil {
+		t.Fatalf("at-fence delete: %v", err)
+	}
+	if _, ok := s.HGet("queue", "1-8"); ok {
+		t.Fatal("record survived at-fence delete")
+	}
+}
+
+func TestFenceMalformedReadsAsZero(t *testing.T) {
+	s := NewMemory()
+	s.HSet("fence", "1", []byte("garbage"))
+	s.HSet("queue", "1-1", []byte("task"))
+	if got := s.HGetU64("fence", "1"); got != 0 {
+		t.Fatalf("malformed fence = %d, want 0", got)
+	}
+	if err := s.HDelFenced("queue", "1-1", "fence", "1", 0); err != nil {
+		t.Fatalf("delete under malformed fence: %v", err)
+	}
+	// A bump replaces the malformed value.
+	if err := s.HBumpU64("fence", "1", 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.HGetU64("fence", "1"); got != 2 {
+		t.Fatalf("fence after bump = %d, want 2", got)
+	}
+}
+
+func TestFencedOpsSurviveReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fenced.aof")
+	s, err := Open(path, wal.FsyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.HSet("queue", "1-1", []byte("settled"))
+	s.HSet("queue", "1-2", []byte("pending"))
+	if err := s.HBumpU64("fence", "1", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.HBumpU64("fence", "1", 3); err != nil { // no-op, no WAL record
+		t.Fatal(err)
+	}
+	if err := s.HDelFenced("queue", "1-1", "fence", "1", 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(path, wal.FsyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.HGetU64("fence", "1"); got != 7 {
+		t.Fatalf("fence after replay = %d, want 7", got)
+	}
+	if _, ok := s2.HGet("queue", "1-1"); ok {
+		t.Fatal("fenced-delete target resurrected by replay")
+	}
+	if _, ok := s2.HGet("queue", "1-2"); !ok {
+		t.Fatal("pending record lost in replay")
+	}
+	// The replayed fence still fences.
+	if err := s2.HDelFenced("queue", "1-2", "fence", "1", 6); !errors.Is(err, ErrFenced) {
+		t.Fatalf("stale delete after replay err = %v, want ErrFenced", err)
+	}
+}

@@ -152,6 +152,13 @@ func (s *Store) Apply(op Op) error {
 func (s *Store) applyBuffered(op Op) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.applyBufferedLocked(op)
+}
+
+// applyBufferedLocked is applyBuffered for callers that already hold mu —
+// the fenced conditional ops check state and append under one critical
+// section so the check-then-act is atomic.
+func (s *Store) applyBufferedLocked(op Op) (uint64, error) {
 	var seq uint64
 	if s.log != nil {
 		var err error
