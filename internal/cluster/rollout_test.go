@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"dirigent/internal/versioning"
+)
+
+// TestRolloutFlipMidTraffic flips the version split while a concurrent
+// invocation burst is in flight: traffic starts pinned to v1, a 50/50
+// canary opens mid-burst, then v2 is promoted — all without pausing the
+// senders. Every invocation must succeed and resolve to exactly one of
+// the two registered versions (no failed routes, no unversioned serves),
+// and once the promote lands traffic must serve only v2.
+func TestRolloutFlipMidTraffic(t *testing.T) {
+	opts := testOptions()
+	router := versioning.NewRouter()
+	opts.Versions = router
+	c := mustCluster(t, opts)
+
+	for _, v := range []string{"v1", "v2"} {
+		fn := testFunction("roll@" + v)
+		fn.Scaling.MinScale = 2
+		fn.Scaling.StableWindow = time.Hour // no churn mid-burst
+		if err := c.RegisterFunction(fn); err != nil {
+			t.Fatalf("register %s: %v", v, err)
+		}
+		v := v
+		c.Images.Register(fn.Image, func([]byte) ([]byte, error) {
+			// Hold the request briefly so flips happen with calls in flight.
+			time.Sleep(2 * time.Millisecond)
+			return []byte(v), nil
+		})
+	}
+	for _, v := range []string{"roll@v1", "roll@v2"} {
+		if err := c.AwaitScale(v, 2, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := router.SetSplit("roll",
+		versioning.Version{Function: "roll@v1", Weight: 1},
+	); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	const senders = 8
+	const perSender = 40
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		counts = map[string]int{}
+		errs   []error
+	)
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				resp, err := c.Invoke(ctx, "roll", nil)
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, err)
+				} else {
+					counts[string(resp.Body)]++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+
+	// Flip the split twice while the burst is running: open the canary,
+	// then promote. The sleeps just place the flips somewhere inside the
+	// burst window (~8*40*2ms of handler time across 8 senders).
+	time.Sleep(30 * time.Millisecond)
+	if err := router.SetSplit("roll",
+		versioning.Version{Function: "roll@v1", Weight: 1},
+		versioning.Version{Function: "roll@v2", Weight: 1},
+	); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if err := router.Promote("roll", "roll@v2"); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if len(errs) > 0 {
+		t.Fatalf("%d/%d invocations failed during the rollout; first: %v",
+			len(errs), senders*perSender, errs[0])
+	}
+	total := 0
+	for body, n := range counts {
+		if body != "v1" && body != "v2" {
+			t.Fatalf("invocation resolved to unknown version %q (%d times)", body, n)
+		}
+		total += n
+	}
+	if total != senders*perSender {
+		t.Fatalf("accounted for %d invocations, want %d", total, senders*perSender)
+	}
+	if counts["v2"] == 0 {
+		t.Fatalf("rollout never served v2: %v", counts)
+	}
+
+	// After the promote has settled, traffic must serve only v2.
+	for i := 0; i < 20; i++ {
+		resp, err := c.Invoke(ctx, "roll", nil)
+		if err != nil {
+			t.Fatalf("invoke after promote: %v", err)
+		}
+		if got := string(resp.Body); got != "v2" {
+			t.Fatalf("after promote got %q, want v2", got)
+		}
+	}
+}

@@ -818,6 +818,17 @@ func (cp *ControlPlane) handleRegisterDataPlane(payload []byte) ([]byte, error) 
 	if err := cp.cfg.DB.HSet(hashDataPlanes, fmt.Sprintf("%d", p.ID), core.MarshalDataPlane(&p)); err != nil {
 		return nil, fmt.Errorf("register data plane %d: persist: %w", p.ID, err)
 	}
+	// A re-registration of a replica the health monitor had failed is a
+	// revival just like a heartbeat from one (the systemd-restart path):
+	// count it so harnesses can assert the sweep saw the replica return.
+	if prev := cp.getDataPlane(p.ID); prev != nil {
+		prev.mu.Lock()
+		wasDead := !prev.healthy
+		prev.mu.Unlock()
+		if wasDead {
+			cp.metrics.Counter("dataplane_revivals").Inc()
+		}
+	}
 	if req.Durable {
 		if err := cp.cfg.DB.HSet(hashDPAsync, fmt.Sprintf("%d", p.ID), marshalAsyncInfo(req.Durable, req.AsyncHashes)); err != nil {
 			return nil, fmt.Errorf("register data plane %d: persist async info: %w", p.ID, err)

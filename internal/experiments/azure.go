@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"dirigent/internal/core"
@@ -46,12 +47,39 @@ func init() {
 
 // azureTrace builds the synthetic Azure-like sample used across the §5.3
 // experiments. Scale shrinks both the function count and the duration.
+// Traces are memoized on their resolved generation parameters: a figure
+// sweep replaying the same trace against several systems (and several
+// figures sharing one config, see azure500Trace) materializes it once.
+var azureTraces struct {
+	sync.Mutex
+	m map[trace.Config]*trace.Trace
+}
+
 func azureTrace(functions int, duration time.Duration, scale float64, seed int64) *trace.Trace {
-	return trace.NewAzureLike(trace.Config{
+	cfg := trace.Config{
 		Functions: scaleInt(functions, scale, 20),
 		Duration:  maxDuration(time.Duration(float64(duration)*scale), 3*time.Minute),
 		Seed:      seed,
-	})
+	}
+	azureTraces.Lock()
+	defer azureTraces.Unlock()
+	if tr, ok := azureTraces.m[cfg]; ok {
+		return tr
+	}
+	if azureTraces.m == nil {
+		azureTraces.m = make(map[trace.Config]*trace.Trace)
+	}
+	tr := trace.NewAzureLike(cfg)
+	azureTraces.m[cfg] = tr
+	return tr
+}
+
+// azure500Trace is the one Azure-500 trace (500 functions, 30 minutes,
+// seed 13) every §5.3 figure over that workload shares — fig5, fig9,
+// fig10, and the azure500 summary replay identical event streams, so
+// their numbers are directly comparable.
+func azure500Trace(scale float64) *trace.Trace {
+	return azureTrace(500, 30*time.Minute, scale, 13)
 }
 
 func maxDuration(a, b time.Duration) time.Duration {
@@ -109,7 +137,7 @@ func runFig3(w io.Writer, scale float64) error {
 // runFig5 reproduces Figure 5: the CDFs of Knative per-invocation and
 // per-function mean scheduling latency on the Azure-500 trace.
 func runFig5(w io.Writer, scale float64) error {
-	tr := azureTrace(500, 30*time.Minute, scale, 12)
+	tr := azure500Trace(scale)
 	warmup := warmupFor(tr)
 	eng := simulation.NewEngine()
 	m := simulation.NewKnative(eng, simulation.KnativeConfig{Seed: 1})
@@ -151,7 +179,7 @@ func azureSystems() []azureSystem {
 // runFig9 reproduces Figure 9: per-function slowdown CDFs for the four
 // systems on the Azure-500 trace.
 func runFig9(w io.Writer, scale float64) error {
-	tr := azureTrace(500, 30*time.Minute, scale, 13)
+	tr := azure500Trace(scale)
 	warmup := warmupFor(tr)
 	t := newTable("system", "p50_slowdown", "p90", "p99", "max")
 	for _, sys := range azureSystems() {
@@ -171,7 +199,7 @@ func runFig9(w io.Writer, scale float64) error {
 // runFig10 reproduces Figure 10: per-invocation and per-function average
 // scheduling latency CDFs.
 func runFig10(w io.Writer, scale float64) error {
-	tr := azureTrace(500, 30*time.Minute, scale, 13)
+	tr := azure500Trace(scale)
 	warmup := warmupFor(tr)
 	t := newTable("system", "perinv_p50_ms", "perinv_p99_ms", "perfn_p50_ms", "perfn_p99_ms")
 	for _, sys := range azureSystems() {
@@ -195,7 +223,7 @@ func runFig10(w io.Writer, scale float64) error {
 // runAzure500 reproduces the §5.3 summary table: slowdown percentiles,
 // scheduling latency, sandbox counts, and control plane utilization.
 func runAzure500(w io.Writer, scale float64) error {
-	tr := azureTrace(500, 30*time.Minute, scale, 13)
+	tr := azure500Trace(scale)
 	warmup := warmupFor(tr)
 	t := newTable("system", "sd_p50", "sd_p99", "sched_p50_ms", "sched_p99_ms", "sandboxes", "cp_util_%", "fail_%")
 	for _, sys := range azureSystems() {

@@ -1,0 +1,133 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dirigent/internal/scenario"
+	"dirigent/internal/trace"
+	"dirigent/internal/versioning"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "e2e",
+		Title: "End-to-end macro-benchmark: live Azure-trace replay with workflows, a versioned rollout, and injected worker/DP/relay failures (paper §5.3 + §5.4)",
+		Run:   runE2E,
+	})
+}
+
+// e2eScenario builds the macro-benchmark scenario: the compressed
+// Azure-like trace against the full live stack (CP + 3 DP replicas on a
+// shared durable store + relay tier + emulated fleet), mixed sync/async/
+// workflow traffic, and a fault schedule spread over the measurement
+// window — canary split, worker-rack kill/revive, DP replica kill/
+// revive, relay kill, and a full promote.
+func e2eScenario(scale float64) scenario.Config {
+	tr := trace.NewAzureLike(trace.Config{
+		Functions: scaleInt(120, scale, 48),
+		Duration:  maxDuration(time.Duration(float64(12*time.Minute)*scale), 4*time.Minute),
+		Seed:      21,
+	})
+	warmup := warmupFor(tr)
+	span := tr.Duration - warmup
+	at := func(k int) time.Duration { return warmup + span*time.Duration(k)/8 }
+	rollout := scenario.HottestFunction(tr)
+	v2 := rollout + "@v2"
+	return scenario.Config{
+		Trace:           tr,
+		Warmup:          warmup,
+		RolloutFunction: rollout,
+		DataPlanes:      3,
+		Workers:         scaleInt(24, scale, 12),
+		Relays:          2,
+		AsyncEveryN:     7,
+		WorkflowEveryN:  31,
+		Schedule: []scenario.Event{
+			{At: at(1), Phase: "canary", Rollout: []versioning.Version{
+				{Function: rollout, Weight: 90},
+				{Function: v2, Weight: 10},
+			}},
+			{At: at(2), Phase: "rack-loss", Kind: scenario.FaultWorkerRack, Action: "kill", Frac: 0.25},
+			{At: at(3), Phase: "rack-revived", Kind: scenario.FaultWorkerRack, Action: "revive"},
+			{At: at(4), Phase: "dp-loss", Kind: scenario.FaultDataPlane, Action: "kill", Index: 1},
+			{At: at(5), Phase: "dp-revived", Kind: scenario.FaultDataPlane, Action: "revive", Index: 1},
+			{At: at(6), Phase: "relay-loss", Kind: scenario.FaultRelay, Action: "kill", Index: 0},
+			{At: at(7), Phase: "promoted", Promote: v2},
+		},
+	}
+}
+
+// runE2E replays the scenario and writes the per-phase table. The run is
+// self-checking: any lost sync invocation, stranded async record, failed
+// async accept, failed workflow, or invocation served by neither rollout
+// version fails the experiment — which is what the CI smoke variant
+// (TestE2EScenarioSmoke) asserts at a seconds scale. At scale 1 the
+// report is committed to BENCH_e2e.json.
+func runE2E(w io.Writer, scale float64) error {
+	cfg := e2eScenario(scale)
+	fmt.Fprintf(w, "trace: %d functions, %d invocations over %v (replayed in ~%v wall); rollout target %s\n",
+		len(cfg.Trace.Functions), len(cfg.Trace.Invocations), cfg.Trace.Duration,
+		time.Duration(float64(cfg.Trace.Duration)/30).Round(time.Second), cfg.RolloutFunction)
+	rep, err := scenario.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	t := newTable("phase", "from_min", "to_min", "inv", "rps", "cold_%", "p50_ms", "p99_ms",
+		"async", "wf", "wf_ok", "v2")
+	for _, p := range rep.Phases {
+		t.addRow(p.Phase, fmt.Sprintf("%.1f", p.FromMin), fmt.Sprintf("%.1f", p.ToMin),
+			p.Invocations, fmt.Sprintf("%.0f", p.RPS), fmt.Sprintf("%.1f", 100*p.ColdRate),
+			p.P50Ms, p.P99Ms, p.Async, p.Workflows, p.WorkflowOK, p.VersionedV2)
+	}
+	t.write(w)
+	for _, f := range rep.FaultsInjected {
+		fmt.Fprintf(w, "# fault: %s\n", f)
+	}
+	fmt.Fprintf(w, "# lost_sync=%d async: accepted=%d accept_failed=%d stranded=%d drain=%.0fms\n",
+		rep.LostSync, rep.AsyncAccepted, rep.AsyncAcceptFailed, rep.AsyncStranded, rep.AsyncDrainMs)
+	fmt.Fprintf(w, "# workflows=%d ok=%d (%.1f%%) versions=%v unversioned=%d\n",
+		rep.Workflows, rep.WorkflowOK, 100*rep.WorkflowSuccessRate, rep.VersionServed, rep.UnversionedServes)
+	fmt.Fprintf(w, "# CP sweeps saw: worker_failures=%d dp_failures=%d dp_revivals=%d relay_failures=%d; lb_failovers=%d\n",
+		rep.WorkerFailuresDetected, rep.DPFailuresDetected, rep.DPRevivals,
+		rep.RelayFailuresDetected, rep.LBFailovers)
+	fmt.Fprintln(w, "# Expected shape: zero lost sync invocations and zero stranded async records")
+	fmt.Fprintln(w, "# across every injected failure; cold rate spikes in rack-loss (re-placement)")
+	fmt.Fprintln(w, "# and decays after revival; p99 absorbs the DP kill (front-end failover +")
+	fmt.Fprintln(w, "# cold-start queueing) without failures; the canary serves both versions and")
+	fmt.Fprintln(w, "# the promote phase serves only @v2.")
+
+	if rep.LostSync > 0 {
+		return fmt.Errorf("e2e: %d sync invocations lost", rep.LostSync)
+	}
+	if rep.AsyncAcceptFailed > 0 {
+		return fmt.Errorf("e2e: %d async accepts failed", rep.AsyncAcceptFailed)
+	}
+	if rep.AsyncStranded > 0 {
+		return fmt.Errorf("e2e: %d async records stranded", rep.AsyncStranded)
+	}
+	if rep.Workflows != rep.WorkflowOK {
+		return fmt.Errorf("e2e: %d/%d workflows failed", rep.Workflows-rep.WorkflowOK, rep.Workflows)
+	}
+	if rep.UnversionedServes > 0 {
+		return fmt.Errorf("e2e: %d invocations resolved to no registered version", rep.UnversionedServes)
+	}
+
+	if scale < 1 {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if werr := os.WriteFile("BENCH_e2e.json", append(data, '\n'), 0o644); werr != nil {
+		fmt.Fprintf(w, "# warning: BENCH_e2e.json not written: %v\n", werr)
+	} else {
+		fmt.Fprintln(w, "# wrote BENCH_e2e.json")
+	}
+	return nil
+}

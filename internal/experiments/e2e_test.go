@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestE2EScenarioSmoke is the seconds-scale CI variant of the e2e
+// macro-benchmark: the full live stack (CP + DP replicas + relay tier +
+// emulated fleet), mixed sync/async/workflow traffic, the canary →
+// promote rollout, and every scheduled fault (worker-rack kill/revive,
+// DP replica kill/revive, relay kill) — runE2E itself fails on any lost
+// sync invocation, stranded async record, failed async accept, failed
+// workflow, or unversioned serve, so a nil error IS the assertion.
+func TestE2EScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e macro-benchmark smoke skipped in -short mode")
+	}
+	var buf strings.Builder
+	if err := runE2E(&buf, 0.12); err != nil {
+		t.Fatalf("e2e smoke: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"rack-loss", "dp-loss", "relay-loss", "promoted", "lost_sync=0", "stranded=0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("e2e smoke output missing %q:\n%s", want, out)
+		}
+	}
+}

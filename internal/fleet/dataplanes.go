@@ -9,6 +9,7 @@ import (
 	"dirigent/internal/core"
 	"dirigent/internal/dataplane"
 	"dirigent/internal/store"
+	"dirigent/internal/telemetry"
 	"dirigent/internal/transport"
 )
 
@@ -55,6 +56,10 @@ type DataPlanesConfig struct {
 	MetricInterval    time.Duration
 	HeartbeatInterval time.Duration
 	QueueTimeout      time.Duration
+	// Metrics, when set, is shared by every replica so a harness can read
+	// tier-wide counters (async accepted/completed, cold-start queueing)
+	// from one registry. Nil gives each replica a private registry.
+	Metrics *telemetry.Registry
 }
 
 func (c DataPlanesConfig) withDefaults() DataPlanesConfig {
@@ -102,6 +107,7 @@ func NewDataPlanes(cfg DataPlanesConfig) *DataPlanes {
 			AsyncStore:        db,
 			AsyncShards:       cfg.AsyncShards,
 			AsyncFnQuota:      cfg.AsyncFnQuota,
+			Metrics:           cfg.Metrics,
 		}
 		d.dpCfgs = append(d.dpCfgs, dpCfg)
 		d.dps = append(d.dps, dataplane.New(dpCfg))

@@ -57,6 +57,11 @@ type WorkerConfig struct {
 	ReadyDelay time.Duration
 	// Handler serves proxied invocations; nil echoes the payload.
 	Handler func(payload []byte) ([]byte, error)
+	// HandlerFn, when set, serves proxied invocations with the invoked
+	// function's name available — scenario drivers use it to emulate
+	// per-function behavior (exec-time sleeps, version tagging) on one
+	// shared fleet. Takes precedence over Handler.
+	HandlerFn func(function string, payload []byte) ([]byte, error)
 	// Metrics receives emulated-worker telemetry; the Fleet shares one
 	// registry across all its workers. Nil creates a private registry.
 	Metrics *telemetry.Registry
@@ -349,6 +354,9 @@ func (w *Worker) handleRPC(method string, payload []byte) ([]byte, error) {
 		w.mu.Unlock()
 		if !ok {
 			return nil, fmt.Errorf("fleet worker %s: invoke: no such sandbox %d", w.cfg.Node.Name, req.SandboxID)
+		}
+		if w.cfg.HandlerFn != nil {
+			return w.cfg.HandlerFn(req.Function, req.Payload)
 		}
 		return w.cfg.Handler(req.Payload)
 	default:

@@ -45,6 +45,9 @@ type Config struct {
 	MemoryMB int
 	// Handler serves proxied invocations on every worker; nil echoes.
 	Handler func(payload []byte) ([]byte, error)
+	// HandlerFn serves proxied invocations with the function name
+	// available; takes precedence over Handler (see WorkerConfig).
+	HandlerFn func(function string, payload []byte) ([]byte, error)
 	// Metrics is the registry shared by all workers; nil creates one.
 	Metrics *telemetry.Registry
 }
@@ -111,6 +114,7 @@ func New(cfg Config) *Fleet {
 			HeartbeatInterval: cfg.HeartbeatInterval,
 			ReadyDelay:        cfg.ReadyDelay,
 			Handler:           cfg.Handler,
+			HandlerFn:         cfg.HandlerFn,
 			Metrics:           cfg.Metrics,
 		}))
 	}
@@ -177,6 +181,32 @@ func (f *Fleet) StopFraction(frac float64) []*Worker {
 	}
 	wg.Wait()
 	return victims
+}
+
+// Restart revives previously crashed workers as fresh incarnations on
+// the same node identity and address — a rack coming back after a power
+// loss. Each revival re-registers with the control plane, whose registry
+// replaces the dead entry in place; sandboxes the old incarnation held
+// are gone, so the next autoscale sweep re-places them. The restarted
+// workers take the victims' slots in Workers().
+func (f *Fleet) Restart(victims []*Worker) error {
+	var firstErr error
+	for _, v := range victims {
+		nw := NewWorker(v.cfg)
+		if err := nw.Start(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		for i, w := range f.workers {
+			if w == v {
+				f.workers[i] = nw
+				break
+			}
+		}
+	}
+	return firstErr
 }
 
 // Stop crashes every worker.

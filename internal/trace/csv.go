@@ -70,7 +70,7 @@ func ParseCSV(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("trace: line %d has %d fields, want %d", line, len(fields), len(header))
 		}
 		execMs, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil || execMs < 0 || math.IsNaN(execMs) {
+		if err != nil || execMs < 0 || math.IsNaN(execMs) || math.IsInf(execMs, 0) {
 			return nil, fmt.Errorf("trace: line %d: bad exec median %q", line, fields[1])
 		}
 		memMB, err := strconv.Atoi(fields[2])

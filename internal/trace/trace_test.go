@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 	"testing"
@@ -57,6 +59,50 @@ func TestGenerateDeterministic(t *testing.T) {
 	c := azure(t, 100, 5, 8)
 	if c.TotalInvocations() == a.TotalInvocations() {
 		t.Logf("different seeds produced same count (possible but unlikely)")
+	}
+}
+
+// traceDigest folds the complete event stream — function specs plus every
+// invocation's (function, arrival, exec) triple — into one FNV-1a digest,
+// so a golden value pins the generator's exact output, not just counts.
+func traceDigest(tr *Trace) uint64 {
+	h := fnv.New64a()
+	for _, fn := range tr.Functions {
+		fmt.Fprintf(h, "%s|%d|%d|%d|%g\n", fn.Name, fn.Class, fn.ExecMedian, fn.MemoryMB, fn.RatePerMinute)
+	}
+	for _, inv := range tr.Invocations {
+		fmt.Fprintf(h, "%s@%d:%d\n", inv.Function.Name, inv.At, inv.Exec)
+	}
+	return h.Sum64()
+}
+
+// TestGenerateGoldenDigest pins the full event stream of a fixed config to
+// a golden digest. BENCH_e2e.json (and every other committed benchmark)
+// is only comparable across PRs if the same seed keeps producing the same
+// trace; if this fails, generation changed — either revert the change or
+// deliberately re-pin the digest AND note that committed benchmarks are no
+// longer comparable with earlier revisions.
+func TestGenerateGoldenDigest(t *testing.T) {
+	const golden = uint64(0x2ea36bbe22da220b)
+	a := azure(t, 100, 5, 7)
+	b := azure(t, 100, 5, 7)
+	// Full-stream determinism: same seed must agree on every field, not
+	// just arrival times.
+	for i := range a.Invocations {
+		ai, bi := a.Invocations[i], b.Invocations[i]
+		if ai.Function.Name != bi.Function.Name || ai.At != bi.At || ai.Exec != bi.Exec {
+			t.Fatalf("same seed diverged at invocation %d: %v vs %v", i, ai, bi)
+		}
+	}
+	if da, db := traceDigest(a), traceDigest(b); da != db {
+		t.Fatalf("same config produced different digests: %#x vs %#x", da, db)
+	}
+	if got := traceDigest(a); got != golden {
+		t.Fatalf("trace digest = %#x, want %#x; generation changed — committed "+
+			"BENCH results are no longer comparable with earlier revisions", got, golden)
+	}
+	if other := traceDigest(azure(t, 100, 5, 8)); other == golden {
+		t.Fatalf("different seed produced the golden digest")
 	}
 }
 
@@ -234,7 +280,13 @@ func TestParseCSVErrors(t *testing.T) {
 		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,notanumber,128,1\n",
 		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,1.0,x,1\n",
 		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,1.0,128,-1\n",
-		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,1.0,128\n", // short row
+		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,1.0,128\n",       // short row
+		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,1.0,128,1,9\n",   // long row
+		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,+Inf,128,1\n",    // infinite exec
+		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,NaN,128,1\n",     // NaN exec
+		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,-1.0,128,1\n",    // negative exec
+		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,1.0,128,1.5\n",   // fractional count
+		"HashFunction,ExecMedianMs,MemoryMB,1\nfn,1.0,128,1e999\n", // overflow count
 	}
 	for i, c := range cases {
 		if _, err := ParseCSV(bytes.NewReader([]byte(c))); err == nil {
