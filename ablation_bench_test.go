@@ -18,6 +18,7 @@ import (
 	"dirigent/internal/codec"
 	"dirigent/internal/controlplane"
 	"dirigent/internal/core"
+	"dirigent/internal/cpclient"
 	"dirigent/internal/dataplane"
 	"dirigent/internal/experiments"
 	"dirigent/internal/loadbalancer"
@@ -854,4 +855,96 @@ func BenchmarkAblationPredictiveWarmth(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- Control plane replication: singleton CP vs 3-replica Raft log ---
+
+// BenchmarkAblationCPReplication measures the cost of the replicated
+// control plane on the durable write path: registrations flow through a
+// singleton CP writing straight to its store vs a 3-replica tier where
+// each write is proposed to the Raft log, group-committed at quorum, and
+// applied on every replica. Concurrent writers let the leader coalesce
+// proposals, so mean_wire_batch (entries shipped per AppendEntries
+// round) reports how much of the fan-out cost batching amortizes.
+func BenchmarkAblationCPReplication(b *testing.B) {
+	for _, replicas := range []int{1, 3} {
+		b.Run(fmt.Sprintf("replicas-%d", replicas), func(b *testing.B) {
+			tr := transport.NewInProc()
+			addrs := make([]string, replicas)
+			for i := range addrs {
+				addrs[i] = fmt.Sprintf("bcp%d:7000", i)
+			}
+			cps := make([]*controlplane.ControlPlane, replicas)
+			for i := range cps {
+				cfg := controlplane.Config{
+					Addr:              addrs[i],
+					Peers:             addrs,
+					Transport:         tr,
+					AutoscaleInterval: time.Hour, // idle the control loops
+					HeartbeatTimeout:  time.Hour,
+				}
+				if replicas > 1 {
+					cfg.LocalStore = store.NewMemory()
+				} else {
+					cfg.DB = store.NewMemory()
+				}
+				cps[i] = controlplane.New(cfg)
+				if err := cps[i].Start(); err != nil {
+					b.Fatal(err)
+				}
+				defer cps[i].Stop()
+			}
+			awaitBenchLeader(b, cps)
+
+			client := cpclient.New(tr, addrs)
+			ctx := context.Background()
+			var seq atomic.Int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					fn := core.Function{
+						Name:    fmt.Sprintf("bench-%d", seq.Add(1)),
+						Image:   "registry.local/bench",
+						Port:    8080,
+						Scaling: core.DefaultScalingConfig(),
+					}
+					if _, err := client.CallWithRetry(ctx, proto.MethodRegisterFunction, core.MarshalFunction(&fn)); err != nil {
+						b.Errorf("register: %v", err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+
+			var rounds, entries uint64
+			for _, cp := range cps {
+				r, e := cp.ReplStats()
+				rounds += r
+				entries += e
+			}
+			if replicas > 1 {
+				if entries == 0 || rounds == 0 {
+					b.Fatalf("replicated tier shipped no log traffic: rounds=%d entries=%d", rounds, entries)
+				}
+				b.ReportMetric(float64(entries)/float64(rounds), "mean_wire_batch")
+			} else if entries != 0 {
+				b.Fatalf("singleton CP shipped replication traffic: entries=%d", entries)
+			}
+		})
+	}
+}
+
+func awaitBenchLeader(b *testing.B, cps []*controlplane.ControlPlane) {
+	b.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, cp := range cps {
+			if cp.IsLeader() {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Fatal("no CP leader elected")
 }

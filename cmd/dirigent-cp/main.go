@@ -49,6 +49,10 @@ func main() {
 	prewarmWindow := flag.Duration("prewarm-window", 0, "demand predictor averaging window (0 = default 1m)")
 	prewarmLead := flag.Duration("prewarm-lead", 0, "how far ahead of a predicted burst per-image pools are raised (0 = default 30s)")
 	asyncLease := flag.Bool("async-lease", true, "lease a pruned durable data plane's async queue records to surviving replicas (false = ablation: records wait for the replica to restart)")
+	followerReads := flag.Bool("follower-reads", true,
+		"with -peers, let follower replicas serve read-only RPCs (ListDataPlanes, ListFunctions) from their applied store behind a leader-lease check, offloading the leader to writes only")
+	rejoin := flag.Bool("rejoin", false,
+		"with -peers, mark this replica as rejoining an established group after a crash: it withholds Raft votes until its log catches up to the leader's commit index (leave false on first boot)")
 	flag.Parse()
 
 	var placer placement.Policy
@@ -89,11 +93,10 @@ func main() {
 		peerList = strings.Split(*peers, ",")
 	}
 
-	cp := controlplane.New(controlplane.Config{
+	cfg := controlplane.Config{
 		Addr:                *addr,
 		Peers:               peerList,
 		Transport:           transport.NewTCP(),
-		DB:                  db,
 		StateShards:         *shards,
 		WorkerShards:        *workerShards,
 		CreateBatch:         *createBatch,
@@ -112,7 +115,18 @@ func main() {
 		RaftHeartbeat:   50 * time.Millisecond,
 		RaftElectionMin: 150 * time.Millisecond,
 		RaftElectionMax: 300 * time.Millisecond,
-	})
+	}
+	if len(peerList) > 1 {
+		// Replicated-log regime: this replica's store holds its applied
+		// state; durable writes are proposed to the Raft log and each
+		// replica recovers from its own store after a failover.
+		cfg.LocalStore = db
+		cfg.FollowerReads = *followerReads
+		cfg.RaftRejoin = *rejoin
+	} else {
+		cfg.DB = db
+	}
+	cp := controlplane.New(cfg)
 	if err := cp.Start(); err != nil {
 		log.Fatalf("start control plane: %v", err)
 	}

@@ -29,7 +29,7 @@ func main() {
 	timeout := flag.Duration("timeout", 60*time.Second, "request timeout")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fail("usage: dirigentctl [flags] <register|deregister|invoke|status> [subflags]")
+		fail("usage: dirigentctl [flags] <register|deregister|invoke|status|functions|dataplanes> [subflags]")
 	}
 
 	tr := transport.NewTCP()
@@ -101,6 +101,36 @@ func main() {
 			fail("status: " + err.Error())
 		}
 		os.Stdout.Write(respB)
+
+	case "functions":
+		// Read-only: any replica (leader or lease-fresh follower) may
+		// answer, so this spreads across the CP tier.
+		respB, err := cp.CallRead(ctx, proto.MethodListFunctions, nil)
+		if err != nil {
+			fail("functions: " + err.Error())
+		}
+		list, err := proto.UnmarshalFunctionList(respB)
+		if err != nil {
+			fail("functions: " + err.Error())
+		}
+		for i := range list.Functions {
+			f := &list.Functions[i]
+			fmt.Printf("function %s image=%s port=%d runtime=%s\n", f.Name, f.Image, f.Port, f.Runtime)
+		}
+
+	case "dataplanes":
+		respB, err := cp.CallRead(ctx, proto.MethodListDataPlanes, nil)
+		if err != nil {
+			fail("dataplanes: " + err.Error())
+		}
+		list, err := proto.UnmarshalDataPlaneList(respB)
+		if err != nil {
+			fail("dataplanes: " + err.Error())
+		}
+		for i := range list.DataPlanes {
+			p := &list.DataPlanes[i]
+			fmt.Printf("dataplane %d %s:%d\n", p.ID, p.IP, p.Port)
+		}
 
 	default:
 		fail(fmt.Sprintf("unknown command %q", cmd))

@@ -1,8 +1,12 @@
 // Fault tolerance walkthrough: exercise every failure scenario from §5.4
 // of the paper on a live in-process cluster — control plane leader crash
-// (Raft failover + sandbox state reconstruction from workers), data plane
-// crash and restart, worker daemon crash, and a sandbox process crash —
-// while verifying the cluster keeps serving invocations.
+// (the 3-replica CP tier runs a replicated Raft log, so the follower that
+// wins the election recovers from its own applied store; the dead replica
+// is then revived and catches up from the leader's log), data plane crash
+// and restart, worker daemon crash, and a sandbox process crash — while
+// verifying the cluster keeps serving invocations. Follower reads are on:
+// read-only RPCs like ListFunctions spread across the tier instead of
+// loading the leader.
 package main
 
 import (
@@ -13,6 +17,8 @@ import (
 
 	"dirigent/internal/cluster"
 	"dirigent/internal/core"
+	"dirigent/internal/cpclient"
+	"dirigent/internal/proto"
 )
 
 func main() {
@@ -26,6 +32,7 @@ func main() {
 		HeartbeatTimeout:  300 * time.Millisecond,
 		MetricInterval:    10 * time.Millisecond,
 		NoDownscaleWindow: 5 * time.Second,
+		CPFollowerReads:   true,
 	})
 	if err != nil {
 		log.Fatalf("boot cluster: %v", err)
@@ -61,7 +68,7 @@ func main() {
 	fmt.Println("1. Baseline: two warm sandboxes")
 	invoke("baseline")
 
-	fmt.Println("\n2. Control plane leader crash")
+	fmt.Println("\n2. Control plane leader crash (replicated Raft log)")
 	// Snapshot the leader: Leader() re-resolves every call and returns nil
 	// during elections, so back-to-back calls may not agree — dereferencing
 	// a second lookup is a crash waiting for an election blip.
@@ -69,13 +76,15 @@ func main() {
 		fmt.Printf("   killing leader %s...\n", leader.Addr())
 	}
 	t0 := time.Now()
-	c.KillCPLeader()
+	killed := c.KillCPLeader()
 	leader := c.Leader()
 	for leader == nil {
 		time.Sleep(200 * time.Microsecond)
 		leader = c.Leader()
 	}
-	fmt.Printf("   new leader %s elected in %v\n", leader.Addr(), time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("   new leader %s elected in %v — it recovers from its own applied log,\n",
+		leader.Addr(), time.Since(t0).Round(time.Millisecond))
+	fmt.Println("   no shared store to replay")
 	invoke("during-failover") // warm traffic is unaffected
 	ready := 0
 	deadline := time.Now().Add(10 * time.Second)
@@ -88,6 +97,39 @@ func main() {
 		time.Sleep(2 * time.Millisecond)
 	}
 	fmt.Printf("   sandbox state reconstructed from worker reports: %d ready\n", ready)
+
+	// The registration accepted before the crash was committed at quorum,
+	// so it survives on the new leader — and with follower reads on, any
+	// lease-fresh replica can answer the list.
+	addrs := make([]string, len(c.CPs))
+	for i, cp := range c.CPs {
+		addrs[i] = cp.Addr()
+	}
+	cpc := cpclient.New(c.Transport, addrs)
+	readCtx, cancelRead := context.WithTimeout(ctx, 5*time.Second)
+	if b, err := cpc.CallRead(readCtx, proto.MethodListFunctions, nil); err == nil {
+		if list, err := proto.UnmarshalFunctionList(b); err == nil {
+			fmt.Printf("   function list served by the tier (follower-readable): %d registered\n", len(list.Functions))
+		}
+	}
+	cancelRead()
+
+	fmt.Printf("\n2b. Reviving crashed replica %d\n", killed)
+	t0 = time.Now()
+	if err := c.RestartCP(killed); err != nil {
+		log.Fatalf("restart cp: %v", err)
+	}
+	// The replica rejoins with an empty log; the leader backtracks and
+	// re-ships everything, so its local store converges on the tier state.
+	catchup := time.Now().Add(10 * time.Second)
+	for time.Now().Before(catchup) {
+		if len(c.CPStore(killed).HGetAll("functions")) >= 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fmt.Printf("   replica %d caught up from the leader's log in %v\n",
+		killed, time.Since(t0).Round(time.Millisecond))
 
 	fmt.Println("\n3. Data plane crash + restart")
 	c.KillDataPlane(0)

@@ -95,6 +95,11 @@ type Options struct {
 	// AsyncLeaseDisabled turns off lease failover of dead replicas'
 	// async records (ablation: persisted tasks wait for a restart).
 	AsyncLeaseDisabled bool
+	// CPFollowerReads lets CP followers serve read-only RPCs
+	// (ListDataPlanes, ListFunctions) from their applied store, so the
+	// leader's RPC load drops to writes. Only meaningful with
+	// ControlPlanes > 1.
+	CPFollowerReads bool
 }
 
 func (o Options) withDefaults() Options {
@@ -172,39 +177,17 @@ func New(opts Options) (*Cluster, error) {
 		Metrics:   metrics,
 	}
 
-	// Replicated persistent store: one replica per CP node, with
-	// synchronous replication (the paper co-locates a Redis replica with
-	// each CP replica).
+	// Persistent store: one per CP node (the paper co-locates a Redis
+	// replica with each CP replica). With multiple CPs, replication runs
+	// through the Raft log — each replica applies committed batches to
+	// its own store; with a single CP the store backs it directly, which
+	// is seed-exact.
 	for i := 0; i < opts.ControlPlanes; i++ {
 		c.stores = append(c.stores, store.NewMemory())
-	}
-	var followers []*store.Store
-	if len(c.stores) > 1 {
-		followers = c.stores[1:]
-	}
-	db := store.NewReplicated(c.stores[0], followers...)
-
-	for i := 0; i < opts.ControlPlanes; i++ {
 		c.cpAddrs = append(c.cpAddrs, fmt.Sprintf("cp%d:7000", i))
 	}
 	for i := 0; i < opts.ControlPlanes; i++ {
-		cp := controlplane.New(controlplane.Config{
-			Addr:                c.cpAddrs[i],
-			Peers:               c.cpAddrs,
-			Transport:           tr,
-			DB:                  db,
-			AutoscaleInterval:   opts.AutoscaleInterval,
-			HeartbeatTimeout:    opts.HeartbeatTimeout,
-			NoDownscaleWindow:   opts.NoDownscaleWindow,
-			PersistSandboxState: opts.PersistSandboxState,
-			StateShards:         opts.StateShards,
-			Placer:              opts.Placer,
-			PredictivePrewarm:   opts.PredictivePrewarm,
-			Predictor:           opts.Predictor,
-			AsyncLeaseDisabled:  opts.AsyncLeaseDisabled,
-			Metrics:             metrics,
-		})
-		c.CPs = append(c.CPs, cp)
+		c.CPs = append(c.CPs, c.newControlPlane(i, false))
 	}
 	for _, cp := range c.CPs {
 		if err := cp.Start(); err != nil {
@@ -272,6 +255,61 @@ func New(opts Options) (*Cluster, error) {
 	}
 	return c, nil
 }
+
+// newControlPlane builds (without starting) CP replica i against the
+// cluster's current store for that slot. Multi-CP clusters run the
+// replicated-log regime; a singleton CP uses its store directly.
+func (c *Cluster) newControlPlane(i int, rejoin bool) *controlplane.ControlPlane {
+	opts := c.opts
+	cfg := controlplane.Config{
+		Addr:                c.cpAddrs[i],
+		Peers:               c.cpAddrs,
+		Transport:           c.Transport,
+		AutoscaleInterval:   opts.AutoscaleInterval,
+		HeartbeatTimeout:    opts.HeartbeatTimeout,
+		NoDownscaleWindow:   opts.NoDownscaleWindow,
+		PersistSandboxState: opts.PersistSandboxState,
+		StateShards:         opts.StateShards,
+		Placer:              opts.Placer,
+		PredictivePrewarm:   opts.PredictivePrewarm,
+		Predictor:           opts.Predictor,
+		AsyncLeaseDisabled:  opts.AsyncLeaseDisabled,
+		Metrics:             c.Metrics,
+	}
+	if len(c.cpAddrs) > 1 {
+		cfg.LocalStore = c.stores[i]
+		cfg.FollowerReads = opts.CPFollowerReads
+		cfg.RaftRejoin = rejoin
+		// The default read lease equals the election-timeout floor (8 ms
+		// in-process), which scheduling jitter under load overruns
+		// constantly — each overrun bounces the read to the leader. 50 ms
+		// keeps staleness bounded well below the worker heartbeat windows
+		// while letting followers actually absorb the read path.
+		cfg.ReadLease = 50 * time.Millisecond
+	} else {
+		cfg.DB = c.stores[i]
+	}
+	return controlplane.New(cfg)
+}
+
+// RestartCP revives control plane replica i after a crash (systemd
+// restart in the paper's deployment). The replica rejoins the Raft group
+// with an empty log and store; the leader's replicator backtracks and
+// re-ships the whole log, so the replica catches up to the applied state
+// without any shared-store replay.
+func (c *Cluster) RestartCP(i int) error {
+	c.stores[i] = store.NewMemory()
+	cp := c.newControlPlane(i, true)
+	if err := cp.Start(); err != nil {
+		return err
+	}
+	c.CPs[i] = cp
+	return nil
+}
+
+// CPStore returns replica i's local store (tests inspect it to verify a
+// revived follower caught up).
+func (c *Cluster) CPStore(i int) *store.Store { return c.stores[i] }
 
 func (c *Cluster) newWorker(i int) (*worker.Worker, error) {
 	opts := c.opts

@@ -260,3 +260,46 @@ func TestMultiComponentFailure(t *testing.T) {
 		t.Fatalf("cluster did not recover from multi-component failure")
 	}
 }
+
+// TestCPReplicasOneSeedParity pins the -cp-replicas 1 regime to the seed
+// behavior: a singleton control plane runs no Raft node at all — its
+// store backs it directly, writes are visible synchronously (no
+// replicated-log apply in between), it is leader from the first instant,
+// and the replication telemetry stays zero.
+func TestCPReplicasOneSeedParity(t *testing.T) {
+	opts := testOptions()
+	opts.ControlPlanes = 1
+	opts.CPFollowerReads = true // must be a no-op with a single replica
+	c := mustCluster(t, opts)
+
+	cp := c.CPs[0]
+	if !cp.IsLeader() {
+		t.Fatalf("singleton CP must lead immediately, no election")
+	}
+	if addr := cp.RaftLeader(); addr != cp.Addr() {
+		t.Errorf("RaftLeader() = %q, want own address %q", addr, cp.Addr())
+	}
+
+	if err := c.RegisterFunction(testFunction("solo")); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	// Seed parity: the write is durable in the backing store the moment
+	// the registration RPC returns — there is no log-apply pipeline that
+	// could defer it.
+	if _, ok := c.CPStore(0).HGetAll("functions")["solo"]; !ok {
+		t.Errorf("registration not synchronously visible in the store")
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := c.Invoke(ctx, "solo", []byte("x")); err != nil {
+		t.Fatalf("invoke: %v", err)
+	}
+
+	if rounds, entries := cp.ReplStats(); rounds != 0 || entries != 0 {
+		t.Errorf("singleton CP shipped replication traffic: rounds=%d entries=%d", rounds, entries)
+	}
+	if _, follower := cp.ReadCounts(); follower != 0 {
+		t.Errorf("singleton CP served %d follower reads", follower)
+	}
+}

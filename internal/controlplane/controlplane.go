@@ -25,7 +25,6 @@ package controlplane
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -35,11 +34,11 @@ import (
 	"dirigent/internal/autoscaler"
 	"dirigent/internal/clock"
 	"dirigent/internal/core"
-	"dirigent/internal/cpclient"
 	"dirigent/internal/placement"
 	"dirigent/internal/predictor"
 	"dirigent/internal/proto"
 	"dirigent/internal/raft"
+	"dirigent/internal/store"
 	"dirigent/internal/telemetry"
 	"dirigent/internal/transport"
 )
@@ -172,6 +171,29 @@ type Config struct {
 	RaftHeartbeat   time.Duration
 	RaftElectionMin time.Duration
 	RaftElectionMax time.Duration
+	// LocalStore, set together with multiple Peers, selects the
+	// replicated-log HA regime: every durable write is proposed to the
+	// Raft log and each replica applies committed batches to this, its
+	// own store (DB is then managed internally and must be left nil). A
+	// promoted follower recovers from its own applied state — no shared
+	// store, no cold replay. With a single peer, LocalStore simply backs
+	// DB directly (seed-exact single-node behavior).
+	LocalStore *store.Store
+	// FollowerReads lets non-leader replicas serve read-only RPCs
+	// (ListDataPlanes, ListFunctions) from their applied store while
+	// their leader lease is fresh, offloading the read fan-in from the
+	// leader. Requires the replicated-log regime.
+	FollowerReads bool
+	// ReadLease bounds follower-read staleness (how recently a follower
+	// must have heard from the leader to vouch for its state); 0 selects
+	// the Raft election-timeout minimum.
+	ReadLease time.Duration
+	// RaftRejoin marks a replica restarting into an established group
+	// after a crash: having lost its log and vote state, it withholds
+	// votes (and campaigns) until it catches up to the leader's commit
+	// index, so its amnesia cannot help elect a leader that misses
+	// committed writes. Leave false on first boot.
+	RaftRejoin bool
 }
 
 func (c Config) withDefaults() Config {
@@ -376,6 +398,8 @@ type ControlPlane struct {
 	cHBBatchRPCs     *telemetry.Counter
 	cDeadWorkerGC    *telemetry.Counter
 	cRelayFailures   *telemetry.Counter
+	cReadLeader      *telemetry.Counter
+	cReadFollower    *telemetry.Counter
 }
 
 // New creates a control plane replica; call Start to serve.
@@ -416,19 +440,16 @@ func New(cfg Config) *ControlPlane {
 	cp.cHBBatchRPCs = cp.metrics.Counter("worker_hb_batch_rpcs")
 	cp.cDeadWorkerGC = cp.metrics.Counter("dead_worker_gc")
 	cp.cRelayFailures = cp.metrics.Counter("relay_failures_detected")
+	cp.cReadLeader = cp.metrics.Counter("cp_read_leader_served")
+	cp.cReadFollower = cp.metrics.Counter("cp_read_follower_served")
 	return cp
 }
 
 // Start begins serving RPCs and, in HA mode, participating in leader
 // election. In single-node mode the replica becomes leader immediately.
 func (cp *ControlPlane) Start() error {
-	ln, err := cp.cfg.Transport.Listen(cp.cfg.Addr, cp.handleRPC)
-	if err != nil {
-		return fmt.Errorf("control plane %s: %w", cp.cfg.Addr, err)
-	}
-	cp.listener = ln
 	if len(cp.cfg.Peers) > 1 {
-		cp.raftNode = raft.NewNode(raft.Config{
+		rc := raft.Config{
 			ID:                 cp.cfg.Addr,
 			Peers:              cp.cfg.Peers,
 			Transport:          cp.cfg.Transport,
@@ -436,7 +457,26 @@ func (cp *ControlPlane) Start() error {
 			ElectionTimeoutMin: cp.cfg.RaftElectionMin,
 			ElectionTimeoutMax: cp.cfg.RaftElectionMax,
 			OnLeaderChange:     cp.onLeaderChange,
-		})
+			Clock:              cp.clk,
+			Rejoin:             cp.cfg.RaftRejoin,
+		}
+		if cp.cfg.LocalStore != nil {
+			// Replicated-log regime: durable writes go through the Raft
+			// log; this replica's store holds the applied state.
+			rc.Apply = cp.applyReplicated
+			rc.ReadLease = cp.cfg.ReadLease
+			cp.cfg.DB = &replicatedDB{cp: cp}
+		}
+		cp.raftNode = raft.NewNode(rc)
+	} else if cp.cfg.DB == nil && cp.cfg.LocalStore != nil {
+		cp.cfg.DB = cp.cfg.LocalStore
+	}
+	ln, err := cp.cfg.Transport.Listen(cp.cfg.Addr, cp.handleRPC)
+	if err != nil {
+		return fmt.Errorf("control plane %s: %w", cp.cfg.Addr, err)
+	}
+	cp.listener = ln
+	if cp.raftNode != nil {
 		cp.raftNode.Start()
 	} else {
 		cp.onLeaderChange(true, 1)
@@ -522,6 +562,10 @@ func (cp *ControlPlane) nextEpoch() uint64 {
 
 func (cp *ControlPlane) recover() {
 	start := cp.clk.Now()
+	// In the replicated-log regime, wait until this replica's applied
+	// store covers everything the previous leader committed before
+	// reading from it (a barrier entry in the new term).
+	cp.barrierApplied()
 	cp.epoch.Store(cp.nextEpoch())
 
 	// 1. Reload persisted state: functions, workers, data planes.
@@ -654,7 +698,12 @@ func (cp *ControlPlane) handleRPC(method string, payload []byte) ([]byte, error)
 		}
 	}
 	if !cp.IsLeader() {
-		return nil, errors.New(cpclient.ErrNotLeaderText)
+		// Followers can still serve bounded-staleness reads from their
+		// applied store; everything else redirects to the leader.
+		if resp, err, handled := cp.tryFollowerRead(method); handled {
+			return resp, err
+		}
+		return nil, cp.notLeaderErr()
 	}
 	switch method {
 	case proto.MethodRegisterFunction:
@@ -678,8 +727,10 @@ func (cp *ControlPlane) handleRPC(method string, payload []byte) ([]byte, error)
 	case proto.MethodDataPlaneHeartbeat:
 		return cp.handleDataPlaneHeartbeat(payload)
 	case proto.MethodListDataPlanes:
+		cp.cReadLeader.Inc()
 		return cp.handleListDataPlanes()
 	case proto.MethodListFunctions:
+		cp.cReadLeader.Inc()
 		return cp.handleListFunctions()
 	case proto.MethodScalingMetric:
 		return cp.handleScalingMetric(payload)

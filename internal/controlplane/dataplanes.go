@@ -193,7 +193,11 @@ func (cp *ControlPlane) DataPlaneCount() int {
 	return healthy
 }
 
+// refreshDataPlaneGauge runs on every membership or liveness change; in
+// the replicated-log regime it doubles as the trigger for republishing
+// the live membership list to followers (see publishDataPlanes).
 func (cp *ControlPlane) refreshDataPlaneGauge() {
 	healthy, _ := cp.dataPlaneCounts()
 	cp.metrics.Gauge("dataplane_count").Set(int64(healthy))
+	cp.publishDataPlanes()
 }

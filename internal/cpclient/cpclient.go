@@ -1,9 +1,12 @@
 // Package cpclient is the client stub that worker nodes and data planes use
 // to call the control plane. With a highly available control plane, only
-// the Raft leader serves requests; followers reject them. This client
-// remembers the last known leader and fails over to the other replicas
-// transparently, retrying briefly so that a leader election in progress
-// (≈10 ms in Dirigent, paper §5.4) does not surface as an error.
+// the Raft leader serves writes; followers reject them with a redirect
+// hint naming the leader they follow. This client remembers the last known
+// leader, honors redirect hints, and fails over to the other replicas
+// transparently with capped exponential backoff, retrying briefly so that
+// a leader election in progress (≈10 ms in Dirigent, paper §5.4) does not
+// surface as an error. Read-only RPCs can instead use CallRead, which
+// prefers follower replicas so the leader's RPC load stays writes-only.
 package cpclient
 
 import (
@@ -11,14 +14,19 @@ import (
 	"errors"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dirigent/internal/transport"
 )
 
 // ErrNotLeaderText is the marker followers embed in rejections; the client
-// uses it to distinguish "wrong replica" from application errors.
+// uses it to distinguish "wrong replica" from application errors. A
+// rejection may carry a redirect hint: "...; leader=<addr>".
 const ErrNotLeaderText = "not the control plane leader"
+
+// leaderHintMark introduces the redirect hint inside a NotLeader rejection.
+const leaderHintMark = "leader="
 
 // ErrNoLeader reports that no control plane replica accepted the call.
 var ErrNoLeader = errors.New("cpclient: no control plane leader reachable")
@@ -31,20 +39,36 @@ type Client struct {
 	mu     sync.Mutex
 	leader int // index into addrs of last known leader
 
+	// readRR spreads CallRead across replicas round-robin.
+	readRR atomic.Uint64
+	// readLeaderOnlyUntil is a cooldown after a follower refused a read
+	// (follower reads disabled or lease expired): until it passes,
+	// CallRead goes straight to the leader instead of re-probing
+	// followers on every poll. Stored as unix nanos.
+	readLeaderOnlyUntil atomic.Int64
+
 	// RetryWindow bounds how long Call keeps cycling replicas waiting for
 	// a leader before giving up.
 	RetryWindow time.Duration
-	// RetryDelay is the pause between full cycles over the replicas.
+	// RetryDelay is the initial pause between full cycles over the
+	// replicas; it doubles each idle cycle up to RetryDelayMax.
 	RetryDelay time.Duration
+	// RetryDelayMax caps the exponential backoff between cycles.
+	RetryDelayMax time.Duration
+	// ReadCooldown is how long CallRead sticks to the leader after a
+	// follower refuses a read.
+	ReadCooldown time.Duration
 }
 
 // New returns a client over the given control plane replica addresses.
 func New(t transport.Transport, addrs []string) *Client {
 	return &Client{
-		transport:   t,
-		addrs:       append([]string(nil), addrs...),
-		RetryWindow: 2 * time.Second,
-		RetryDelay:  5 * time.Millisecond,
+		transport:     t,
+		addrs:         append([]string(nil), addrs...),
+		RetryWindow:   2 * time.Second,
+		RetryDelay:    5 * time.Millisecond,
+		RetryDelayMax: 100 * time.Millisecond,
+		ReadCooldown:  time.Second,
 	}
 }
 
@@ -53,13 +77,14 @@ func (c *Client) Addrs() []string {
 	return append([]string(nil), c.addrs...)
 }
 
-// Call invokes method on the current leader, failing over and retrying
-// within the retry window.
+// Call invokes method on the current leader, following redirect hints and
+// failing over with capped exponential backoff within the retry window.
 func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byte, error) {
 	if len(c.addrs) == 0 {
 		return nil, errors.New("cpclient: no control plane addresses configured")
 	}
 	deadline := time.Now().Add(c.RetryWindow)
+	delay := c.RetryDelay
 	var lastErr error
 	for {
 		c.mu.Lock()
@@ -74,7 +99,19 @@ func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byt
 				c.leader = idx
 				c.mu.Unlock()
 				return resp, nil
-			case isNotLeader(err) || errors.Is(err, transport.ErrUnreachable):
+			case isNotLeader(err):
+				lastErr = err
+				// A follower knows its leader: jump straight there
+				// instead of probing the remaining replicas in order.
+				if hint := c.indexOf(leaderHint(err)); hint >= 0 && hint != idx {
+					c.mu.Lock()
+					c.leader = hint
+					c.mu.Unlock()
+					start = hint
+					i = -1 // restart the cycle at the hinted leader
+				}
+				continue
+			case errors.Is(err, transport.ErrUnreachable):
 				lastErr = err
 				continue // try the next replica
 			default:
@@ -90,9 +127,84 @@ func (c *Client) Call(ctx context.Context, method string, payload []byte) ([]byt
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(c.RetryDelay):
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > c.RetryDelayMax && c.RetryDelayMax > 0 {
+			delay = c.RetryDelayMax
 		}
 	}
+}
+
+// CallRead invokes a read-only method, preferring non-leader replicas so
+// the leader's RPC load stays writes-only. Replicas are tried round-robin
+// (leader last); a replica that refuses the read (follower reads disabled,
+// or its leader lease expired) puts CallRead in a leader-only cooldown so
+// steady-state polling doesn't pay a doomed follower probe per call. Falls
+// back to Call — and its leader failover/retry loop — when no follower can
+// serve.
+func (c *Client) CallRead(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	if len(c.addrs) <= 1 || time.Now().UnixNano() < c.readLeaderOnlyUntil.Load() {
+		return c.Call(ctx, method, payload)
+	}
+	c.mu.Lock()
+	leader := c.leader
+	c.mu.Unlock()
+	start := int(c.readRR.Add(1)) % len(c.addrs)
+	var sawRefusal bool
+	for i := 0; i < len(c.addrs); i++ {
+		idx := (start + i) % len(c.addrs)
+		if idx == leader {
+			continue // followers first; Call covers the leader below
+		}
+		resp, err := c.transport.Call(ctx, c.addrs[idx], method, payload)
+		switch {
+		case err == nil:
+			return resp, nil
+		case isNotLeader(err):
+			sawRefusal = true
+			continue
+		case errors.Is(err, transport.ErrUnreachable):
+			continue
+		default:
+			return nil, err
+		}
+	}
+	if sawRefusal && c.ReadCooldown > 0 {
+		c.readLeaderOnlyUntil.Store(time.Now().Add(c.ReadCooldown).UnixNano())
+	}
+	return c.Call(ctx, method, payload)
+}
+
+// CallWithRetry invokes Call, retrying with capped exponential backoff
+// while the control plane is unavailable (leader election in progress,
+// replicas unreachable) until ctx expires. Use it for operations that must
+// eventually land — registrations, deregistrations — where "no leader
+// right now" is a transient condition, not a failure.
+func (c *Client) CallWithRetry(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	delay := c.RetryDelay
+	for {
+		resp, err := c.Call(ctx, method, payload)
+		if err == nil || !IsUnavailable(err) || ctx.Err() != nil {
+			return resp, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, err
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > c.RetryDelayMax && c.RetryDelayMax > 0 {
+			delay = c.RetryDelayMax
+		}
+	}
+}
+
+// IsUnavailable reports whether err means the control plane could not be
+// reached or had no settled leader — a transient condition callers should
+// retry with backoff rather than treat as fatal.
+func IsUnavailable(err error) bool {
+	return err != nil &&
+		(errors.Is(err, ErrNoLeader) || errors.Is(err, transport.ErrUnreachable) ||
+			isNotLeader(err) || errors.Is(err, context.DeadlineExceeded))
 }
 
 func isNotLeader(err error) bool {
@@ -101,4 +213,34 @@ func isNotLeader(err error) bool {
 		return strings.Contains(re.Msg, ErrNotLeaderText)
 	}
 	return false
+}
+
+// leaderHint extracts the redirect target from a NotLeader rejection
+// ("" if the follower didn't know its leader).
+func leaderHint(err error) string {
+	var re *transport.RemoteError
+	if !errors.As(err, &re) {
+		return ""
+	}
+	i := strings.LastIndex(re.Msg, leaderHintMark)
+	if i < 0 {
+		return ""
+	}
+	addr := re.Msg[i+len(leaderHintMark):]
+	if j := strings.IndexAny(addr, " ;,"); j >= 0 {
+		addr = addr[:j]
+	}
+	return addr
+}
+
+func (c *Client) indexOf(addr string) int {
+	if addr == "" {
+		return -1
+	}
+	for i, a := range c.addrs {
+		if a == addr {
+			return i
+		}
+	}
+	return -1
 }

@@ -154,6 +154,242 @@ func TestContextCancellation(t *testing.T) {
 	}
 }
 
+func TestRedirectHintSkipsProbing(t *testing.T) {
+	tr := transport.NewInProc()
+	// cp0 is a follower that names cp2 as its leader; cp1 counts calls and
+	// must never be probed — the hint jumps the client straight to cp2.
+	ln0, err := tr.Listen("cp0", func(string, []byte) ([]byte, error) {
+		return nil, errors.New(ErrNotLeaderText + "; leader=cp2")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln0.Close()
+	var cp1Calls atomic.Int64
+	ln1, err := tr.Listen("cp1", func(string, []byte) ([]byte, error) {
+		cp1Calls.Add(1)
+		return nil, errors.New(ErrNotLeaderText)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln1.Close()
+	ln2, err := tr.Listen("cp2", leaderHandler("ok"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+
+	c := New(tr, []string{"cp0", "cp1", "cp2"})
+	resp, err := c.Call(context.Background(), "m", nil)
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if string(resp) != "ok" {
+		t.Errorf("resp = %q", resp)
+	}
+	if n := cp1Calls.Load(); n != 0 {
+		t.Errorf("cp1 probed %d times despite redirect hint", n)
+	}
+	c.mu.Lock()
+	leader := c.leader
+	c.mu.Unlock()
+	if leader != 2 {
+		t.Errorf("cached leader index = %d, want 2", leader)
+	}
+}
+
+func TestLeaderHintParsing(t *testing.T) {
+	cases := []struct {
+		msg, want string
+	}{
+		{ErrNotLeaderText + "; leader=cp1:7000", "cp1:7000"},
+		{ErrNotLeaderText + "; leader=cp2:7000; retry", "cp2:7000"},
+		{ErrNotLeaderText, ""},
+		{ErrNotLeaderText + "; leader=", ""},
+	}
+	for _, tc := range cases {
+		if got := leaderHint(&transport.RemoteError{Msg: tc.msg}); got != tc.want {
+			t.Errorf("leaderHint(%q) = %q, want %q", tc.msg, got, tc.want)
+		}
+	}
+	if got := leaderHint(errors.New("leader=cp0")); got != "" {
+		t.Errorf("non-remote error should yield no hint, got %q", got)
+	}
+}
+
+func TestCallReadPrefersFollowers(t *testing.T) {
+	tr := transport.NewInProc()
+	var leaderCalls, followerCalls atomic.Int64
+	ln0, err := tr.Listen("cp0", func(string, []byte) ([]byte, error) {
+		leaderCalls.Add(1)
+		return []byte("from-leader"), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln0.Close()
+	for _, addr := range []string{"cp1", "cp2"} {
+		ln, err := tr.Listen(addr, func(string, []byte) ([]byte, error) {
+			followerCalls.Add(1)
+			return []byte("from-follower"), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ln.Close()
+	}
+
+	c := New(tr, []string{"cp0", "cp1", "cp2"})
+	// Establish cp0 as the cached leader.
+	if _, err := c.Call(context.Background(), "w", nil); err != nil {
+		t.Fatal(err)
+	}
+	leaderCalls.Store(0)
+	for i := 0; i < 20; i++ {
+		resp, err := c.CallRead(context.Background(), "r", nil)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if string(resp) != "from-follower" {
+			t.Errorf("read %d served by leader", i)
+		}
+	}
+	if n := leaderCalls.Load(); n != 0 {
+		t.Errorf("leader served %d reads with healthy followers", n)
+	}
+	if n := followerCalls.Load(); n != 20 {
+		t.Errorf("followers served %d reads, want 20", n)
+	}
+}
+
+func TestCallReadCooldownAfterRefusal(t *testing.T) {
+	tr := transport.NewInProc()
+	ln0, err := tr.Listen("cp0", leaderHandler("from-leader"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln0.Close()
+	var followerProbes atomic.Int64
+	// Follower reads disabled: cp1 refuses every read.
+	ln1, err := tr.Listen("cp1", func(string, []byte) ([]byte, error) {
+		followerProbes.Add(1)
+		return nil, errors.New(ErrNotLeaderText + "; leader=cp0")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln1.Close()
+
+	c := New(tr, []string{"cp0", "cp1"})
+	c.ReadCooldown = time.Hour
+	if _, err := c.Call(context.Background(), "w", nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		resp, err := c.CallRead(context.Background(), "r", nil)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if string(resp) != "from-leader" {
+			t.Errorf("read %d = %q, want leader fallback", i, resp)
+		}
+	}
+	// The first read probes the follower, gets refused, and arms the
+	// cooldown; the nine that follow must go straight to the leader.
+	if n := followerProbes.Load(); n != 1 {
+		t.Errorf("follower probed %d times, want 1 (cooldown)", n)
+	}
+}
+
+func TestCallReadSingleReplicaUsesCall(t *testing.T) {
+	tr := transport.NewInProc()
+	ln, err := tr.Listen("cp0", leaderHandler("solo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c := New(tr, []string{"cp0"})
+	resp, err := c.CallRead(context.Background(), "r", nil)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if string(resp) != "solo" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestCallWithRetryOutlastsOutage(t *testing.T) {
+	tr := transport.NewInProc()
+	c := New(tr, []string{"cp0"})
+	c.RetryWindow = 10 * time.Millisecond
+	c.RetryDelay = time.Millisecond
+	c.RetryDelayMax = 5 * time.Millisecond
+
+	// Nothing listens yet: plain Call exhausts its window and fails, but
+	// CallWithRetry keeps cycling until the replica comes up.
+	go func() {
+		time.Sleep(60 * time.Millisecond)
+		if _, err := tr.Listen("cp0", leaderHandler("back")); err != nil {
+			panic(err)
+		}
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := c.CallWithRetry(ctx, "m", nil)
+	if err != nil {
+		t.Fatalf("retry call: %v", err)
+	}
+	if string(resp) != "back" {
+		t.Errorf("resp = %q", resp)
+	}
+}
+
+func TestCallWithRetryStopsOnApplicationError(t *testing.T) {
+	tr := transport.NewInProc()
+	var calls atomic.Int64
+	ln, err := tr.Listen("cp0", func(string, []byte) ([]byte, error) {
+		calls.Add(1)
+		return nil, errors.New("validation failed")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	c := New(tr, []string{"cp0"})
+	if _, err := c.CallWithRetry(context.Background(), "m", nil); err == nil {
+		t.Fatalf("expected application error")
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("application error retried %d times, want 1", n)
+	}
+}
+
+func TestIsUnavailable(t *testing.T) {
+	unavailable := []error{
+		ErrNoLeader,
+		errors.Join(ErrNoLeader, errors.New("ctx")),
+		transport.ErrUnreachable,
+		&transport.RemoteError{Msg: ErrNotLeaderText + "; leader=cp1"},
+		context.DeadlineExceeded,
+	}
+	for _, err := range unavailable {
+		if !IsUnavailable(err) {
+			t.Errorf("IsUnavailable(%v) = false, want true", err)
+		}
+	}
+	fatal := []error{
+		nil,
+		errors.New("validation failed"),
+		&transport.RemoteError{Msg: "unknown function"},
+	}
+	for _, err := range fatal {
+		if IsUnavailable(err) {
+			t.Errorf("IsUnavailable(%v) = true, want false", err)
+		}
+	}
+}
+
 func TestNoAddresses(t *testing.T) {
 	c := New(transport.NewInProc(), nil)
 	if _, err := c.Call(context.Background(), "m", nil); err == nil {

@@ -317,9 +317,12 @@ func (dp *DataPlane) Start() error {
 		Durable:     dp.cfg.AsyncStore != nil,
 		AsyncHashes: dp.asyncStoreHashes(),
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	// Registration rides out control-plane leader elections and brief
+	// outages with capped backoff instead of failing the replica's start:
+	// "no leader right now" is transient in an HA control plane.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
-	resp, err := dp.cp.Call(ctx, proto.MethodRegisterDataPlane, req.Marshal())
+	resp, err := dp.cp.CallWithRetry(ctx, proto.MethodRegisterDataPlane, req.Marshal())
 	if err != nil {
 		ln.Close()
 		return fmt.Errorf("data plane %d: register: %w", dp.cfg.ID, err)

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCPHASmoke runs the CP high-availability sweep at a small scale:
+// all five configurations ({1,3} replicas × {leader-only, follower
+// reads} × steady/leader-kill), each against a live cluster. runCPHA
+// self-checks zero lost acknowledged writes, the follower-read split,
+// and non-trivial replication batching, so a nil error IS the assertion.
+func TestCPHASmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cpha sweep skipped in -short mode")
+	}
+	var buf strings.Builder
+	if err := runCPHA(&buf, 0.2); err != nil {
+		t.Fatalf("cpha smoke: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"leader_share", "failover_ms", "mean_batch"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("cpha output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -27,3 +27,24 @@ func TestE2EScenarioSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestE2ECPScenarioSmoke is the CI variant of the replicated-CP replay:
+// a 3-replica CP tier with follower reads, the leader killed and revived
+// mid-trace. runE2ECP fails on any lost/stranded work and requires at
+// least two leadership recoveries, so a nil error IS the assertion.
+func TestE2ECPScenarioSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2e macro-benchmark smoke skipped in -short mode")
+	}
+	var buf strings.Builder
+	if err := runE2ECP(&buf, 0.12); err != nil {
+		t.Fatalf("e2ecp smoke: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"cp-loss", "cp-revived", "kill controlplane leader", "revive controlplane replica",
+		"lost_sync=0", "stranded=0"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("e2ecp smoke output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,7 +12,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig2", "fig3", "fig5", "fig7", "fig8", "fig9", "fig10",
 		"fig11", "scalability", "registration", "azure500", "azure4k", "faults",
-		"e2e",
+		"e2e", "e2ecp", "cpha",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {

@@ -169,12 +169,20 @@ func (w *Worker) Start() error {
 }
 
 // Register (re-)announces the worker to the control plane. Exported so
-// tests can re-register a previously failed worker ID.
+// tests can re-register a previously failed worker ID. Direct mode rides
+// out CP leader elections with the client's capped-backoff retry; relay
+// mode inherits the relay's own retry on its CP leg.
 func (w *Worker) Register() error {
 	req := proto.RegisterWorkerRequest{Worker: w.cfg.Node}
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if _, err := w.liveCall(ctx, proto.MethodRegisterWorker, req.Marshal()); err != nil {
+	var err error
+	if w.live != nil {
+		_, err = w.live.Call(ctx, proto.MethodRegisterWorker, req.Marshal())
+	} else {
+		_, err = w.cp.CallWithRetry(ctx, proto.MethodRegisterWorker, req.Marshal())
+	}
+	if err != nil {
 		return fmt.Errorf("fleet worker %s: register: %w", w.cfg.Node.Name, err)
 	}
 	return nil

@@ -168,7 +168,10 @@ func (lb *LB) membershipLoop() {
 func (lb *LB) syncMembership() {
 	ctx, cancel := context.WithTimeout(context.Background(), lb.cfg.MembershipInterval*4)
 	defer cancel()
-	respB, err := lb.cp.Call(ctx, proto.MethodListDataPlanes, nil)
+	// A membership poll is read-only, so any CP replica may answer it
+	// from its applied state — with follower reads enabled the leader
+	// never sees this traffic.
+	respB, err := lb.cp.CallRead(ctx, proto.MethodListDataPlanes, nil)
 	if err != nil {
 		lb.metrics.Counter("membership_sync_errors").Inc()
 		return

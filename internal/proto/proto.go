@@ -86,9 +86,13 @@ const (
 	// worker that asked its relay to register while the relay's previous
 	// registration RPC was in flight shares one CP round trip.
 	MethodRegisterWorkerBatch = "cp.RegisterWorkerBatch"
-	// CP ↔ CP (leader election).
-	MethodRequestVote   = "cp.RequestVote"
-	MethodLeaderPing    = "cp.LeaderPing"
+	// CP ↔ CP (leader election + log replication).
+	MethodRequestVote = "cp.RequestVote"
+	MethodLeaderPing  = "cp.LeaderPing"
+	// MethodAppendEntries ships pipelined, group-committed batches of
+	// replicated store ops from the CP leader to followers; an empty
+	// batch doubles as the leader heartbeat and carries the commit index.
+	MethodAppendEntries = "cp.AppendEntries"
 	MethodClusterStatus = "cp.ClusterStatus"
 )
 
@@ -903,17 +907,24 @@ func UnmarshalFunctionList(b []byte) (*FunctionList, error) {
 	return m, wrap(d.Err(), "FunctionList")
 }
 
-// VoteRequest is the Raft leader-election RPC between CP replicas.
+// VoteRequest is the Raft leader-election RPC between CP replicas. The
+// candidate's last log position enforces the election restriction: voters
+// reject candidates whose replicated log is behind their own, so a leader
+// always holds every committed entry.
 type VoteRequest struct {
-	Term      uint64
-	Candidate string
+	Term         uint64
+	Candidate    string
+	LastLogIndex uint64
+	LastLogTerm  uint64
 }
 
 // Marshal encodes the request.
 func (m *VoteRequest) Marshal() []byte {
-	e := codec.NewEncoder(24 + len(m.Candidate))
+	e := codec.NewEncoder(40 + len(m.Candidate))
 	e.U64(m.Term)
 	e.String(m.Candidate)
+	e.U64(m.LastLogIndex)
+	e.U64(m.LastLogTerm)
 	return e.Bytes()
 }
 
@@ -923,6 +934,8 @@ func UnmarshalVoteRequest(b []byte) (*VoteRequest, error) {
 	m := &VoteRequest{}
 	m.Term = d.U64()
 	m.Candidate = d.String()
+	m.LastLogIndex = d.U64()
+	m.LastLogTerm = d.U64()
 	return m, wrap(d.Err(), "VoteRequest")
 }
 
@@ -970,6 +983,98 @@ func UnmarshalLeaderPing(b []byte) (*LeaderPing, error) {
 	m.Term = d.U64()
 	m.Leader = d.String()
 	return m, wrap(d.Err(), "LeaderPing")
+}
+
+// LogEntry is one replicated command in the control plane's Raft log: an
+// opaque marshaled store mutation stamped with the term it was proposed in.
+type LogEntry struct {
+	Term uint64
+	Data []byte
+}
+
+// AppendEntriesRequest replicates a batch of log entries (possibly empty —
+// the heartbeat) from the CP leader to one follower. PrevIndex/PrevTerm
+// anchor the batch for the Raft log-matching check; CommitIndex lets the
+// follower advance its applied state. Many concurrent proposals coalesce
+// into one request — the wire-level analogue of wal.FsyncGroup's
+// leader-elected flusher.
+type AppendEntriesRequest struct {
+	Term        uint64
+	Leader      string
+	PrevIndex   uint64
+	PrevTerm    uint64
+	CommitIndex uint64
+	Entries     []LogEntry
+}
+
+// Marshal encodes the request.
+func (m *AppendEntriesRequest) Marshal() []byte {
+	size := 64 + len(m.Leader)
+	for i := range m.Entries {
+		size += 16 + len(m.Entries[i].Data)
+	}
+	e := codec.NewEncoder(size)
+	e.U64(m.Term)
+	e.String(m.Leader)
+	e.U64(m.PrevIndex)
+	e.U64(m.PrevTerm)
+	e.U64(m.CommitIndex)
+	e.U32(uint32(len(m.Entries)))
+	for i := range m.Entries {
+		e.U64(m.Entries[i].Term)
+		e.RawBytes(m.Entries[i].Data)
+	}
+	return e.Bytes()
+}
+
+// UnmarshalAppendEntriesRequest decodes an AppendEntriesRequest.
+func UnmarshalAppendEntriesRequest(b []byte) (*AppendEntriesRequest, error) {
+	d := codec.NewDecoder(b)
+	m := &AppendEntriesRequest{}
+	m.Term = d.U64()
+	m.Leader = d.String()
+	m.PrevIndex = d.U64()
+	m.PrevTerm = d.U64()
+	m.CommitIndex = d.U64()
+	n := int(d.U32())
+	for i := 0; i < n && d.Err() == nil; i++ {
+		var ent LogEntry
+		ent.Term = d.U64()
+		if raw := d.RawBytes(); len(raw) > 0 {
+			ent.Data = append([]byte(nil), raw...)
+		}
+		m.Entries = append(m.Entries, ent)
+	}
+	return m, wrap(d.Err(), "AppendEntriesRequest")
+}
+
+// AppendEntriesResponse acknowledges an AppendEntriesRequest. MatchIndex
+// reports the highest log index the follower matches on success, and a
+// backtracking hint (the follower's log length) on rejection, so the
+// leader re-anchors in one round instead of probing one index at a time.
+type AppendEntriesResponse struct {
+	Term       uint64
+	Success    bool
+	MatchIndex uint64
+}
+
+// Marshal encodes the response.
+func (m *AppendEntriesResponse) Marshal() []byte {
+	e := codec.NewEncoder(24)
+	e.U64(m.Term)
+	e.Bool(m.Success)
+	e.U64(m.MatchIndex)
+	return e.Bytes()
+}
+
+// UnmarshalAppendEntriesResponse decodes an AppendEntriesResponse.
+func UnmarshalAppendEntriesResponse(b []byte) (*AppendEntriesResponse, error) {
+	d := codec.NewDecoder(b)
+	m := &AppendEntriesResponse{}
+	m.Term = d.U64()
+	m.Success = d.Bool()
+	m.MatchIndex = d.U64()
+	return m, wrap(d.Err(), "AppendEntriesResponse")
 }
 
 func wrap(err error, what string) error {

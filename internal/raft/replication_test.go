@@ -1,0 +1,570 @@
+package raft
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dirigent/internal/clock"
+	"dirigent/internal/proto"
+	"dirigent/internal/transport"
+)
+
+// applyRecorder collects the batches a node's Apply callback delivers.
+type applyRecorder struct {
+	mu      sync.Mutex
+	batches [][][]byte
+}
+
+func (r *applyRecorder) apply(batch [][]byte) {
+	cp := make([][]byte, len(batch))
+	for i, b := range batch {
+		cp[i] = append([]byte(nil), b...)
+	}
+	r.mu.Lock()
+	r.batches = append(r.batches, cp)
+	r.mu.Unlock()
+}
+
+// flat returns the applied entries in order, skipping the empty
+// leadership no-ops.
+func (r *applyRecorder) flat() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for _, batch := range r.batches {
+		for _, b := range batch {
+			if len(b) > 0 {
+				out = append(out, string(b))
+			}
+		}
+	}
+	return out
+}
+
+// replCluster is a live raft group whose nodes apply to recorders and
+// whose members can be crashed and revived (fresh node, empty log — the
+// control plane restart semantics).
+type replCluster struct {
+	t     *testing.T
+	tr    *transport.InProc
+	peers []string
+
+	mu        sync.Mutex // guards the slot slices against crash/revive races
+	nodes     []*Node
+	recorders []*applyRecorder
+	listeners []transport.Listener
+}
+
+// snapshot returns the current live nodes (nil slots skipped).
+func (rc *replCluster) snapshot() []*Node {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	var out []*Node
+	for _, n := range rc.nodes {
+		if n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// crash stops slot i and unplugs its endpoint.
+func (rc *replCluster) crash(i int) {
+	rc.mu.Lock()
+	n, ln := rc.nodes[i], rc.listeners[i]
+	rc.nodes[i] = nil
+	rc.mu.Unlock()
+	n.Stop()
+	ln.Close()
+}
+
+func newReplCluster(t *testing.T, n int) *replCluster {
+	t.Helper()
+	rc := &replCluster{t: t, tr: transport.NewInProc()}
+	for i := 0; i < n; i++ {
+		rc.peers = append(rc.peers, fmt.Sprintf("repl-%d", i))
+	}
+	rc.nodes = make([]*Node, n)
+	rc.recorders = make([]*applyRecorder, n)
+	rc.listeners = make([]transport.Listener, n)
+	for i := 0; i < n; i++ {
+		rc.startNode(i, false)
+	}
+	t.Cleanup(func() {
+		rc.mu.Lock()
+		nodes := append([]*Node(nil), rc.nodes...)
+		lns := append([]transport.Listener(nil), rc.listeners...)
+		rc.mu.Unlock()
+		for i := range nodes {
+			if nodes[i] != nil {
+				nodes[i].Stop()
+			}
+			lns[i].Close()
+		}
+	})
+	return rc
+}
+
+// startNode (re)creates slot i with a fresh node and recorder and plugs
+// it into the transport. rejoin is false at cluster boot and true when
+// reviving a crashed node: a revived node lost its vote state with its
+// log, so it must withhold votes until caught up (see Config.Rejoin).
+func (rc *replCluster) startNode(i int, rejoin bool) {
+	rc.t.Helper()
+	rec := &applyRecorder{}
+	node := NewNode(Config{
+		ID:        rc.peers[i],
+		Peers:     rc.peers,
+		Transport: rc.tr,
+		Apply:     rec.apply,
+		Rejoin:    rejoin,
+	})
+	ln, err := rc.tr.Listen(rc.peers[i], func(method string, payload []byte) ([]byte, error) {
+		resp, err, handled := node.HandleRPC(method, payload)
+		if !handled {
+			return nil, fmt.Errorf("unhandled method %q", method)
+		}
+		return resp, err
+	})
+	if err != nil {
+		rc.t.Fatalf("listen %s: %v", rc.peers[i], err)
+	}
+	rc.mu.Lock()
+	rc.nodes[i] = node
+	rc.recorders[i] = rec
+	rc.listeners[i] = ln
+	rc.mu.Unlock()
+	node.Start()
+}
+
+func (rc *replCluster) leader(timeout time.Duration) *Node {
+	rc.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, n := range rc.snapshot() {
+			if n.IsLeader() {
+				return n
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rc.t.Fatalf("no leader within %v", timeout)
+	return nil
+}
+
+// propose retries data against whichever node currently leads until it
+// commits or the deadline passes.
+func (rc *replCluster) propose(data string, timeout time.Duration) {
+	rc.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, n := range rc.snapshot() {
+			ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+			err := n.Propose(ctx, []byte(data))
+			cancel()
+			if err == nil {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rc.t.Fatalf("propose %q never committed within %v", data, timeout)
+}
+
+// awaitApplied waits until node i has applied want entries (no-ops
+// excluded).
+func (rc *replCluster) awaitApplied(i int, want []string, timeout time.Duration) {
+	rc.t.Helper()
+	rc.mu.Lock()
+	rec := rc.recorders[i]
+	rc.mu.Unlock()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		got := rec.flat()
+		if len(got) >= len(want) {
+			for j, w := range want {
+				if got[j] != w {
+					rc.t.Fatalf("node %d applied[%d] = %q, want %q (full: %v)", i, j, got[j], w, got)
+				}
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rc.t.Fatalf("node %d applied %v within %v, want %v", i, rec.flat(), timeout, want)
+}
+
+// TestQuorumCommitReplicatesToAll proposes through the leader and checks
+// every replica applies the same entries in the same order.
+func TestQuorumCommitReplicatesToAll(t *testing.T) {
+	rc := newReplCluster(t, 3)
+	rc.leader(5 * time.Second)
+	want := []string{"a", "b", "c", "d", "e"}
+	for _, d := range want {
+		rc.propose(d, 5*time.Second)
+	}
+	for i := range rc.nodes {
+		rc.awaitApplied(i, want, 5*time.Second)
+	}
+}
+
+// TestProposeOnFollowerRejected verifies the redirect contract: only the
+// leader accepts proposals.
+func TestProposeOnFollowerRejected(t *testing.T) {
+	rc := newReplCluster(t, 3)
+	lead := rc.leader(5 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	for _, n := range rc.nodes {
+		if n == lead {
+			continue
+		}
+		if err := n.Propose(ctx, []byte("x")); err != ErrNotLeader {
+			t.Fatalf("follower Propose error = %v, want ErrNotLeader", err)
+		}
+	}
+}
+
+// TestFollowerCatchUpAfterCrash replays the control plane restart
+// semantics: a follower crashes, the survivors commit entries at quorum,
+// and the revived replica (fresh node, empty log) catches up from the
+// leader's backtracking replicator — full log re-ship from index 1.
+func TestFollowerCatchUpAfterCrash(t *testing.T) {
+	rc := newReplCluster(t, 3)
+	lead := rc.leader(5 * time.Second)
+
+	victim := -1
+	for i, n := range rc.nodes {
+		if n != lead {
+			victim = i
+			break
+		}
+	}
+	rc.crash(victim)
+
+	want := []string{"w1", "w2", "w3", "w4"}
+	for _, d := range want {
+		rc.propose(d, 5*time.Second) // quorum = the two survivors
+	}
+
+	rc.startNode(victim, true) // fresh node, empty log
+	rc.awaitApplied(victim, want, 5*time.Second)
+}
+
+// TestLeaderCrashRecoversFromAppliedLog kills the leader mid-stream; the
+// new leader must already hold every committed entry (election
+// restriction) and keep accepting writes, and the revived old leader
+// catches up behind it.
+func TestLeaderCrashRecoversFromAppliedLog(t *testing.T) {
+	rc := newReplCluster(t, 3)
+	lead := rc.leader(5 * time.Second)
+	pre := []string{"p1", "p2", "p3"}
+	for _, d := range pre {
+		rc.propose(d, 5*time.Second)
+	}
+
+	killed := -1
+	for i, n := range rc.nodes {
+		if n == lead {
+			killed = i
+			break
+		}
+	}
+	rc.crash(killed)
+
+	post := []string{"p4", "p5"}
+	for _, d := range post {
+		rc.propose(d, 10*time.Second)
+	}
+
+	rc.startNode(killed, true)
+	want := append(append([]string{}, pre...), post...)
+	for i := range rc.nodes {
+		rc.awaitApplied(i, want, 5*time.Second)
+	}
+}
+
+// virtualFollower builds an unstarted-election follower: a started node
+// on a virtual clock that is never advanced, so it times out never and
+// processes exactly the RPCs the test feeds it.
+func virtualFollower(t *testing.T) (*Node, *applyRecorder, *clock.Virtual) {
+	t.Helper()
+	vc := clock.NewVirtual(time.Unix(0, 0))
+	rec := &applyRecorder{}
+	n := NewNode(Config{
+		ID:        "vf",
+		Peers:     []string{"vf", "vl"},
+		Transport: transport.NewInProc(),
+		Apply:     rec.apply,
+		Clock:     vc,
+	})
+	n.Start()
+	t.Cleanup(n.Stop)
+	return n, rec, vc
+}
+
+func sendAppend(t *testing.T, n *Node, req *proto.AppendEntriesRequest) *proto.AppendEntriesResponse {
+	t.Helper()
+	respB, err, handled := n.HandleRPC(proto.MethodAppendEntries, req.Marshal())
+	if !handled || err != nil {
+		t.Fatalf("AppendEntries: handled=%v err=%v", handled, err)
+	}
+	resp, err := proto.UnmarshalAppendEntriesResponse(respB)
+	if err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return resp
+}
+
+func entries(term uint64, data ...string) []proto.LogEntry {
+	out := make([]proto.LogEntry, len(data))
+	for i, d := range data {
+		out[i] = proto.LogEntry{Term: term, Data: []byte(d)}
+	}
+	return out
+}
+
+// TestTermChangeTruncation drives the log-matching protocol directly: a
+// new leader's conflicting suffix replaces uncommitted entries, but a
+// batch that would truncate below the follower's commit index is refused.
+func TestTermChangeTruncation(t *testing.T) {
+	n, rec, _ := virtualFollower(t)
+
+	// Leader L1 (term 1) ships [a b c].
+	resp := sendAppend(t, n, &proto.AppendEntriesRequest{
+		Term: 1, Leader: "vl", Entries: entries(1, "a", "b", "c"),
+	})
+	if !resp.Success || resp.MatchIndex != 3 {
+		t.Fatalf("initial append: %+v", resp)
+	}
+
+	// L2 (term 2) took over after index 1 and ships a conflicting suffix:
+	// [b' c'] anchored at prev=1. The follower truncates 2..3 and accepts.
+	resp = sendAppend(t, n, &proto.AppendEntriesRequest{
+		Term: 2, Leader: "vl", PrevIndex: 1, PrevTerm: 1, Entries: entries(2, "b2", "c2"),
+	})
+	if !resp.Success || resp.MatchIndex != 3 {
+		t.Fatalf("conflicting append: %+v", resp)
+	}
+
+	// Commit everything and check the applied sequence reflects the
+	// truncation, not the stale suffix.
+	sendAppend(t, n, &proto.AppendEntriesRequest{
+		Term: 2, Leader: "vl", PrevIndex: 3, PrevTerm: 2, CommitIndex: 3,
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		got := rec.flat()
+		if len(got) == 3 {
+			if got[0] != "a" || got[1] != "b2" || got[2] != "c2" {
+				t.Fatalf("applied %v, want [a b2 c2]", got)
+			}
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := rec.flat(); len(got) != 3 {
+		t.Fatalf("applied %v, want 3 entries", got)
+	}
+
+	// A stale leader trying to rewrite committed entries must be refused:
+	// the response reports the commit index as the safe re-anchor.
+	resp = sendAppend(t, n, &proto.AppendEntriesRequest{
+		Term: 3, Leader: "vl", PrevIndex: 1, PrevTerm: 99, Entries: entries(3, "x"),
+	})
+	if resp.Success {
+		t.Fatalf("append truncating below commit succeeded: %+v", resp)
+	}
+	if _, commit, _ := n.Indexes(); resp.MatchIndex > commit {
+		t.Fatalf("reject hint %d above commit %d", resp.MatchIndex, commit)
+	}
+}
+
+// TestLogMatchingRejectAndBacktrack checks the gap case: a batch anchored
+// past the follower's log is refused with the follower's log length as
+// the backtracking hint.
+func TestLogMatchingRejectAndBacktrack(t *testing.T) {
+	n, _, _ := virtualFollower(t)
+	sendAppend(t, n, &proto.AppendEntriesRequest{
+		Term: 1, Leader: "vl", Entries: entries(1, "a"),
+	})
+	resp := sendAppend(t, n, &proto.AppendEntriesRequest{
+		Term: 1, Leader: "vl", PrevIndex: 5, PrevTerm: 1, Entries: entries(1, "f"),
+	})
+	if resp.Success {
+		t.Fatalf("append with log gap succeeded")
+	}
+	if resp.MatchIndex != 1 {
+		t.Fatalf("backtrack hint = %d, want 1 (follower log length)", resp.MatchIndex)
+	}
+}
+
+// TestBatchedApplyOrdering commits a burst in one advance and checks the
+// apply callback sees every entry in log order, batched rather than one
+// call per entry.
+func TestBatchedApplyOrdering(t *testing.T) {
+	n, rec, _ := virtualFollower(t)
+	var data []string
+	for i := 1; i <= 32; i++ {
+		data = append(data, fmt.Sprintf("e%02d", i))
+	}
+	sendAppend(t, n, &proto.AppendEntriesRequest{
+		Term: 1, Leader: "vl", Entries: entries(1, data...),
+	})
+	// One commit-index jump covers the whole burst.
+	sendAppend(t, n, &proto.AppendEntriesRequest{
+		Term: 1, Leader: "vl", PrevIndex: 32, PrevTerm: 1, CommitIndex: 32,
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(rec.flat()) == len(data) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got := rec.flat()
+	if len(got) != len(data) {
+		t.Fatalf("applied %d entries, want %d", len(got), len(data))
+	}
+	for i := range data {
+		if got[i] != data[i] {
+			t.Fatalf("applied[%d] = %q, want %q", i, got[i], data[i])
+		}
+	}
+	rec.mu.Lock()
+	batches := len(rec.batches)
+	rec.mu.Unlock()
+	if batches >= len(data) {
+		t.Fatalf("%d apply calls for %d entries — apply is not batching", batches, len(data))
+	}
+}
+
+// TestReadLeaseExpiry pins the follower-read gate: reads are allowed
+// while the leader lease is fresh and refused after it lapses on the
+// virtual clock.
+func TestReadLeaseExpiry(t *testing.T) {
+	n, _, vc := virtualFollower(t)
+	sendAppend(t, n, &proto.AppendEntriesRequest{Term: 1, Leader: "vl"})
+	if !n.ReadAllowed() {
+		t.Fatalf("fresh follower should allow reads")
+	}
+	vc.Advance(time.Second) // far past the default lease
+	if n.ReadAllowed() {
+		t.Fatalf("stale follower should refuse reads")
+	}
+}
+
+// TestStressWritesRacingElections hammers the group with concurrent
+// proposals while the leader is repeatedly crashed and revived — run
+// under -race in CI. Every acknowledged proposal must survive on the
+// final leader in a single consistent order.
+func TestStressWritesRacingElections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	rc := newReplCluster(t, 3)
+	rc.leader(5 * time.Second)
+
+	var (
+		ackMu sync.Mutex
+		acked []string
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				data := fmt.Sprintf("w%d-%d", w, i)
+				committed := false
+				for !committed {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					for _, n := range rc.snapshot() {
+						ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+						err := n.Propose(ctx, []byte(data))
+						cancel()
+						if err == nil {
+							committed = true
+							break
+						}
+					}
+				}
+				ackMu.Lock()
+				acked = append(acked, data)
+				ackMu.Unlock()
+			}
+		}(w)
+	}
+
+	// Crash/revive the leader a few times while the writers race.
+	for round := 0; round < 3; round++ {
+		time.Sleep(50 * time.Millisecond)
+		lead := rc.leader(5 * time.Second)
+		rc.mu.Lock()
+		li := -1
+		for i, n := range rc.nodes {
+			if n == lead {
+				li = i
+			}
+		}
+		rc.mu.Unlock()
+		if li < 0 {
+			continue // leadership moved between lookup and crash
+		}
+		rc.crash(li)
+		time.Sleep(30 * time.Millisecond)
+		rc.startNode(li, true)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Settle: a final barrier proposal guarantees every acked write is
+	// committed and applied on the current leader.
+	rc.propose("sentinel", 10*time.Second)
+	lead := rc.leader(5 * time.Second)
+	rc.mu.Lock()
+	var rec *applyRecorder
+	for i, n := range rc.nodes {
+		if n == lead {
+			rec = rc.recorders[i]
+		}
+	}
+	rc.mu.Unlock()
+	if rec == nil {
+		t.Fatalf("final leader not found in cluster slots")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	var got []string
+	for time.Now().Before(deadline) {
+		got = rec.flat()
+		if len(got) > 0 && got[len(got)-1] == "sentinel" {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	have := make(map[string]int, len(got))
+	for _, d := range got {
+		have[d]++
+	}
+	ackMu.Lock()
+	defer ackMu.Unlock()
+	for _, d := range acked {
+		if have[d] == 0 {
+			t.Errorf("acked proposal %q missing from final leader's applied log", d)
+		}
+	}
+}

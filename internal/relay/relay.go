@@ -278,9 +278,12 @@ func (r *Relay) regFlushLoop() {
 func (r *Relay) sendRegistrations(workers []core.WorkerNode) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	// Registrations must land: ride out CP leader elections with the
+	// client's capped-backoff retry instead of failing the whole
+	// generation back to every waiting worker.
 	if len(workers) == 1 {
 		req := proto.RegisterWorkerRequest{Worker: workers[0]}
-		_, err := r.cp.Call(ctx, proto.MethodRegisterWorker, req.Marshal())
+		_, err := r.cp.CallWithRetry(ctx, proto.MethodRegisterWorker, req.Marshal())
 		return err
 	}
 	r.mRegBatched.Add(int64(len(workers)))
@@ -291,7 +294,7 @@ func (r *Relay) sendRegistrations(workers []core.WorkerNode) error {
 		}
 		workers = workers[len(chunk):]
 		batch := proto.RegisterWorkerBatch{Relay: r.cfg.Addr, Workers: chunk}
-		if _, err := r.cp.Call(ctx, proto.MethodRegisterWorkerBatch, batch.Marshal()); err != nil {
+		if _, err := r.cp.CallWithRetry(ctx, proto.MethodRegisterWorkerBatch, batch.Marshal()); err != nil {
 			return err
 		}
 	}

@@ -28,6 +28,7 @@ import (
 
 	"dirigent/internal/controlplane"
 	"dirigent/internal/core"
+	"dirigent/internal/cpclient"
 	"dirigent/internal/dataplane"
 	"dirigent/internal/fleet"
 	"dirigent/internal/frontend"
@@ -53,6 +54,12 @@ const (
 	// FaultRelay kills one relay (workers fail over to the remaining
 	// relays or the direct CP path; revive is not supported).
 	FaultRelay FaultKind = "relay"
+	// FaultControlPlane kills the current control plane leader ("cp-kill":
+	// a follower wins the next election and recovers from its applied
+	// log) or revives the last killed replica ("cp-revive": it rejoins as
+	// a follower and catches up from the leader's log). Requires
+	// Config.ControlPlanes > 1.
+	FaultControlPlane FaultKind = "controlplane"
 )
 
 // Event is one entry of the declarative schedule, fired at a
@@ -94,6 +101,14 @@ type Config struct {
 	// the "warmup" phase (default Trace.Duration/3, the paper's discard
 	// window). Measurement phases start at Warmup with phase "steady".
 	Warmup time.Duration
+	// ControlPlanes is the CP replica count (default 1, the seed's single
+	// CP). With > 1 the tier runs Raft log replication — every durable
+	// write commits at quorum and each replica applies it to its own
+	// store — and the fault schedule may kill and revive CP replicas.
+	ControlPlanes int
+	// CPFollowerReads lets CP follower replicas serve read-only RPCs
+	// (front-end membership polls) from their applied store.
+	CPFollowerReads bool
 	// DataPlanes is the replica count (default 3).
 	DataPlanes int
 	// Workers is the emulated fleet size (default 24).
@@ -154,6 +169,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.RolloutFunction == "" {
 		c.RolloutFunction = HottestFunction(c.Trace)
 	}
+	if c.ControlPlanes <= 0 {
+		c.ControlPlanes = 1
+	}
 	for _, ev := range c.Schedule {
 		if ev.Kind == FaultRelay && ev.Action == "revive" {
 			return c, fmt.Errorf("scenario: relay revive is not supported")
@@ -163,6 +181,9 @@ func (c Config) withDefaults() (Config, error) {
 		}
 		if ev.Kind == FaultDataPlane && ev.Index >= c.DataPlanes {
 			return c, fmt.Errorf("scenario: dataplane fault index %d out of range", ev.Index)
+		}
+		if ev.Kind == FaultControlPlane && c.ControlPlanes <= 1 {
+			return c, fmt.Errorf("scenario: control plane fault scheduled with ControlPlanes=1")
 		}
 	}
 	return c, nil
@@ -242,6 +263,10 @@ type Report struct {
 	DPRevivals             int64 `json:"dataplane_revivals"`
 	RelayFailuresDetected  int64 `json:"relay_failures_detected"`
 	LBFailovers            int64 `json:"lb_failovers"`
+	// CPRecoveries counts control plane leadership recoveries (1 for the
+	// initial election; each cp-kill adds one more as a follower takes
+	// over and replays its applied log).
+	CPRecoveries int64 `json:"cp_recoveries"`
 }
 
 // sample is one replayed invocation's outcome, bucketed by trace time.
@@ -295,6 +320,118 @@ func versionTag(body []byte) string {
 
 const cpAddr = "e2e-cp"
 
+// cpTier is the scenario's control plane tier: one seed-exact replica by
+// default, or a Raft-replicated group the fault schedule can decapitate
+// and heal.
+type cpTier struct {
+	tr            *transport.InProc
+	metrics       *telemetry.Registry
+	addrs         []string
+	stores        []*store.Store
+	cps           []*controlplane.ControlPlane
+	followerReads bool
+	lastKilled    int
+}
+
+func newCPTier(tr *transport.InProc, cfg Config) (*cpTier, error) {
+	t := &cpTier{tr: tr, metrics: telemetry.NewRegistry(), followerReads: cfg.CPFollowerReads, lastKilled: -1}
+	if cfg.ControlPlanes <= 1 {
+		t.addrs = []string{cpAddr}
+	} else {
+		for i := 0; i < cfg.ControlPlanes; i++ {
+			t.addrs = append(t.addrs, fmt.Sprintf("%s%d", cpAddr, i))
+		}
+	}
+	for i := range t.addrs {
+		t.stores = append(t.stores, store.NewMemory())
+		t.cps = append(t.cps, t.newCP(i, false))
+	}
+	for _, cp := range t.cps {
+		if err := cp.Start(); err != nil {
+			t.stop()
+			return nil, err
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for t.leader() == nil {
+		if time.Now().After(deadline) {
+			t.stop()
+			return nil, fmt.Errorf("scenario: no control plane leader elected")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return t, nil
+}
+
+func (t *cpTier) newCP(i int, rejoin bool) *controlplane.ControlPlane {
+	c := controlplane.Config{
+		Addr:              t.addrs[i],
+		Transport:         t.tr,
+		AutoscaleInterval: 10 * time.Millisecond,
+		HeartbeatTimeout:  400 * time.Millisecond,
+		DataPlaneTimeout:  400 * time.Millisecond,
+		NoDownscaleWindow: time.Millisecond,
+		Metrics:           t.metrics,
+	}
+	if len(t.addrs) > 1 {
+		c.Peers = t.addrs
+		c.LocalStore = t.stores[i]
+		c.FollowerReads = t.followerReads
+		c.RaftRejoin = rejoin
+	} else {
+		c.DB = t.stores[i]
+	}
+	return controlplane.New(c)
+}
+
+func (t *cpTier) leader() *controlplane.ControlPlane {
+	for _, cp := range t.cps {
+		if cp.IsLeader() {
+			return cp
+		}
+	}
+	return nil
+}
+
+// killLeader crashes the current leader, returning its index (-1 if no
+// replica currently leads).
+func (t *cpTier) killLeader() int {
+	for i, cp := range t.cps {
+		if cp.IsLeader() {
+			cp.Stop()
+			t.lastKilled = i
+			return i
+		}
+	}
+	return -1
+}
+
+// revive restarts the last killed replica with a fresh store; it rejoins
+// as a follower and the leader's log replay catches it up.
+func (t *cpTier) revive() error {
+	i := t.lastKilled
+	if i < 0 {
+		return fmt.Errorf("no killed control plane to revive")
+	}
+	t.stores[i] = store.NewMemory()
+	cp := t.newCP(i, true)
+	if err := cp.Start(); err != nil {
+		return err
+	}
+	t.cps[i] = cp
+	t.lastKilled = -1
+	return nil
+}
+
+func (t *cpTier) stop() {
+	for _, cp := range t.cps {
+		cp.Stop()
+	}
+	for _, s := range t.stores {
+		s.Close()
+	}
+}
+
 // Run replays the configured scenario and returns its report. The error
 // return covers harness failures (a component refusing to start, a
 // registration failing); lost or stranded work is reported, not errored,
@@ -306,23 +443,13 @@ func Run(cfg Config) (*Report, error) {
 	}
 	tr := transport.NewInProc()
 	shared := store.NewMemory()
-	cpDB := store.NewMemory()
-	defer cpDB.Close()
 	defer shared.Close()
 
-	cp := controlplane.New(controlplane.Config{
-		Addr:              cpAddr,
-		Transport:         tr,
-		DB:                cpDB,
-		AutoscaleInterval: 10 * time.Millisecond,
-		HeartbeatTimeout:  400 * time.Millisecond,
-		DataPlaneTimeout:  400 * time.Millisecond,
-		NoDownscaleWindow: time.Millisecond,
-	})
-	if err := cp.Start(); err != nil {
+	cpT, err := newCPTier(tr, cfg)
+	if err != nil {
 		return nil, err
 	}
-	defer cp.Stop()
+	defer cpT.stop()
 
 	var rls *fleet.Relays
 	var relayAddrs []string
@@ -330,7 +457,7 @@ func Run(cfg Config) (*Report, error) {
 		rls = fleet.NewRelays(fleet.RelaysConfig{
 			Count:         cfg.Relays,
 			Transport:     tr,
-			ControlPlanes: []string{cpAddr},
+			ControlPlanes: cpT.addrs,
 			FlushInterval: 20 * time.Millisecond,
 		})
 		if err := rls.Start(); err != nil {
@@ -344,7 +471,7 @@ func Run(cfg Config) (*Report, error) {
 	dps := fleet.NewDataPlanes(fleet.DataPlanesConfig{
 		Count:             cfg.DataPlanes,
 		Transport:         tr,
-		ControlPlanes:     []string{cpAddr},
+		ControlPlanes:     cpT.addrs,
 		SharedStore:       shared,
 		HeartbeatInterval: 50 * time.Millisecond,
 		MetricInterval:    5 * time.Millisecond,
@@ -360,7 +487,7 @@ func Run(cfg Config) (*Report, error) {
 	fl := fleet.New(fleet.Config{
 		Size:              cfg.Workers,
 		Transport:         tr,
-		ControlPlanes:     []string{cpAddr},
+		ControlPlanes:     cpT.addrs,
 		Relays:            relayAddrs,
 		HeartbeatInterval: 50 * time.Millisecond,
 		ReadyDelay:        5 * time.Millisecond,
@@ -387,7 +514,7 @@ func Run(cfg Config) (*Report, error) {
 	lb := frontend.New(frontend.Config{
 		Transport:          tr,
 		DataPlanes:         dps.Addrs(),
-		ControlPlanes:      []string{cpAddr},
+		ControlPlanes:      cpT.addrs,
 		MembershipInterval: 50 * time.Millisecond,
 		FailureCooldown:    150 * time.Millisecond,
 		RequestTimeout:     60 * time.Second,
@@ -398,11 +525,13 @@ func Run(cfg Config) (*Report, error) {
 	}
 	defer lb.Stop()
 
-	if err := registerFunctions(tr, cfg); err != nil {
+	if err := registerFunctions(tr, cpT, cfg); err != nil {
 		return nil, err
 	}
-	cp.Reconcile()
-	if err := awaitPinnedScale(cp, cfg); err != nil {
+	if lead := cpT.leader(); lead != nil {
+		lead.Reconcile()
+	}
+	if err := awaitPinnedScale(cpT, cfg); err != nil {
 		return nil, err
 	}
 
@@ -432,7 +561,7 @@ func Run(cfg Config) (*Report, error) {
 
 	stopFaults := make(chan struct{})
 	faultsDone := make(chan struct{})
-	go runSchedule(cfg, start, fl, dps, rls, router, rep, &mu, stopFaults, faultsDone)
+	go runSchedule(cfg, start, cpT, fl, dps, rls, router, rep, &mu, stopFaults, faultsDone)
 
 	v2name := cfg.RolloutFunction + "@v2"
 	for i, inv := range cfg.Trace.Invocations {
@@ -518,10 +647,11 @@ func Run(cfg Config) (*Report, error) {
 
 	// --- Aggregate ---
 	aggregate(cfg, rep, samples)
-	rep.WorkerFailuresDetected = cp.Metrics().Counter("worker_failures_detected").Value()
-	rep.DPFailuresDetected = cp.Metrics().Counter("dataplane_failures_detected").Value()
-	rep.DPRevivals = cp.Metrics().Counter("dataplane_revivals").Value()
-	rep.RelayFailuresDetected = cp.Metrics().Counter("relay_failures_detected").Value()
+	rep.WorkerFailuresDetected = cpT.metrics.Counter("worker_failures_detected").Value()
+	rep.DPFailuresDetected = cpT.metrics.Counter("dataplane_failures_detected").Value()
+	rep.DPRevivals = cpT.metrics.Counter("dataplane_revivals").Value()
+	rep.RelayFailuresDetected = cpT.metrics.Counter("relay_failures_detected").Value()
+	rep.CPRecoveries = cpT.metrics.Counter("recoveries").Value()
 	rep.LBFailovers = lb.Metrics().Counter("dataplane_failovers").Value()
 	return rep, nil
 }
@@ -568,11 +698,14 @@ var wfFunctions = []string{"wf-a", "wf-b", "wf-c", "wf-d", "wf-e"}
 // registerFunctions registers the trace functions (compressed autoscaler
 // windows, scale from zero), the workflow functions (pinned warm), and
 // the rollout function's @v2 (pre-warmed canary).
-func registerFunctions(tr *transport.InProc, cfg Config) error {
+func registerFunctions(tr *transport.InProc, cpT *cpTier, cfg Config) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
+	// cpclient handles leader discovery across the tier (a follower may
+	// answer the first dial after a multi-replica election).
+	client := cpclient.New(tr, cpT.addrs)
 	reg := func(fn core.Function) error {
-		_, err := tr.Call(ctx, cpAddr, proto.MethodRegisterFunction, core.MarshalFunction(&fn))
+		_, err := client.Call(ctx, proto.MethodRegisterFunction, core.MarshalFunction(&fn))
 		return err
 	}
 	for _, spec := range cfg.Trace.Functions {
@@ -614,13 +747,15 @@ func traceFunction(name string) core.Function {
 
 // awaitPinnedScale waits for every MinScale-1 function (workflow steps,
 // the @v2 canary) to hold a ready sandbox before the replay starts.
-func awaitPinnedScale(cp *controlplane.ControlPlane, cfg Config) error {
+func awaitPinnedScale(cpT *cpTier, cfg Config) error {
 	pinned := append(append([]string{}, wfFunctions...), cfg.RolloutFunction+"@v2")
 	deadline := time.Now().Add(60 * time.Second)
 	for _, name := range pinned {
 		for {
-			if ready, _ := cp.FunctionScale(name); ready >= 1 {
-				break
+			if cp := cpT.leader(); cp != nil {
+				if ready, _ := cp.FunctionScale(name); ready >= 1 {
+					break
+				}
 			}
 			if time.Now().After(deadline) {
 				return fmt.Errorf("scenario: %s never scaled", name)
@@ -633,7 +768,7 @@ func awaitPinnedScale(cp *controlplane.ControlPlane, cfg Config) error {
 
 // runSchedule fires the declarative schedule against the live tiers,
 // appending a human-readable line per fired fault to rep.FaultsInjected.
-func runSchedule(cfg Config, start time.Time, fl *fleet.Fleet, dps *fleet.DataPlanes,
+func runSchedule(cfg Config, start time.Time, cpT *cpTier, fl *fleet.Fleet, dps *fleet.DataPlanes,
 	rls *fleet.Relays, router *versioning.Router, rep *Report, mu *sync.Mutex,
 	stop <-chan struct{}, done chan<- struct{}) {
 	defer close(done)
@@ -689,6 +824,19 @@ func runSchedule(cfg Config, start time.Time, fl *fleet.Fleet, dps *fleet.DataPl
 		case ev.Kind == FaultRelay && ev.Action == "kill":
 			rls.StopOne(ev.Index)
 			note("t=+%v kill relay %d", ev.At, ev.Index)
+		case ev.Kind == FaultControlPlane && ev.Action == "kill":
+			if i := cpT.killLeader(); i >= 0 {
+				note("t=+%v kill controlplane leader (replica %d)", ev.At, i)
+			} else {
+				note("t=+%v kill controlplane: no live leader", ev.At)
+			}
+		case ev.Kind == FaultControlPlane && ev.Action == "revive":
+			revived := cpT.lastKilled
+			if err := cpT.revive(); err != nil {
+				note("t=+%v revive controlplane failed: %v", ev.At, err)
+			} else {
+				note("t=+%v revive controlplane replica %d", ev.At, revived)
+			}
 		}
 	}
 }

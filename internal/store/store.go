@@ -175,6 +175,30 @@ func (s *Store) applyBufferedLocked(op Op) (uint64, error) {
 	return seq, nil
 }
 
+// ApplyBatch executes a sequence of mutations under one lock acquisition
+// and (when an AOF is attached) one durability wait covering the whole
+// batch — the apply-side analogue of group commit, used by a replication
+// follower absorbing a committed AppendEntries batch.
+func (s *Store) ApplyBatch(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	var last uint64
+	s.mu.Lock()
+	for _, op := range ops {
+		seq, err := s.applyBufferedLocked(op)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		if seq > last {
+			last = seq
+		}
+	}
+	s.mu.Unlock()
+	return s.waitDurable(last)
+}
+
 // waitDurable blocks until the record with the given sequence is as
 // durable as the store's fsync policy demands.
 func (s *Store) waitDurable(seq uint64) error {

@@ -289,9 +289,12 @@ func (w *Worker) Start() error {
 	}
 	w.listener = ln
 	req := proto.RegisterWorkerRequest{Worker: w.cfg.Node}
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
-	if _, err := w.liveCall(ctx, proto.MethodRegisterWorker, req.Marshal()); err != nil {
+	// Ride out CP leader elections and brief outages with capped backoff
+	// instead of failing the daemon's start — "no leader right now" is a
+	// transient condition in an HA control plane, on the relay path too.
+	if err := w.registerWithRetry(ctx, req.Marshal()); err != nil {
 		ln.Close()
 		return fmt.Errorf("worker %s: register: %w", w.cfg.Node.Name, err)
 	}
@@ -412,6 +415,32 @@ func (w *Worker) sendHeartbeat() {
 	// Best effort; a missed heartbeat is exactly what the CP's health
 	// monitor is designed to tolerate and detect.
 	_, _ = w.liveCall(ctx, proto.MethodWorkerHeartbeat, hb.Marshal())
+}
+
+// registerWithRetry sends the registration over the liveness path,
+// retrying with capped exponential backoff while the control plane is
+// unavailable. Direct mode delegates to the cpclient's retry loop; relay
+// mode wraps the relay client with the same classification.
+func (w *Worker) registerWithRetry(ctx context.Context, payload []byte) error {
+	if w.live == nil {
+		_, err := w.cp.CallWithRetry(ctx, proto.MethodRegisterWorker, payload)
+		return err
+	}
+	delay := 5 * time.Millisecond
+	for {
+		_, err := w.live.Call(ctx, proto.MethodRegisterWorker, payload)
+		if err == nil || !cpclient.IsUnavailable(err) || ctx.Err() != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return err
+		case <-time.After(delay):
+		}
+		if delay *= 2; delay > 100*time.Millisecond {
+			delay = 100 * time.Millisecond
+		}
+	}
 }
 
 // liveCall routes the liveness protocol (register, heartbeat): through the
